@@ -1,0 +1,98 @@
+// §3.2 ablation — the DMM allocator: 1024-queue best-fit, the
+// small/medium/large placement policy and same-size page packing.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mem/dmm_allocator.hpp"
+#include "mem/eviction.hpp"
+#include "mem/size_class.hpp"
+
+namespace {
+
+using lots::mem::DmmAllocator;
+using lots::mem::SizeClassTable;
+
+void BM_SizeClassLookup(benchmark::State& state) {
+  SizeClassTable t(512u << 20);
+  lots::Rng rng(1);
+  size_t sizes[256];
+  for (auto& s : sizes) s = 8 + rng.below(1u << 20);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.index_for_block(sizes[i & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SizeClassLookup);
+
+void BM_AllocFreeSmall(benchmark::State& state) {
+  DmmAllocator a(64u << 20, 4096);
+  for (auto _ : state) {
+    auto off = a.alloc(64);
+    benchmark::DoNotOptimize(off);
+    a.free(*off);
+  }
+}
+BENCHMARK(BM_AllocFreeSmall);
+
+void BM_AllocFreeMedium(benchmark::State& state) {
+  DmmAllocator a(64u << 20, 4096);
+  for (auto _ : state) {
+    auto off = a.alloc(16 * 1024);
+    benchmark::DoNotOptimize(off);
+    a.free(*off);
+  }
+}
+BENCHMARK(BM_AllocFreeMedium);
+
+void BM_AllocFreeLarge(benchmark::State& state) {
+  DmmAllocator a(64u << 20, 4096);
+  for (auto _ : state) {
+    auto off = a.alloc(1u << 20);
+    benchmark::DoNotOptimize(off);
+    a.free(*off);
+  }
+}
+BENCHMARK(BM_AllocFreeLarge);
+
+/// The paper's motivating mix: many live objects of mixed sizes with
+/// churn, exercising best-fit over the queues plus coalescing.
+void BM_MixedChurn(benchmark::State& state) {
+  DmmAllocator a(64u << 20, 4096);
+  lots::Rng rng(7);
+  std::vector<size_t> live;
+  for (auto _ : state) {
+    if (live.size() < 512 && (live.empty() || rng.unit() < 0.6)) {
+      const double pick = rng.unit();
+      const size_t size = pick < 0.5   ? 8 + rng.below(2000)
+                          : pick < 0.9 ? 2048 + rng.below(60'000)
+                                       : 65536 + rng.below(200'000);
+      if (auto off = a.alloc(size)) live.push_back(*off);
+    } else {
+      const size_t k = rng.below(live.size());
+      a.free(live[k]);
+      live[k] = live.back();
+      live.pop_back();
+    }
+  }
+  for (size_t off : live) a.free(off);
+}
+BENCHMARK(BM_MixedChurn);
+
+void BM_VictimSelection(benchmark::State& state) {
+  // LRU + best-fit victim choice over `range` mapped objects.
+  const size_t count = static_cast<size_t>(state.range(0));
+  std::vector<lots::mem::VictimCandidate> cands(count);
+  lots::Rng rng(3);
+  for (size_t i = 0; i < count; ++i) {
+    cands[i] = {static_cast<uint64_t>(i + 1), 64 + rng.below(1u << 16), rng.below(10'000)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lots::mem::choose_victim(cands, 4096, 10'000));
+  }
+}
+BENCHMARK(BM_VictimSelection)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

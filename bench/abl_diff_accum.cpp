@@ -1,0 +1,66 @@
+// §3.5 ablation — the diff accumulation problem and its fix.
+//
+// A migratory object updated in many lock intervals: TreadMarks-style
+// accumulated records re-send every interval's diff (a word updated k
+// times travels k times); the paper's per-field timestamps merge the
+// chain to last-value-per-word on demand ("eliminating outdated data
+// being sent"). The bench sweeps the number of critical sections between
+// barriers and reports words/bytes shipped by lock grants.
+#include <cstdio>
+
+#include "core/api.hpp"
+
+namespace {
+
+using namespace lots;
+
+struct Traffic {
+  uint64_t diff_words;
+  uint64_t bytes;
+  double seconds;
+};
+
+Traffic run_mode(DiffMode mode, int rounds) {
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.diff_mode = mode;
+  Runtime rt(cfg);
+  rt.run([&](int) {
+    Pointer<int> obj;
+    obj.alloc(1024);  // 4 KB migratory object
+    lots::barrier();
+    for (int round = 0; round < rounds; ++round) {
+      lots::acquire(1);
+      for (int i = 0; i < 1024; ++i) obj[i] = obj[i] + 1;  // full-object update
+      lots::release(1);
+    }
+    lots::barrier();
+  });
+  NodeStats total;
+  rt.aggregate_stats(total);
+  uint64_t net = 0;
+  for (int i = 0; i < 4; ++i) net = std::max(net, rt.node(i).stats().net_wait_us.load());
+  return {total.diff_words_sent.load(), total.bytes_sent.load(), static_cast<double>(net) / 1e6};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== §3.5 ablation — diff accumulation (migratory object under one lock) ===\n");
+  std::printf("%-22s %14s %14s %12s %12s\n", "critical sections", "accum words", "merged words",
+              "accum MB", "merged MB");
+  for (const int rounds : {8, 16, 32, 64}) {
+    const Traffic accum = run_mode(lots::DiffMode::kAccumulatedRecords, rounds);
+    const Traffic merged = run_mode(lots::DiffMode::kPerWordTimestamp, rounds);
+    std::printf("%-22d %14lu %14lu %12.2f %12.2f   (%.1fx traffic saved)\n", rounds,
+                accum.diff_words, merged.diff_words,
+                static_cast<double>(accum.bytes) / (1u << 20),
+                static_cast<double>(merged.bytes) / (1u << 20),
+                static_cast<double>(accum.diff_words) /
+                    static_cast<double>(merged.diff_words ? merged.diff_words : 1));
+  }
+  std::printf("\npaper: the per-field timestamp scheme sends each field at most once per\n"
+              "grant regardless of how many intervals updated it; the accumulated mode's\n"
+              "traffic grows with the number of critical sections between barriers.\n");
+  return 0;
+}

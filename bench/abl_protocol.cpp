@@ -1,0 +1,110 @@
+// §3.4 ablation — the mixed coherence protocol against its pure parts.
+//
+// The paper's rationale: locks guard migratory / producer-consumer
+// objects (write-update pushes the data with the token, homeless avoids
+// a third-party home); barriers want write-invalidate (write-update
+// would broadcast all-to-all) with home migration (single writer -> no
+// data motion at all). This bench runs a lock-heavy migratory pattern
+// and a barrier-heavy single-writer pattern under all three modes.
+#include <cstdio>
+
+#include "core/api.hpp"
+
+namespace {
+
+using namespace lots;
+
+struct Outcome {
+  double time_s;
+  uint64_t bytes;
+  uint64_t fetches;
+};
+
+Outcome migratory_pattern(ProtocolMode mode) {
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.protocol = mode;
+  Runtime rt(cfg);
+  rt.run([&](int) {
+    Pointer<int> obj;
+    obj.alloc(2048);
+    lots::barrier();
+    for (int round = 0; round < 24; ++round) {
+      lots::acquire(1);
+      for (int i = 0; i < 2048; i += 2) obj[i] = obj[i] + 1;
+      lots::release(1);
+    }
+    lots::barrier();
+  });
+  NodeStats t;
+  rt.aggregate_stats(t);
+  uint64_t net = 0;
+  for (int i = 0; i < 4; ++i) net = std::max(net, rt.node(i).stats().net_wait_us.load());
+  return {static_cast<double>(net) / 1e6, t.bytes_sent.load(), t.object_fetches.load()};
+}
+
+Outcome single_writer_pattern(ProtocolMode mode) {
+  Config cfg;
+  cfg.nprocs = 4;
+  cfg.protocol = mode;
+  Runtime rt(cfg);
+  rt.run([&](int rank) {
+    constexpr int kObjs = 64;
+    std::vector<Pointer<int>> objs(kObjs);
+    for (auto& o : objs) o.alloc(1024);
+    lots::barrier();
+    for (int round = 0; round < 12; ++round) {
+      // Each object has exactly one writer per interval (SOR-like).
+      for (int k = rank; k < kObjs; k += 4) {
+        auto& o = objs[static_cast<size_t>(k)];
+        for (int i = 0; i < 1024; i += 2) o[static_cast<size_t>(i)] = round * 1000 + i;
+      }
+      lots::barrier();
+      // Everyone reads a couple of neighbours' objects.
+      for (int k = (rank + 1) % 4; k < kObjs; k += 4) {
+        volatile int v = objs[static_cast<size_t>(k)][0];
+        (void)v;
+      }
+      lots::barrier();
+    }
+  });
+  NodeStats t;
+  rt.aggregate_stats(t);
+  uint64_t net = 0;
+  for (int i = 0; i < 4; ++i) net = std::max(net, rt.node(i).stats().net_wait_us.load());
+  return {static_cast<double>(net) / 1e6, t.bytes_sent.load(), t.object_fetches.load()};
+}
+
+const char* name(ProtocolMode m) {
+  switch (m) {
+    case ProtocolMode::kMixed: return "mixed (paper)";
+    case ProtocolMode::kWriteUpdateOnly: return "write-update only";
+    case ProtocolMode::kWriteInvalidateOnly: return "write-invalidate only";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== §3.4 ablation — mixed protocol vs pure write-update / write-invalidate ===\n");
+  std::printf("\nmigratory pattern (lock-guarded full-object updates):\n");
+  std::printf("%-24s %14s %14s %10s\n", "protocol", "modeled net s", "bytes", "fetches");
+  for (const auto mode : {ProtocolMode::kMixed, ProtocolMode::kWriteUpdateOnly,
+                          ProtocolMode::kWriteInvalidateOnly}) {
+    const Outcome o = migratory_pattern(mode);
+    std::printf("%-24s %14.3f %14lu %10lu\n", name(mode), o.time_s, o.bytes, o.fetches);
+  }
+  std::printf("\nsingle-writer-multiple-readers pattern (barrier-synchronized, SOR-like):\n");
+  std::printf("%-24s %14s %14s %10s\n", "protocol", "modeled net s", "bytes", "fetches");
+  for (const auto mode : {ProtocolMode::kMixed, ProtocolMode::kWriteUpdateOnly,
+                          ProtocolMode::kWriteInvalidateOnly}) {
+    const Outcome o = single_writer_pattern(mode);
+    std::printf("%-24s %14.3f %14lu %10lu\n", name(mode), o.time_s, o.bytes, o.fetches);
+  }
+  std::printf("\npaper expectation: write-update wins the lock pattern (data rides the\n"
+              "token), write-invalidate + home migration wins the barrier pattern (the\n"
+              "all-to-all broadcast of pure write-update is the worst of the table);\n"
+              "the mixed protocol takes the better column of each.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Reported time = measured wall time of the timed phase + the modeled
+// network/disk waits accumulated from the run's actual protocol traffic
+// through the calibrated cost models (DESIGN.md §1). Absolute seconds
+// are not comparable to the paper's 2004 testbed; the *shape* (who wins,
+// by what factor, where the crossover falls) is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "workloads/apps.hpp"
+
+namespace lots::bench {
+
+/// Baseline config for Fig. 8 runs: the paper's 100base-T network model,
+/// zero time-scale (delays are modeled, not slept), generous DMM.
+inline Config fig8_config(int nprocs) {
+  Config c;
+  c.nprocs = nprocs;
+  c.dmm_bytes = 32u << 20;
+  c.jia_heap_bytes = 64u << 20;
+  c.net.latency_us = 85.0;      // one-way small-message latency
+  c.net.bandwidth_MBps = 11.0;  // ~100 Mbit/s effective
+  c.net.time_scale = 0.0;
+  return c;
+}
+
+inline void print_header(const char* fig, const char* app, const char* xlabel) {
+  std::printf("\n=== %s — %s ===\n", fig, app);
+  std::printf("(y = modeled execution time in seconds: measured compute + modeled "
+              "100base-T network; paper shape target in EXPERIMENTS.md)\n");
+  std::printf("%-10s %6s %10s %10s %10s %14s\n", xlabel, "p", "JIAJIA", "LOTS", "LOTS-x",
+              "LOTS/JIAJIA");
+}
+
+inline void print_row(size_t n, int p, const work::AppResult& jia, const work::AppResult& l,
+                      const work::AppResult& lx) {
+  std::printf("%-10zu %6d %10.3f %10.3f %10.3f %13.2fx %s\n", n, p, jia.time_s(), l.time_s(),
+              lx.time_s(), jia.time_s() / (l.time_s() > 0 ? l.time_s() : 1e-9),
+              (jia.ok && l.ok && lx.ok) ? "" : "  !! VERIFY FAILED");
+}
+
+}  // namespace lots::bench

@@ -1,0 +1,26 @@
+// Figure 8a — ME (merge sort): execution time vs problem size, LOTS vs
+// LOTS-x vs JIAJIA V1.1-style baseline.
+//
+// Paper shape: LOTS faster than JIAJIA at every point (migratory chunks
+// suit the migrating-home protocol; round-robin homes give JIAJIA only
+// 1/p home-local data), and no speedup with more processes because only
+// the merging phase is timed (more processes = more merge stages).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace lots;
+  using namespace lots::bench;
+  print_header("Figure 8a", "ME (merge sort), merging phase only", "keys");
+  for (const size_t n : {size_t{65536}, size_t{131072}, size_t{262144}}) {
+    for (const int p : {2, 4, 8}) {
+      const Config cfg = fig8_config(p);
+      Config cfg_x = cfg;
+      cfg_x.large_object_space = false;  // LOTS-x (paper §4.1)
+      const auto jia = work::jia_me(cfg, n, 42);
+      const auto l = work::lots_me(cfg, n, 42);
+      const auto lx = work::lots_me(cfg_x, n, 42);
+      print_row(n, p, jia, l, lx);
+    }
+  }
+  return 0;
+}

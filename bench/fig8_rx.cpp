@@ -1,0 +1,26 @@
+// Figure 8d — RX (radix sort, 256 page-multiple buckets).
+//
+// Paper shape — including the negative result: LOTS wins at p = 2 and
+// p = 4, but as p grows the fraction of buckets with a ping-pong access
+// pattern (written alternately by two processes) grows, migrating the
+// home to the latest writer stops paying off, and LOTS falls slightly
+// behind JIAJIA at p = 8.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace lots;
+  using namespace lots::bench;
+  print_header("Figure 8d", "RX (radix sort), 2 passes, 256 buckets", "keys");
+  for (const size_t n : {size_t{65536}, size_t{131072}, size_t{262144}}) {
+    for (const int p : {2, 4, 8}) {
+      const Config cfg = fig8_config(p);
+      Config cfg_x = cfg;
+      cfg_x.large_object_space = false;
+      const auto jia = work::jia_rx(cfg, n, 2, 99);
+      const auto l = work::lots_rx(cfg, n, 2, 99);
+      const auto lx = work::lots_rx(cfg_x, n, 2, 99);
+      print_row(n, p, jia, l, lx);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 8c — SOR (red-black successive over-relaxation).
+//
+// Paper shape: LOTS outperforms JIAJIA — every row has a single writer
+// for the whole program and only slice-edge rows are read-shared, the
+// pattern that favours the migrating-home protocol (after the first
+// barrier each row's home IS its writer, so updates cost nothing).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace lots;
+  using namespace lots::bench;
+  print_header("Figure 8c", "SOR, red-black, 24 iterations", "grid n");
+  for (const size_t n : {size_t{128}, size_t{192}, size_t{256}}) {
+    for (const int p : {2, 4, 8}) {
+      const Config cfg = fig8_config(p);
+      Config cfg_x = cfg;
+      cfg_x.large_object_space = false;
+      const auto jia = work::jia_sor(cfg, n, 24, 3);
+      const auto l = work::lots_sor(cfg, n, 24, 3);
+      const auto lx = work::lots_sor(cfg_x, n, 24, 3);
+      print_row(n, p, jia, l, lx);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// §3.6 / §5 micro — transport layer: codec, the 64 KB fragmentation
+// bottleneck (store-and-rebuild before decode), in-process fabric RTT
+// and the real UDP path.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "net/endpoint.hpp"
+#include "net/fragment.hpp"
+#include "net/inproc.hpp"
+#include "net/udp.hpp"
+
+namespace {
+
+using namespace lots::net;
+
+void BM_MessageCodec(benchmark::State& state) {
+  Message m;
+  m.type = MsgType::kObjData;
+  m.payload.assign(static_cast<size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    auto wire = encode_message(m);
+    benchmark::DoNotOptimize(decode_message(wire));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MessageCodec)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_FragmentReassemble(benchmark::State& state) {
+  // The paper's §5 bottleneck: "the receiver side must receive all the
+  // message fragments in order to rebuild the original message before
+  // decoding" — cost grows with message size past 64 KB.
+  Message m;
+  m.type = MsgType::kObjData;
+  m.src = 1;
+  m.payload.assign(static_cast<size_t>(state.range(0)), 0x7E);
+  const auto wire = encode_message(m);
+  for (auto _ : state) {
+    Reassembler r;
+    std::optional<Message> out;
+    for (const auto& frag : fragment(wire, 1)) out = r.feed(1, frag);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FragmentReassemble)->Arg(32 * 1024)->Arg(128 * 1024)->Arg(512 * 1024);
+
+void BM_InprocPingPong(benchmark::State& state) {
+  InProcFabric fab(2, lots::NetModel{});
+  Endpoint a(fab.open(0)), b(fab.open(1));
+  a.start(nullptr);
+  b.start([&](Message&& m) { b.reply(m, Message{.type = MsgType::kReply}); });
+  Message req;
+  req.type = MsgType::kPing;
+  req.dst = 1;
+  req.payload.assign(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    Message copy = req;
+    benchmark::DoNotOptimize(a.request(std::move(copy)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InprocPingPong)->Arg(64)->Arg(4096);
+
+void BM_UdpPingPong(benchmark::State& state) {
+  static std::atomic<uint16_t> port{29000};
+  const uint16_t base = port.fetch_add(8);
+  Endpoint a(std::make_unique<UdpTransport>(0, 2, base));
+  Endpoint b(std::make_unique<UdpTransport>(1, 2, base));
+  a.start(nullptr);
+  b.start([&](Message&& m) { b.reply(m, Message{.type = MsgType::kReply}); });
+  Message req;
+  req.type = MsgType::kPing;
+  req.dst = 1;
+  req.payload.assign(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    Message copy = req;
+    benchmark::DoNotOptimize(a.request(std::move(copy)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UdpPingPong)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

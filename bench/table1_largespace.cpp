@@ -1,0 +1,117 @@
+// Table 1 — the large object space test on various platforms, scaled.
+//
+// The paper allocates a shared 2-D integer array of X rows with total
+// size exceeding the 4 GB process space on a 4-node cluster; every
+// object is swapped out once, so >4 GB is written to disk, and execution
+// time is dominated by disk I/O (1114 s on PIII/RH6.2 down to 142 s on
+// P4/Fedora). Here the scenario is scaled by ratio: the DMM window
+// stands in for the process space and the object space over-commits it
+// 8-16x; each paper platform row becomes a calibrated disk model, so
+// the row ORDERING and the disk-time dominance are the reproduction
+// targets (absolute seconds are the model's, not a 2004 testbed's).
+//
+// The capacity probe at the end reproduces the 117.77 GB headline: the
+// object space is bounded by disk free space, not by the mapping window.
+#include <cstdio>
+
+#include "common/clock.hpp"
+#include "core/api.hpp"
+
+namespace {
+
+struct Platform {
+  const char* name;
+  double seek_us;
+  double throughput_MBps;
+  double paper_seconds;  // the Table 1 row being reproduced
+};
+
+// Throughputs chosen to represent the relative disk-stack speeds of the
+// paper's platforms (older IDE + weaker I/O stack -> slower).
+constexpr Platform kPlatforms[] = {
+    {"PIII-733 / RedHat 6.2      ", 9000, 6.0, 1114},
+    {"PIII-733 / RedHat 9.0      ", 8000, 9.5, 976},
+    {"Xeon PIII SMP / SCSI 72GB  ", 5000, 18.0, 0 /*space run*/},
+    {"P4-2GHz / Fedora           ", 3000, 45.0, 142},
+};
+
+}  // namespace
+
+int main() {
+  using namespace lots;
+  std::printf("\n=== Table 1 — large object space support (scaled reproduction) ===\n");
+  std::printf("scenario: 4 nodes, 8 MB DMM window/node, 64 MB shared 2-D array (8x over-commit);\n");
+  std::printf("every row is swapped through the local disk at least once.\n\n");
+  std::printf("%-28s %8s %12s %12s %12s %14s\n", "platform (disk model)", "rows X", "exec (s)",
+              "disk r/w (s)", "swap GBs", "paper (s)");
+
+  for (const auto& plat : kPlatforms) {
+    Config cfg;
+    cfg.nprocs = 4;
+    cfg.dmm_bytes = 8u << 20;
+    cfg.disk.seek_us = plat.seek_us;
+    cfg.disk.throughput_MBps = plat.throughput_MBps;
+    cfg.net.time_scale = 0;
+
+    constexpr size_t kRows = 256;            // X in the paper's table
+    constexpr size_t kIntsPerRow = 64 * 1024;  // 256 KB rows, 64 MB total
+
+    Runtime rt(cfg);
+    uint64_t wall_us = 0;
+    rt.run([&](int rank) {
+      const int p = lots::num_procs();
+      std::vector<Pointer<int>> rows(kRows);
+      for (auto& r : rows) r.alloc(kIntsPerRow);
+      lots::barrier();
+      const uint64_t t0 = now_us();
+      // The paper's program: simple adds touching every object, forcing
+      // each row through the swap path.
+      for (size_t k = static_cast<size_t>(rank); k < kRows; k += static_cast<size_t>(p)) {
+        auto& row = rows[k];
+        for (size_t i = 0; i < kIntsPerRow; i += 64) row[i] = static_cast<int>(k + i);
+      }
+      lots::barrier();
+      long sum = 0;
+      for (size_t k = 0; k < kRows; ++k) {
+        auto& row = rows[k];
+        for (size_t i = 0; i < kIntsPerRow; i += 4096) sum += row[i];
+      }
+      lots::barrier();
+      if (rank == 0) wall_us = now_us() - t0;
+      (void)sum;
+    });
+
+    NodeStats total;
+    rt.aggregate_stats(total);
+    uint64_t disk_us = 0, net_us = 0;
+    for (int i = 0; i < 4; ++i) {
+      disk_us = std::max(disk_us, rt.node(i).stats().disk_wait_us.load());
+      net_us = std::max(net_us, rt.node(i).stats().net_wait_us.load());
+    }
+    const double exec_s = static_cast<double>(wall_us) / 1e6 +
+                          static_cast<double>(disk_us + net_us) / 1e6;
+    std::printf("%-28s %8zu %12.2f %12.2f %12.2f %14s\n", plat.name, kRows, exec_s,
+                static_cast<double>(disk_us) / 1e6,
+                static_cast<double>(total.swap_bytes_out.load() + total.swap_bytes_in.load()) /
+                    (1u << 30),
+                plat.paper_seconds > 0 ? std::to_string(static_cast<int>(plat.paper_seconds)).c_str()
+                                       : "(space run)");
+  }
+
+  // --- the 117.77 GB headline: object space bounded by disk free space ---
+  {
+    Config cfg;
+    cfg.nprocs = 1;
+    Runtime rt(cfg);
+    rt.run([&](int) {
+      auto& node = Runtime::self();
+      const double free_gb =
+          static_cast<double>(node.disk().filesystem_free_bytes()) / (1ull << 30);
+      std::printf("\ncapacity probe: this host's disk free space bounds the shared object\n"
+                  "space at %.2f GB (paper's 4-node SCSI cluster: 117.77 GB); the mapping\n"
+                  "window (DMM) imposes no limit — only single-object size is capped.\n",
+                  free_gb);
+    });
+  }
+  return 0;
+}

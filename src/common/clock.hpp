@@ -1,0 +1,46 @@
+// Timing helpers. All modeled-time bookkeeping in LOTS is in integer
+// microseconds; wall-clock measurement uses steady_clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace lots {
+
+/// Monotonic microseconds since an arbitrary epoch.
+inline uint64_t now_us() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+/// Busy-sleep for short intervals, OS sleep for long ones. Used by the
+/// cost models to impose modeled network/disk time on the calling thread
+/// without the multi-millisecond jitter of sleep_for at fine grain.
+inline void precise_delay_us(double us) {
+  if (us <= 0) return;
+  const uint64_t start = now_us();
+  const auto target = static_cast<uint64_t>(us);
+  if (target > 500) {
+    std::this_thread::sleep_for(std::chrono::microseconds(target - 200));
+  }
+  while (now_us() - start < target) {
+    // spin remainder
+  }
+}
+
+/// RAII stopwatch adding elapsed microseconds to a sink on destruction.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(uint64_t& sink) : sink_(sink), start_(now_us()) {}
+  ~ScopedTimerUs() { sink_ += now_us() - start_; }
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  uint64_t& sink_;
+  uint64_t start_;
+};
+
+}  // namespace lots

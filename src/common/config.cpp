@@ -1,0 +1,28 @@
+#include "common/config.hpp"
+
+#include "common/error.hpp"
+
+namespace lots {
+
+void Config::validate() const {
+  if (nprocs < 1 || nprocs > 256) {
+    throw UsageError("Config.nprocs must be in [1,256] (paper supports up to 256)");
+  }
+  if (page_bytes == 0 || (page_bytes & (page_bytes - 1)) != 0) {
+    throw UsageError("Config.page_bytes must be a power of two");
+  }
+  if (dmm_bytes < 4 * page_bytes) {
+    throw UsageError("Config.dmm_bytes too small: need at least four pages");
+  }
+  if (dmm_bytes % page_bytes != 0) {
+    throw UsageError("Config.dmm_bytes must be page aligned");
+  }
+  if (jia_heap_bytes % page_bytes != 0) {
+    throw UsageError("Config.jia_heap_bytes must be page aligned");
+  }
+  if (net.time_scale < 0 || disk.time_scale < 0) {
+    throw UsageError("time_scale knobs must be non-negative");
+  }
+}
+
+}  // namespace lots

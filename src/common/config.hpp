@@ -1,0 +1,108 @@
+// Cluster-wide configuration for a LOTS (or JIAJIA-baseline) run.
+//
+// One Config describes the whole simulated cluster: node count, the
+// process-space partition sizes of Fig. 3 in the paper, protocol mode
+// switches used by the ablation benches, and the calibrated network /
+// disk models used to convert protocol traffic into modeled time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lots {
+
+/// Coherence protocol selection (paper §3.4). `kMixed` is the paper's
+/// contribution: homeless write-update under locks, migrating-home
+/// write-invalidate at barriers. The pure modes exist for the ablation
+/// bench `abl_protocol`.
+enum class ProtocolMode : uint8_t {
+  kMixed = 0,           ///< paper default
+  kWriteUpdateOnly,     ///< homeless write-update at locks AND barriers
+  kWriteInvalidateOnly, ///< migrating-home write-invalidate everywhere
+  /// Paper §5 future work, implemented here: the mixed protocol plus
+  /// (a) home-migration damping — the barrier master tracks each
+  /// object's recent writers and stops migrating homes that ping-pong
+  /// between two nodes (the RX pathology), and (b) dense diff encoding —
+  /// contiguous diff runs are shipped as raw value ranges (4 B/word)
+  /// instead of (index,value) pairs (8 B/word).
+  kAdaptive,
+};
+
+/// Diff transmission strategy (paper §3.5).
+enum class DiffMode : uint8_t {
+  kPerWordTimestamp = 0, ///< paper's fix: on-demand diff vs requester time
+  kAccumulatedRecords,   ///< TreadMarks-style chained diffs (accumulates)
+};
+
+/// Network cost model, calibrated to the paper's testbed (100base-T
+/// switched Ethernet). Modeled time per message = `latency_us` +
+/// bytes / `bandwidth_MBps`. `time_scale` lets benches run the model at a
+/// fraction of real time while keeping relative shapes intact; scale 0
+/// disables delays entirely (unit tests).
+struct NetModel {
+  double latency_us = 85.0;      ///< per-message one-way latency
+  double bandwidth_MBps = 11.0;  ///< ~100 Mbit/s effective
+  double time_scale = 0.0;       ///< 0 = no imposed delay (tests)
+  /// Modeled cost in microseconds of putting `bytes` on the wire.
+  [[nodiscard]] double cost_us(size_t bytes) const {
+    return latency_us + static_cast<double>(bytes) / bandwidth_MBps;
+  }
+};
+
+/// Disk cost model for the Table 1 platform rows. Time for an I/O of
+/// `bytes` = `seek_us` + bytes / `throughput_MBps`.
+struct DiskModel {
+  double seek_us = 0.0;
+  double throughput_MBps = 0.0;  ///< 0 = unmodeled (real disk speed only)
+  double time_scale = 0.0;       ///< 0 = no imposed delay
+  [[nodiscard]] double cost_us(size_t bytes) const {
+    if (throughput_MBps <= 0.0) return 0.0;
+    return seek_us + static_cast<double>(bytes) / throughput_MBps;
+  }
+};
+
+/// Whole-cluster configuration. Defaults give a small, fast in-process
+/// cluster suitable for unit tests; benches override the knobs they sweep.
+struct Config {
+  int nprocs = 4;  ///< paper supports up to 256 (§5); tested to 16 here
+
+  // -- Fig. 3 process-space partition ------------------------------------
+  /// Size of the DMM area (and therefore also of the twin and control
+  /// areas, which mirror it at +S and +2S). Paper: 512 MB on 32-bit.
+  size_t dmm_bytes = 16u << 20;
+  /// VM page size used for small-object packing and the JIAJIA baseline.
+  size_t page_bytes = 4096;
+
+  // -- Large-object-space support (the headline feature) -----------------
+  /// When false the runtime behaves as "LOTS-x" (§4.1/4.2): every object
+  /// is eagerly and permanently mapped, no pinning, no disk swapping.
+  bool large_object_space = true;
+  /// Directory for per-node disk stores; empty = a fresh temp dir.
+  std::string disk_dir;
+  /// Local disk budget for swapped objects (0 = unlimited). With
+  /// remote_swap enabled, overflow spills to a peer's disk instead of
+  /// failing — the paper's §5 future-work item ("swapping can also be
+  /// done not only to and from local hard disks, but remote ones").
+  size_t disk_capacity_bytes = 0;
+  bool remote_swap = false;
+
+  // -- Protocol knobs -----------------------------------------------------
+  ProtocolMode protocol = ProtocolMode::kMixed;
+  DiffMode diff_mode = DiffMode::kPerWordTimestamp;
+
+  // -- Cost models ---------------------------------------------------------
+  NetModel net;
+  DiskModel disk;
+
+  // -- JIAJIA baseline -----------------------------------------------------
+  /// Shared heap size for the page-based baseline (must hold the app's
+  /// working set: the baseline cannot exceed the process space — that is
+  /// the paper's point).
+  size_t jia_heap_bytes = 32u << 20;
+
+  /// Validate invariants; throws UsageError on nonsense combinations.
+  void validate() const;
+};
+
+}  // namespace lots

@@ -1,0 +1,41 @@
+// Error handling primitives shared by every LOTS module.
+//
+// The runtime distinguishes programming errors (assertion-style, fatal)
+// from environmental failures (I/O, sockets) which are reported as
+// exceptions carrying enough context to diagnose a cluster-wide run.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace lots {
+
+/// Exception thrown for recoverable environmental failures (disk, network).
+class SystemError : public std::runtime_error {
+ public:
+  explicit SystemError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Exception thrown when the caller violates an API contract.
+class UsageError : public std::logic_error {
+ public:
+  explicit UsageError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void fatal(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "LOTS FATAL %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace lots
+
+/// Internal invariant check: enabled in all build types because DSM
+/// protocol bugs silently corrupt application data otherwise.
+#define LOTS_CHECK(cond, msg)                          \
+  do {                                                 \
+    if (!(cond)) ::lots::fatal(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define LOTS_CHECK_EQ(a, b, msg) LOTS_CHECK((a) == (b), (msg))

@@ -1,0 +1,67 @@
+#include "common/stats.hpp"
+
+namespace lots {
+namespace {
+
+template <typename Fn>
+void for_each_counter(NodeStats& s, Fn&& fn) {
+  fn(s.msgs_sent);
+  fn(s.bytes_sent);
+  fn(s.msgs_recv);
+  fn(s.bytes_recv);
+  fn(s.fragments_sent);
+  fn(s.diffs_created);
+  fn(s.diff_words_sent);
+  fn(s.diff_words_redundant);
+  fn(s.object_fetches);
+  fn(s.page_fetches);
+  fn(s.invalidations);
+  fn(s.home_migrations);
+  fn(s.lock_acquires);
+  fn(s.barriers);
+  fn(s.access_checks);
+  fn(s.slow_path_checks);
+  fn(s.swap_ins);
+  fn(s.swap_outs);
+  fn(s.swap_bytes_in);
+  fn(s.swap_bytes_out);
+  fn(s.evictions);
+  fn(s.remote_swap_puts);
+  fn(s.remote_swap_gets);
+  fn(s.net_wait_us);
+  fn(s.disk_wait_us);
+}
+
+}  // namespace
+
+void NodeStats::reset() {
+  for_each_counter(*this, [](std::atomic<uint64_t>& c) { c.store(0, std::memory_order_relaxed); });
+}
+
+void NodeStats::accumulate(const NodeStats& other) {
+  auto& o = const_cast<NodeStats&>(other);
+  auto* dst = this;
+  // Walk both structs in lockstep by collecting pointers.
+  std::atomic<uint64_t>* mine[32];
+  std::atomic<uint64_t>* theirs[32];
+  int n = 0, m = 0;
+  for_each_counter(*dst, [&](std::atomic<uint64_t>& c) { mine[n++] = &c; });
+  for_each_counter(o, [&](std::atomic<uint64_t>& c) { theirs[m++] = &c; });
+  for (int i = 0; i < n; ++i) {
+    mine[i]->fetch_add(theirs[i]->load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
+}
+
+void NodeStats::print(std::ostream& os, const std::string& label) const {
+  os << "[" << label << "]"
+     << " msgs=" << msgs_sent.load() << " bytes=" << bytes_sent.load()
+     << " fetches=" << object_fetches.load() + page_fetches.load()
+     << " diffs=" << diffs_created.load() << " diff_words=" << diff_words_sent.load()
+     << " redundant_words=" << diff_words_redundant.load()
+     << " inval=" << invalidations.load() << " homemig=" << home_migrations.load()
+     << " checks=" << access_checks.load() << " swaps(in/out)=" << swap_ins.load() << "/"
+     << swap_outs.load() << " net_wait_us=" << net_wait_us.load()
+     << " disk_wait_us=" << disk_wait_us.load() << "\n";
+}
+
+}  // namespace lots

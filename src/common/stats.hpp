@@ -1,0 +1,57 @@
+// Per-node statistics used by tests (protocol assertions) and by the
+// benchmark harness (traffic -> modeled time). Counters are plain
+// uint64_t owned by a single node; aggregation across nodes happens in
+// the harness after the run, so no atomics are needed on the hot path
+// except the few counters the service thread shares with the app thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace lots {
+
+/// Statistics for one DSM node. The app thread and the service thread of
+/// the same node both increment these, hence relaxed atomics.
+struct NodeStats {
+  // network
+  std::atomic<uint64_t> msgs_sent{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> msgs_recv{0};
+  std::atomic<uint64_t> bytes_recv{0};
+  std::atomic<uint64_t> fragments_sent{0};
+
+  // coherence
+  std::atomic<uint64_t> diffs_created{0};
+  std::atomic<uint64_t> diff_words_sent{0};
+  std::atomic<uint64_t> diff_words_redundant{0};  ///< accumulation waste
+  std::atomic<uint64_t> object_fetches{0};
+  std::atomic<uint64_t> page_fetches{0};
+  std::atomic<uint64_t> invalidations{0};
+  std::atomic<uint64_t> home_migrations{0};
+  std::atomic<uint64_t> lock_acquires{0};
+  std::atomic<uint64_t> barriers{0};
+
+  // large object space machinery
+  std::atomic<uint64_t> access_checks{0};
+  std::atomic<uint64_t> slow_path_checks{0};
+  std::atomic<uint64_t> swap_ins{0};
+  std::atomic<uint64_t> swap_outs{0};
+  std::atomic<uint64_t> swap_bytes_in{0};
+  std::atomic<uint64_t> swap_bytes_out{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> remote_swap_puts{0};  ///< §5 remote swapping
+  std::atomic<uint64_t> remote_swap_gets{0};
+
+  // modeled time (microseconds), accumulated from the cost models
+  std::atomic<uint64_t> net_wait_us{0};
+  std::atomic<uint64_t> disk_wait_us{0};
+
+  void reset();
+  /// Adds every counter of `other` into this (harness aggregation).
+  void accumulate(const NodeStats& other);
+  void print(std::ostream& os, const std::string& label) const;
+};
+
+}  // namespace lots

@@ -1,0 +1,29 @@
+#include "common/tempdir.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace fs = std::filesystem;
+
+namespace lots {
+
+TempDir::TempDir() {
+  const char* base = std::getenv("TMPDIR");
+  fs::path dir = base ? base : "/tmp";
+  std::string tmpl = (dir / "lots-XXXXXX").string();
+  if (!mkdtemp(tmpl.data())) {
+    throw SystemError("mkdtemp failed for " + tmpl);
+  }
+  path_ = tmpl;
+}
+
+TempDir::~TempDir() { remove_tree(path_); }
+
+void remove_tree(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);  // best effort: ignore errors in destructor path
+}
+
+}  // namespace lots

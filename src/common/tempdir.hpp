@@ -1,0 +1,27 @@
+// RAII temporary directory used by disk-store tests and default runtime
+// configurations that do not pin a disk directory.
+#pragma once
+
+#include <string>
+
+namespace lots {
+
+class TempDir {
+ public:
+  /// Creates a unique directory under $TMPDIR (or /tmp).
+  TempDir();
+  /// Recursively removes the directory.
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Recursively removes a directory tree (best effort).
+void remove_tree(const std::string& path);
+
+}  // namespace lots

@@ -1,0 +1,46 @@
+// Small thread-coordination helpers for the in-process cluster harness.
+// These synchronize *harness* threads (spawn/join, test rendezvous); DSM
+// synchronization visible to applications goes through the protocol
+// layer, never through these.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lots {
+
+/// Reusable counting barrier for N harness threads.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock lk(mu_);
+    const uint64_t gen = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// Runs fn(rank) on `n` threads and joins them all; rethrows the first
+/// exception raised by any worker. This is the SPMD launcher used by the
+/// runtimes' spawn() entry points.
+void run_spmd(int n, const std::function<void(int)>& fn);
+
+}  // namespace lots

@@ -1,0 +1,43 @@
+// The minimal user-facing function set (paper §5: "Only a minimal set of
+// functions, such as memory allocation function, locks and barriers are
+// exported to users").
+//
+// Usage inside Runtime::run(fn):
+//   lots::Pointer<int> a;      // declare a shared object
+//   a.alloc(100);              // collective allocation
+//   lots::acquire(0);          // scope-consistency lock
+//   a[5] = 1;
+//   lots::release(0);
+//   lots::barrier();           // migrating-home write-invalidate point
+//   lots::run_barrier();       // event-only rendezvous (no memory effect)
+#pragma once
+
+#include "core/pointer.hpp"
+#include "core/runtime.hpp"
+
+namespace lots {
+
+using core::ObjectId;
+using core::Pointer;
+using core::Runtime;
+
+/// Acquire lock `id` (Scope Consistency: all updates made in critical
+/// sections previously guarded by this lock become visible).
+inline void acquire(uint32_t lock_id) { core::Runtime::self().acquire(lock_id); }
+
+/// Release lock `id`, publishing this critical section's updates into
+/// the lock's scope.
+inline void release(uint32_t lock_id) { core::Runtime::self().release(lock_id); }
+
+/// Global barrier with memory synchronization (migrating-home
+/// write-invalidate coherence).
+inline void barrier() { core::Runtime::self().barrier(); }
+
+/// Event-only barrier: no update propagation or invalidation (§3.6).
+inline void run_barrier() { core::Runtime::self().run_barrier(); }
+
+/// Rank of the calling node and the cluster size.
+inline int my_rank() { return core::Runtime::self().rank(); }
+inline int num_procs() { return core::Runtime::self().nprocs(); }
+
+}  // namespace lots

@@ -1,0 +1,272 @@
+// Barrier synchronization: migrating-home write-invalidate (paper §3.4,
+// Fig. 6), orchestrated by a two-phase protocol at the master (node 0).
+//
+// Phase 1 — every node flushes its interval twins into diff records and
+// sends the *ids* of the objects it modified (metadata only) to the
+// master. When all nodes have arrived the master computes the plan:
+//   * single-writer object  -> home migrates to the writer; no object
+//     data moves at all ("this information can be piggybacked on the
+//     barrier exit message");
+//   * multi-writer object   -> home stays put; every non-home writer
+//     sends its merged diff to the home.
+// Phase 2 — writers deliver diffs (acked), then report done; the master
+// releases everyone. On exit every node invalidates its copies of
+// modified objects it is not the new home of, frees the associated
+// bookkeeping, and advances to the new global epoch.
+//
+// The kWriteUpdateOnly ablation replaces phase 2 with an all-to-all
+// update broadcast and skips invalidation — the "very heavy all-to-all
+// traffic" the paper argues against.
+#include <map>
+
+#include "core/runtime.hpp"
+
+namespace lots::core {
+
+void Node::barrier() {
+  // ---- flush local writes of the ending interval ----
+  std::unique_lock lk(mu_);
+  flush_interval(epoch_ + 1);
+  epoch_ += 1;
+  std::vector<ObjectId> mods;
+  dir_.for_each([&](ObjectMeta& m) {
+    if (!m.local_writes.empty()) mods.push_back(m.id);
+  });
+  const uint32_t my_epoch = epoch_;
+  lk.unlock();
+
+  // ---- phase 1: enter with the write summary, receive the plan ----
+  net::Message enter;
+  enter.type = net::MsgType::kBarrierEnter;
+  enter.dst = 0;
+  {
+    net::Writer w(enter.payload);
+    w.u32(my_epoch);
+    w.u32(static_cast<uint32_t>(mods.size()));
+    for (ObjectId id : mods) w.u32(id);
+  }
+  net::Message plan_msg = ep_.request(std::move(enter));
+  net::Reader pr(plan_msg.payload);
+  const uint32_t new_epoch = pr.u32();
+  const uint32_t nentries = pr.u32();
+  std::vector<BarrierPlanEntry> plan(nentries);
+  for (auto& e : plan) {
+    e.object = pr.u32();
+    e.new_home = pr.i32();
+    e.multi_writer = pr.u8();
+  }
+
+  // ---- phase 2: deliver diffs ----
+  const bool write_update_everywhere = rt_.config().protocol == ProtocolMode::kWriteUpdateOnly;
+  std::vector<net::Message> outs;
+  lk.lock();
+  if (write_update_everywhere) {
+    // Ablation: merged updates broadcast to every other node.
+    std::vector<DiffRecord> merged;
+    for (ObjectId id : mods) {
+      ObjectMeta& m = dir_.get(id);
+      DiffRecord rec = merge_records(m.local_writes, /*since=*/0);
+      if (!rec.word_idx.empty()) merged.push_back(std::move(rec));
+    }
+    for (int peer = 0; peer < nprocs(); ++peer) {
+      if (peer == rank_ || merged.empty()) continue;
+      net::Message msg;
+      msg.type = net::MsgType::kDiffToHome;
+      msg.dst = peer;
+      net::Writer w(msg.payload);
+      w.u32(static_cast<uint32_t>(merged.size()));
+      for (const auto& rec : merged) {
+        encode_record(w, rec, rt_.config().protocol == ProtocolMode::kAdaptive);
+        stats_.diff_words_sent.fetch_add(rec.words(), std::memory_order_relaxed);
+      }
+      outs.push_back(std::move(msg));
+    }
+  } else {
+    // Mixed / write-invalidate: diffs flow to the (possibly migrated)
+    // home, and only for multi-writer objects — a single writer becomes
+    // the home, moving zero object data.
+    std::map<int32_t, std::vector<DiffRecord>> by_home;
+    for (const auto& e : plan) {
+      ObjectMeta* m = dir_.find(e.object);
+      if (!m || m->local_writes.empty()) continue;  // not my write
+      if (e.new_home == rank_) continue;            // I hold the newest copy
+      DiffRecord rec = merge_records(m->local_writes, /*since=*/0);
+      if (!rec.word_idx.empty()) by_home[e.new_home].push_back(std::move(rec));
+    }
+    for (auto& [home, group] : by_home) {
+      net::Message msg;
+      msg.type = net::MsgType::kDiffToHome;
+      msg.dst = home;
+      net::Writer w(msg.payload);
+      w.u32(static_cast<uint32_t>(group.size()));
+      for (const auto& rec : group) {
+        encode_record(w, rec, rt_.config().protocol == ProtocolMode::kAdaptive);
+        stats_.diff_words_sent.fetch_add(rec.words(), std::memory_order_relaxed);
+      }
+      outs.push_back(std::move(msg));
+    }
+  }
+  lk.unlock();
+  for (auto& msg : outs) ep_.request(std::move(msg));  // acked delivery
+
+  // ---- apply the plan BEFORE reporting done ----
+  // Ordering argument: a node only issues post-barrier fetches after the
+  // master's exit; the master releases only after every node reported
+  // done; and done is sent only after the local plan (new homes +
+  // invalidations) took effect. Hence no fetch can ever reach a node
+  // still holding pre-barrier home/validity state — the invariant that
+  // the serving home always has a complete, current copy.
+  lk.lock();
+  apply_barrier_plan(plan, new_epoch);
+  lk.unlock();
+
+  // ---- phase 2 rendezvous: wait until everyone applied the plan ----
+  net::Message done;
+  done.type = net::MsgType::kBarrierDone;
+  done.dst = 0;
+  ep_.request(std::move(done));
+  stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Node::apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan, uint32_t new_epoch) {
+  const bool write_update_everywhere = rt_.config().protocol == ProtocolMode::kWriteUpdateOnly;
+  for (const auto& e : plan) {
+    ObjectMeta* m = dir_.find(e.object);
+    if (!m) continue;
+    if (write_update_everywhere) {
+      // Updates were broadcast; everyone stays valid, homes do not move.
+      m->local_writes.clear();
+      m->valid_epoch = new_epoch;
+      continue;
+    }
+    m->home = e.new_home;
+    if (e.new_home == rank_) {
+      m->share = ShareState::kValid;
+      m->valid_epoch = new_epoch;
+    } else {
+      if (m->share == ShareState::kValid) {
+        stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+      }
+      m->share = ShareState::kInvalid;
+      // The stale copy (and its word stamps) is retained as a diff base
+      // while it stays mapped; valid_epoch still names its global cut.
+      m->pending.clear();
+    }
+    m->local_writes.clear();
+  }
+  // The barrier reconciles everything: scope update chains reset.
+  for (auto& [lock_id, tok] : tokens_) {
+    (void)lock_id;
+    tok.chain.clear();
+  }
+  epoch_ = new_epoch;
+  last_barrier_epoch_ = new_epoch;
+}
+
+void Node::run_barrier() {
+  // Event-only synchronization (paper §3.6): no flush, no invalidation.
+  net::Message enter;
+  enter.type = net::MsgType::kRunBarrierEnter;
+  enter.dst = 0;
+  ep_.request(std::move(enter));
+}
+
+// --- master side (service thread of node 0) --------------------------------
+
+void Node::on_barrier_enter(net::Message&& m) {
+  net::Reader r(m.payload);
+  const uint32_t epoch = r.u32();
+  const uint32_t nmods = r.u32();
+  std::unique_lock lk(mu_);
+  master_.max_epoch = std::max(master_.max_epoch, epoch);
+  for (uint32_t i = 0; i < nmods; ++i) {
+    const ObjectId id = r.u32();
+    master_.writers[id].push_back(m.src);
+    if (!master_.old_homes.count(id)) {
+      ObjectMeta* obj = dir_.find(id);
+      master_.old_homes[id] = obj ? obj->home : 0;
+    }
+  }
+  master_.enter_reqs.push_back(std::move(m));
+  if (++master_.arrived < static_cast<uint32_t>(nprocs())) return;
+
+  // Everyone is here: compute and distribute the plan.
+  const uint32_t new_epoch = master_.max_epoch + 1;
+  std::vector<uint8_t> plan_payload;
+  net::Writer w(plan_payload);
+  w.u32(new_epoch);
+  w.u32(static_cast<uint32_t>(master_.writers.size()));
+  const bool adaptive = rt_.config().protocol == ProtocolMode::kAdaptive;
+  for (const auto& [id, writers] : master_.writers) {
+    const bool multi = writers.size() > 1;
+    const int32_t old_home = master_.old_homes[id];
+    // Fig. 6: a lone writer inherits the home (no data transfer); with
+    // several writers the existing home arbitrates the merge.
+    int32_t new_home = multi ? old_home : writers.front();
+    if (adaptive && !multi) {
+      // §5 adaptation — ping-pong damping: when the lone writer
+      // alternates (w, x, w, ...), migrating the home bounces it right
+      // back next barrier ("the bucket will be requested next by the
+      // process that originally owns it"), so pin the home instead; the
+      // writer then pushes a diff like any multi-writer would.
+      auto [it, fresh] = master_.writer_hist.try_emplace(id, std::make_pair(-1, -1));
+      auto& hist = it->second;  // (previous writer, the one before that)
+      const int32_t cur = writers.front();
+      if (!fresh && hist.first != cur && hist.second == cur) {
+        new_home = old_home;
+      }
+      hist = {cur, hist.first};
+    }
+    if (new_home != old_home) {
+      stats_.home_migrations.fetch_add(1, std::memory_order_relaxed);
+    }
+    w.u32(id);
+    w.i32(new_home);
+    w.u8(multi ? 1 : 0);
+  }
+  std::vector<net::Message> reqs = std::move(master_.enter_reqs);
+  master_.enter_reqs.clear();
+  master_.arrived = 0;
+  master_.max_epoch = 0;
+  master_.writers.clear();
+  master_.old_homes.clear();
+  lk.unlock();
+  for (auto& req : reqs) {
+    net::Message resp;
+    resp.type = net::MsgType::kBarrierPlan;
+    resp.payload = plan_payload;
+    ep_.reply(req, std::move(resp));
+  }
+}
+
+void Node::on_barrier_done(net::Message&& m) {
+  std::unique_lock lk(mu_);
+  master_.done_reqs.push_back(std::move(m));
+  if (++master_.done < static_cast<uint32_t>(nprocs())) return;
+  std::vector<net::Message> reqs = std::move(master_.done_reqs);
+  master_.done_reqs.clear();
+  master_.done = 0;
+  lk.unlock();
+  for (auto& req : reqs) {
+    net::Message resp;
+    resp.type = net::MsgType::kBarrierExit;
+    ep_.reply(req, std::move(resp));
+  }
+}
+
+void Node::on_run_barrier_enter(net::Message&& m) {
+  std::unique_lock lk(mu_);
+  master_.run_reqs.push_back(std::move(m));
+  if (++master_.run_arrived < static_cast<uint32_t>(nprocs())) return;
+  std::vector<net::Message> reqs = std::move(master_.run_reqs);
+  master_.run_reqs.clear();
+  master_.run_arrived = 0;
+  lk.unlock();
+  for (auto& req : reqs) {
+    net::Message resp;
+    resp.type = net::MsgType::kRunBarrierExit;
+    ep_.reply(req, std::move(resp));
+  }
+}
+
+}  // namespace lots::core

@@ -1,0 +1,202 @@
+#include "core/diff.hpp"
+
+#include <cstring>
+#include <map>
+
+namespace lots::core {
+namespace {
+
+uint32_t load_word(const uint8_t* p, size_t word) {
+  uint32_t v;
+  std::memcpy(&v, p + word * 4, 4);
+  return v;
+}
+
+void store_word(uint8_t* p, size_t word, uint32_t v) { std::memcpy(p + word * 4, &v, 4); }
+
+}  // namespace
+
+DiffRecord compute_twin_diff(ObjectId id, uint32_t epoch, std::span<const uint8_t> data,
+                             std::span<const uint8_t> twin) {
+  LOTS_CHECK_EQ(data.size(), twin.size(), "twin/data size mismatch");
+  DiffRecord rec;
+  rec.object = id;
+  rec.epoch = epoch;
+  const size_t words = (data.size() + 3) / 4;
+  for (size_t wi = 0; wi < words; ++wi) {
+    const uint32_t dv = load_word(data.data(), wi);
+    if (dv != load_word(twin.data(), wi)) {
+      rec.word_idx.push_back(static_cast<uint32_t>(wi));
+      rec.word_val.push_back(dv);
+    }
+  }
+  return rec;
+}
+
+size_t apply_record(const DiffRecord& rec, uint8_t* data, uint32_t* word_ts) {
+  size_t applied = 0;
+  for (size_t i = 0; i < rec.word_idx.size(); ++i) {
+    const uint32_t wi = rec.word_idx[i];
+    const uint32_t wts = rec.ts_of(i);
+    if (wts > word_ts[wi]) {
+      store_word(data, wi, rec.word_val[i]);
+      word_ts[wi] = wts;
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+DiffRecord merge_records(std::span<const DiffRecord> records, uint32_t since_epoch,
+                         uint64_t* redundant_words) {
+  // Last value per word over records newer than since_epoch. The merged
+  // record keeps each word's OWN stamp (§3.5 per-field timestamps): a
+  // uniform stamp would inflate old values of slowly-changing words and
+  // bury newer writes from other nodes at apply time.
+  std::map<uint32_t, std::pair<uint32_t, uint32_t>> latest;  // idx -> (val, word ts)
+  uint64_t total_entries = 0;
+  uint32_t top_epoch = since_epoch;
+  ObjectId obj = kNullObject;
+  for (const DiffRecord& rec : records) {
+    if (rec.epoch <= since_epoch) continue;
+    obj = rec.object;
+    top_epoch = std::max(top_epoch, rec.epoch);
+    total_entries += rec.word_idx.size();
+    for (size_t i = 0; i < rec.word_idx.size(); ++i) {
+      auto& slot = latest[rec.word_idx[i]];
+      const uint32_t wts = rec.ts_of(i);
+      if (slot.second <= wts) slot = {rec.word_val[i], wts};
+    }
+  }
+  DiffRecord merged;
+  merged.object = obj;
+  merged.epoch = top_epoch;
+  merged.word_idx.reserve(latest.size());
+  merged.word_val.reserve(latest.size());
+  merged.word_ts.reserve(latest.size());
+  bool uniform = true;
+  for (const auto& [idx, ve] : latest) {
+    merged.word_idx.push_back(idx);
+    merged.word_val.push_back(ve.first);
+    merged.word_ts.push_back(ve.second);
+    uniform = uniform && ve.second == top_epoch;
+  }
+  if (uniform) merged.word_ts.clear();  // compact wire form
+  if (redundant_words) *redundant_words += total_entries - latest.size();
+  return merged;
+}
+
+void diff_since(std::span<const uint8_t> data, const uint32_t* word_ts, uint32_t since_epoch,
+                std::vector<uint32_t>& out_idx, std::vector<uint32_t>& out_val,
+                std::vector<uint32_t>& out_ts) {
+  const size_t words = (data.size() + 3) / 4;
+  for (size_t wi = 0; wi < words; ++wi) {
+    if (word_ts[wi] > since_epoch) {
+      out_idx.push_back(static_cast<uint32_t>(wi));
+      out_val.push_back(load_word(data.data(), wi));
+      out_ts.push_back(word_ts[wi]);
+    }
+  }
+}
+
+bool is_contiguous_run(const DiffRecord& rec) {
+  for (size_t i = 1; i < rec.word_idx.size(); ++i) {
+    if (rec.word_idx[i] != rec.word_idx[i - 1] + 1) return false;
+  }
+  return !rec.word_idx.empty();
+}
+
+namespace {
+constexpr uint8_t kSparse = 0;
+constexpr uint8_t kDense = 1;
+constexpr uint8_t kSparsePerWordTs = 2;
+}  // namespace
+
+void encode_record(net::Writer& w, const DiffRecord& rec, bool allow_dense) {
+  w.u32(rec.object);
+  w.u32(rec.epoch);
+  if (!rec.word_ts.empty()) {
+    w.u8(kSparsePerWordTs);
+    w.u32(static_cast<uint32_t>(rec.word_idx.size()));
+    w.raw(rec.word_idx.data(), rec.word_idx.size() * 4);
+    w.raw(rec.word_val.data(), rec.word_val.size() * 4);
+    w.raw(rec.word_ts.data(), rec.word_ts.size() * 4);
+    return;
+  }
+  if (allow_dense && rec.word_idx.size() >= 4 && is_contiguous_run(rec)) {
+    w.u8(kDense);
+    w.u32(rec.word_idx.front());
+    w.u32(static_cast<uint32_t>(rec.word_idx.size()));
+    w.raw(rec.word_val.data(), rec.word_val.size() * 4);
+    return;
+  }
+  w.u8(kSparse);
+  w.u32(static_cast<uint32_t>(rec.word_idx.size()));
+  w.raw(rec.word_idx.data(), rec.word_idx.size() * 4);
+  w.raw(rec.word_val.data(), rec.word_val.size() * 4);
+}
+
+DiffRecord decode_record(net::Reader& r) {
+  DiffRecord rec;
+  rec.object = r.u32();
+  rec.epoch = r.u32();
+  const uint8_t form = r.u8();
+  if (form == kDense) {
+    const uint32_t start = r.u32();
+    const uint32_t n = r.u32();
+    rec.word_idx.resize(n);
+    rec.word_val.resize(n);
+    for (uint32_t i = 0; i < n; ++i) rec.word_idx[i] = start + i;
+    if (n) r.raw(rec.word_val.data(), n * 4);
+    return rec;
+  }
+  const uint32_t n = r.u32();
+  rec.word_idx.resize(n);
+  rec.word_val.resize(n);
+  if (n) {
+    r.raw(rec.word_idx.data(), n * 4);
+    r.raw(rec.word_val.data(), n * 4);
+  }
+  if (form == kSparsePerWordTs) {
+    rec.word_ts.resize(n);
+    if (n) r.raw(rec.word_ts.data(), n * 4);
+  }
+  return rec;
+}
+
+void encode_word_diff(net::Writer& w, std::span<const uint32_t> idx,
+                      std::span<const uint32_t> val, std::span<const uint32_t> ts) {
+  LOTS_CHECK(idx.size() == val.size() && idx.size() == ts.size(), "word diff arity mismatch");
+  w.u32(static_cast<uint32_t>(idx.size()));
+  w.raw(idx.data(), idx.size() * 4);
+  w.raw(val.data(), val.size() * 4);
+  w.raw(ts.data(), ts.size() * 4);
+}
+
+void decode_word_diff(net::Reader& r, std::vector<uint32_t>& idx, std::vector<uint32_t>& val,
+                      std::vector<uint32_t>& ts) {
+  const uint32_t n = r.u32();
+  idx.resize(n);
+  val.resize(n);
+  ts.resize(n);
+  if (n) {
+    r.raw(idx.data(), n * 4);
+    r.raw(val.data(), n * 4);
+    r.raw(ts.data(), n * 4);
+  }
+}
+
+size_t apply_word_diff(std::span<const uint32_t> idx, std::span<const uint32_t> val,
+                       std::span<const uint32_t> ts, uint8_t* data, uint32_t* word_ts) {
+  size_t applied = 0;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    if (ts[i] > word_ts[idx[i]]) {
+      store_word(data, idx[i], val[i]);
+      word_ts[idx[i]] = ts[i];
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+}  // namespace lots::core

@@ -1,0 +1,283 @@
+// Lock synchronization: homeless write-update under Scope Consistency
+// (paper §3.4).
+//
+// Each lock has a static *manager* (lock_id % nprocs) that serializes
+// acquisitions, and a *token* that parks at the last releaser. The token
+// carries the lock's scope update chain — the DiffRecords produced in
+// critical sections guarded by this lock since the last barrier. A grant
+// moves the token (and chain) directly from the previous holder to the
+// next acquirer, which applies the updates immediately: write-update,
+// with no home involved (homeless).
+//
+// Chain representation follows Config::diff_mode:
+//  * kPerWordTimestamp — the chain is compacted at every release to one
+//    last-value-per-word record per object (paper §3.5: outdated data is
+//    never re-sent).
+//  * kAccumulatedRecords — every interval's record is retained and
+//    re-transmitted with each grant: the TreadMarks-style *diff
+//    accumulation* the paper eliminates, kept for the ablation bench.
+//
+// In the kWriteInvalidateOnly ablation mode a release instead pushes the
+// merged updates to each object's home and the chain carries only
+// invalidation notices (empty records); acquirers invalidate and refetch
+// on access.
+#include <map>
+
+#include "core/runtime.hpp"
+
+namespace lots::core {
+namespace {
+
+/// Groups records by object and merges each group (last value per word).
+std::vector<DiffRecord> compact_chain(std::vector<DiffRecord>& chain) {
+  std::map<ObjectId, std::vector<DiffRecord>> by_obj;
+  for (auto& rec : chain) by_obj[rec.object].push_back(std::move(rec));
+  std::vector<DiffRecord> out;
+  out.reserve(by_obj.size());
+  for (auto& [id, recs] : by_obj) {
+    DiffRecord merged = merge_records(recs, /*since_epoch=*/0);
+    if (!merged.word_idx.empty()) out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace
+
+void Node::acquire(uint32_t lock_id) {
+  const int32_t manager = static_cast<int32_t>(lock_id % static_cast<uint32_t>(nprocs()));
+  uint32_t my_epoch;
+  {
+    std::unique_lock lk(mu_);
+    lock_waits_[lock_id] = LockWait{};
+    my_epoch = epoch_;
+  }
+  net::Message req;
+  req.type = net::MsgType::kLockAcquire;
+  req.dst = manager;
+  net::Writer w(req.payload);
+  w.u32(lock_id);
+  w.u32(my_epoch);
+  ep_.send(std::move(req));
+
+  std::unique_lock lk(mu_);
+  lock_cv_.wait(lk, [&] { return lock_waits_[lock_id].granted; });
+  net::Message grant = std::move(lock_waits_[lock_id].grant);
+  lock_waits_.erase(lock_id);
+
+  // Decode the token: {lock, holder_epoch, is_notice, nrecs, records}.
+  net::Reader r(grant.payload);
+  r.u32();  // lock id (already known)
+  const uint32_t holder_epoch = r.u32();
+  const bool is_notice = r.u8() != 0;
+  const uint32_t nrecs = r.u32();
+  LockToken tok;
+  tok.epoch = holder_epoch;
+  for (uint32_t i = 0; i < nrecs; ++i) {
+    DiffRecord rec = decode_record(r);
+    if (is_notice) {
+      // Write-invalidate ablation: drop our copy; the release already
+      // pushed the data to the object's home.
+      ObjectMeta* m = dir_.find(rec.object);
+      if (m && m->home != rank_ && m->share == ShareState::kValid) {
+        m->share = ShareState::kInvalid;
+        m->pending.clear();
+        stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+      }
+      tok.chain.push_back(std::move(rec));  // notices stay in the chain
+      continue;
+    }
+    // Write-update: apply immediately if mapped, else defer to map-in.
+    ObjectMeta* m = dir_.find(rec.object);
+    if (m) {
+      if (m->map == MapState::kMapped) {
+        apply_incoming(*m, rec);
+      } else {
+        m->pending.push_back(rec);
+      }
+    }
+    tok.chain.push_back(std::move(rec));  // the chain travels with the token
+  }
+  tokens_[lock_id] = std::move(tok);
+  epoch_ = std::max(epoch_, holder_epoch) + 1;
+  stats_.lock_acquires.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Node::release(uint32_t lock_id) {
+  const int32_t manager = static_cast<int32_t>(lock_id % static_cast<uint32_t>(nprocs()));
+  std::unique_lock lk(mu_);
+  LOTS_CHECK(tokens_.count(lock_id), "release of a lock this node does not hold");
+  std::vector<DiffRecord> recs = flush_interval(epoch_ + 1);
+  epoch_ += 1;
+  LockToken& tok = tokens_[lock_id];
+  tok.epoch = epoch_;
+
+  if (rt_.config().protocol == ProtocolMode::kWriteInvalidateOnly) {
+    push_release_updates_home_based(tok, std::move(recs), lk);
+  } else {
+    for (auto& rec : recs) tok.chain.push_back(std::move(rec));
+    if (rt_.config().diff_mode == DiffMode::kPerWordTimestamp) {
+      // §3.5: keep only the latest value of every field.
+      tok.chain = compact_chain(tok.chain);
+    }
+  }
+
+  lk.unlock();
+  net::Message rel;
+  rel.type = net::MsgType::kLockRelease;
+  rel.dst = manager;
+  net::Writer w(rel.payload);
+  w.u32(lock_id);
+  ep_.send(std::move(rel));
+}
+
+/// Write-invalidate ablation: merged release updates go to each object's
+/// home (acked so a post-invalidation fetch cannot miss them); the token
+/// chain receives one empty "notice" record per modified object.
+void Node::push_release_updates_home_based(LockToken& tok, std::vector<DiffRecord>&& recs,
+                                           std::unique_lock<std::mutex>& lk) {
+  std::map<int32_t, std::vector<DiffRecord>> by_home;
+  std::vector<net::Message> outs;
+  for (auto& rec : recs) {
+    ObjectMeta& m = dir_.get(rec.object);
+    DiffRecord notice;
+    notice.object = rec.object;
+    notice.epoch = rec.epoch;
+    bool dup = false;
+    for (auto& existing : tok.chain) {
+      if (existing.object == rec.object) {
+        existing.epoch = rec.epoch;
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) tok.chain.push_back(std::move(notice));
+    if (m.home == rank_) {
+      m.valid_epoch = std::max(m.valid_epoch, rec.epoch);  // already applied in place
+    } else {
+      by_home[m.home].push_back(std::move(rec));
+    }
+  }
+  for (auto& [home, group] : by_home) {
+    net::Message msg;
+    msg.type = net::MsgType::kDiffToHome;
+    msg.dst = home;
+    net::Writer w(msg.payload);
+    w.u32(static_cast<uint32_t>(group.size()));
+    for (const auto& rec : group) {
+      encode_record(w, rec, rt_.config().protocol == ProtocolMode::kAdaptive);
+      stats_.diff_words_sent.fetch_add(rec.words(), std::memory_order_relaxed);
+    }
+    outs.push_back(std::move(msg));
+  }
+  lk.unlock();
+  for (auto& msg : outs) ep_.request(std::move(msg));  // acked
+  lk.lock();
+}
+
+// --- manager side (service thread) -----------------------------------------
+
+void Node::on_lock_acquire(net::Message&& m) {
+  net::Reader r(m.payload);
+  const uint32_t lock_id = r.u32();
+  const uint32_t acq_epoch = r.u32();
+  std::unique_lock lk(mu_);
+  ManagerState& s = managed_locks_[lock_id];
+  if (s.token_at < 0) {
+    s.token_at = rank_;  // token is born at the manager, chain empty
+    tokens_.emplace(lock_id, LockToken{});
+  }
+  if (s.busy) {
+    s.waiters.push_back(std::move(m));
+    return;
+  }
+  s.busy = true;
+  if (s.token_at == rank_) {
+    send_grant_locked(lock_id, m.src, acq_epoch);
+  } else {
+    net::Message fwd;
+    fwd.type = net::MsgType::kLockForward;
+    fwd.dst = s.token_at;
+    net::Writer w(fwd.payload);
+    w.u32(lock_id);
+    w.i32(m.src);
+    w.u32(acq_epoch);
+    lk.unlock();
+    ep_.send(std::move(fwd));
+  }
+}
+
+void Node::on_lock_release(net::Message&& m) {
+  net::Reader r(m.payload);
+  const uint32_t lock_id = r.u32();
+  std::unique_lock lk(mu_);
+  ManagerState& s = managed_locks_[lock_id];
+  s.token_at = m.src;
+  s.busy = false;
+  if (s.waiters.empty()) return;
+  net::Message next = std::move(s.waiters.front());
+  s.waiters.erase(s.waiters.begin());
+  s.busy = true;
+  net::Reader nr(next.payload);
+  const uint32_t nlock = nr.u32();
+  const uint32_t nepoch = nr.u32();
+  if (s.token_at == rank_) {
+    send_grant_locked(nlock, next.src, nepoch);
+    return;
+  }
+  net::Message fwd;
+  fwd.type = net::MsgType::kLockForward;
+  fwd.dst = s.token_at;
+  net::Writer w(fwd.payload);
+  w.u32(nlock);
+  w.i32(next.src);
+  w.u32(nepoch);
+  lk.unlock();
+  ep_.send(std::move(fwd));
+}
+
+// --- token holder side (service thread) ------------------------------------
+
+void Node::on_lock_forward(net::Message&& m) {
+  net::Reader r(m.payload);
+  const uint32_t lock_id = r.u32();
+  const int32_t acquirer = r.i32();
+  const uint32_t acq_epoch = r.u32();
+  std::unique_lock lk(mu_);
+  send_grant_locked(lock_id, acquirer, acq_epoch);
+}
+
+void Node::send_grant_locked(uint32_t lock_id, int32_t to, uint32_t /*acq_epoch*/) {
+  auto it = tokens_.find(lock_id);
+  LOTS_CHECK(it != tokens_.end(), "lock forward reached a node without the token");
+  LockToken tok = std::move(it->second);
+  tokens_.erase(it);
+
+  net::Message g;
+  g.type = net::MsgType::kLockGrant;
+  g.dst = to;
+  net::Writer w(g.payload);
+  w.u32(lock_id);
+  w.u32(tok.epoch);
+  w.u8(rt_.config().protocol == ProtocolMode::kWriteInvalidateOnly ? 1 : 0);
+  w.u32(static_cast<uint32_t>(tok.chain.size()));
+  for (const auto& rec : tok.chain) {
+    encode_record(w, rec, rt_.config().protocol == ProtocolMode::kAdaptive);
+    stats_.diff_words_sent.fetch_add(rec.words(), std::memory_order_relaxed);
+  }
+  ep_.send(std::move(g));
+}
+
+// --- acquirer side (service thread): park the grant for the app ------------
+
+void Node::on_lock_grant(net::Message&& m) {
+  net::Reader r(m.payload);
+  const uint32_t lock_id = r.u32();
+  std::unique_lock lk(mu_);
+  auto it = lock_waits_.find(lock_id);
+  LOTS_CHECK(it != lock_waits_.end(), "unsolicited lock grant");
+  it->second.grant = std::move(m);
+  it->second.granted = true;
+  lock_cv_.notify_all();
+}
+
+}  // namespace lots::core

@@ -1,0 +1,126 @@
+// Shared-object identity and per-node control information (paper §3.2).
+//
+// Declaring a shared object generates "a unique, known-to-all-machines
+// object ID ... the key to access all internal data structures for the
+// object". LOTS applications are SPMD: every node executes the same
+// declaration sequence, so a per-node counter yields identical IDs
+// everywhere without communication.
+//
+// ObjectMeta is the per-node control record ("only a trace of control
+// information for each object is needed to be resident in the virtual
+// address space"): share/mapping state, current home, DMM offset while
+// mapped, pinning timestamp, and the interval-local write records that
+// feed the coherence protocol.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lots::core {
+
+using ObjectId = uint32_t;
+constexpr ObjectId kNullObject = 0;
+
+/// Validity of this node's copy (paper: "if the local copy of the object
+/// is not clean, a valid copy will be brought in from a remote machine").
+enum class ShareState : uint8_t {
+  kValid = 0,  ///< copy is complete as of `valid_epoch`
+  kInvalid,    ///< write-invalidate hit it; must refetch from home
+};
+
+/// Whether the object data currently occupies the DMM area (paper: "if
+/// the object data is not mapped to the local virtual memory, it will be
+/// brought in from the local disk").
+enum class MapState : uint8_t {
+  kUnmapped = 0,
+  kMapped,
+};
+
+/// One interval's worth of local modifications to one object: the word
+/// indices changed and their values at flush time, stamped with the
+/// flushing epoch. These records travel inside lock grants (homeless
+/// write-update) and to the home at barriers (migrating-home
+/// write-invalidate); per-word timestamps let the receiver discard
+/// stale words (§3.5).
+struct DiffRecord {
+  ObjectId object = kNullObject;
+  uint32_t epoch = 0;  ///< flush epoch; per-word stamp when word_ts empty
+  std::vector<uint32_t> word_idx;
+  std::vector<uint32_t> word_val;
+  /// Optional per-word stamps (paper §3.5: "associating the lock and
+  /// timestamp information to each FIELD of the shared object").
+  /// Required whenever a record merges words flushed at different
+  /// epochs: a single object-level stamp would let an old value of one
+  /// word ride a newer word's epoch and bury genuinely newer writes.
+  std::vector<uint32_t> word_ts;
+
+  [[nodiscard]] size_t words() const { return word_idx.size(); }
+  [[nodiscard]] uint32_t ts_of(size_t i) const {
+    return word_ts.empty() ? epoch : word_ts[i];
+  }
+};
+
+struct ObjectMeta {
+  ObjectId id = kNullObject;
+  uint32_t size_bytes = 0;  ///< exact object size (word-aligned internally)
+  int32_t home = -1;        ///< migrates at barriers (mixed protocol)
+
+  ShareState share = ShareState::kValid;
+  MapState map = MapState::kUnmapped;
+  size_t dmm_offset = 0;    ///< valid while mapped
+  bool on_disk = false;     ///< a [data|timestamps] image exists locally
+  bool on_remote = false;   ///< image parked on a peer's disk (§5 remote swap)
+  bool twinned = false;     ///< twin holds the pre-interval image
+  uint64_t access_stamp = 0;  ///< pinning / LRU recency (paper §3.3)
+  uint32_t valid_epoch = 0;   ///< copy is complete up to this sync epoch
+
+  /// Local writes since the last barrier (pruned there), newest last.
+  std::vector<DiffRecord> local_writes;
+  /// Updates received while unmapped; applied on the next map-in.
+  std::vector<DiffRecord> pending;
+
+  [[nodiscard]] uint32_t words() const { return (size_bytes + 3) / 4; }
+};
+
+/// Per-node table of all declared objects. IDs start at 1 (0 = null).
+class ObjectDirectory {
+ public:
+  /// Registers the next object in program order (SPMD-deterministic).
+  ObjectMeta& create(uint32_t size_bytes, int32_t home) {
+    const ObjectId id = next_id_++;
+    ObjectMeta& m = objects_[id];
+    m.id = id;
+    m.size_bytes = size_bytes;
+    m.home = home;
+    return m;
+  }
+
+  [[nodiscard]] ObjectMeta& get(ObjectId id) {
+    auto it = objects_.find(id);
+    LOTS_CHECK(it != objects_.end(), "unknown object id " + std::to_string(id));
+    return it->second;
+  }
+  [[nodiscard]] ObjectMeta* find(ObjectId id) {
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : &it->second;
+  }
+
+  void remove(ObjectId id) { objects_.erase(id); }
+
+  [[nodiscard]] size_t count() const { return objects_.size(); }
+  [[nodiscard]] ObjectId peek_next_id() const { return next_id_; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [id, meta] : objects_) fn(meta);
+  }
+
+ private:
+  ObjectId next_id_ = 1;
+  std::unordered_map<ObjectId, ObjectMeta> objects_;
+};
+
+}  // namespace lots::core

@@ -1,0 +1,104 @@
+// The LOTS programming interface (paper §3.2-3.3): Pointer<T>.
+//
+// A shared object is declared as `Pointer<int> iptr;` and allocated with
+// `iptr.alloc(50);`. Element access goes through overloaded operators —
+// `a[5] = 1` first runs the access check (table lookup -> mapped
+// address), exactly as described in §3.3: "LOTS provides a large
+// collection of operator overloading functions, which are invoked before
+// the actual object data is accessed."
+//
+// As in the paper, Pointer<T> contains ONLY the 4-byte object ID ("we
+// want to keep the size of the Pointer class to be the same as that of a
+// pointer"), which keeps pointer arithmetic possible: `*(a+4) = 1` is
+// valid — arithmetic yields a lightweight OffsetPointer proxy carrying
+// (id, element offset).
+//
+// Every dereference re-runs the access check, so references must not be
+// cached across synchronization points (they are guaranteed stable only
+// within the current statement, which the pinning mechanism protects).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+#include "core/runtime.hpp"
+
+namespace lots::core {
+
+template <typename T>
+class OffsetPointer;
+
+template <typename T>
+class Pointer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "LOTS shared objects must be trivially copyable (raw-byte coherence)");
+
+ public:
+  Pointer() = default;
+  explicit Pointer(ObjectId id) : id_(id) {}
+
+  /// Collective allocation of `count` elements (paper: analogous to
+  /// malloc/new; a 1-D array is a single object).
+  void alloc(size_t count) {
+    LOTS_CHECK(id_ == kNullObject, "Pointer::alloc: already allocated");
+    id_ = Runtime::self().alloc_object(count * sizeof(T));
+  }
+
+  /// Collective free.
+  void free() {
+    if (id_ == kNullObject) return;
+    Runtime::self().free_object(id_);
+    id_ = kNullObject;
+  }
+
+  /// The access check + element reference (paper §3.3).
+  T& operator[](size_t i) const {
+    return static_cast<T*>(Runtime::self().access(id_))[i];
+  }
+  T& operator*() const { return (*this)[0]; }
+  T* operator->() const { return &(*this)[0]; }
+
+  /// Pointer arithmetic — a limited but useful subset (§3.3).
+  OffsetPointer<T> operator+(ptrdiff_t d) const { return OffsetPointer<T>(id_, d); }
+  OffsetPointer<T> operator-(ptrdiff_t d) const { return OffsetPointer<T>(id_, -d); }
+
+  /// Number of elements allocated.
+  [[nodiscard]] size_t size() const {
+    return Runtime::self().object_size(id_) / sizeof(T);
+  }
+
+  [[nodiscard]] ObjectId id() const { return id_; }
+  [[nodiscard]] bool allocated() const { return id_ != kNullObject; }
+  bool operator==(const Pointer&) const = default;
+
+ private:
+  ObjectId id_ = kNullObject;  // 4 bytes: the size of a pointer on the
+                               // paper's 32-bit testbed
+};
+
+static_assert(sizeof(Pointer<int>) == 4, "Pointer must stay pointer-sized (paper §3.3)");
+
+/// Result of pointer arithmetic on a Pointer<T>: (object, element offset).
+template <typename T>
+class OffsetPointer {
+ public:
+  OffsetPointer(ObjectId id, ptrdiff_t off) : id_(id), off_(off) {}
+
+  T& operator*() const {
+    return static_cast<T*>(Runtime::self().access(id_))[off_];
+  }
+  T& operator[](ptrdiff_t i) const {
+    return static_cast<T*>(Runtime::self().access(id_))[off_ + i];
+  }
+  OffsetPointer operator+(ptrdiff_t d) const { return OffsetPointer(id_, off_ + d); }
+  OffsetPointer operator-(ptrdiff_t d) const { return OffsetPointer(id_, off_ - d); }
+
+  [[nodiscard]] ObjectId id() const { return id_; }
+  [[nodiscard]] ptrdiff_t offset() const { return off_; }
+
+ private:
+  ObjectId id_;
+  ptrdiff_t off_;
+};
+
+}  // namespace lots::core

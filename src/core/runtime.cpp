@@ -1,0 +1,639 @@
+// Node lifecycle, the access check, the dynamic memory mapper
+// (map-in / swap-out / eviction) and the object fetch protocol.
+// Lock and barrier protocols live in locks.cpp / barrier.cpp.
+#include "core/runtime.hpp"
+
+#include <cstring>
+
+#include "common/threading.hpp"
+
+namespace lots::core {
+namespace {
+
+thread_local Node* tls_node = nullptr;
+
+/// Word-aligned byte count used for data/timestamp images.
+size_t word_bytes(const ObjectMeta& m) { return static_cast<size_t>(m.words()) * 4; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(Config cfg) : cfg_(std::move(cfg)), fabric_((cfg_.validate(), cfg_.nprocs), cfg_.net) {
+  if (cfg_.disk_dir.empty()) {
+    scratch_ = std::make_unique<TempDir>();
+    cfg_.disk_dir = scratch_->path();
+  }
+  nodes_.reserve(static_cast<size_t>(cfg_.nprocs));
+  for (int r = 0; r < cfg_.nprocs; ++r) {
+    nodes_.push_back(std::make_unique<Node>(*this, r, fabric_.open(r)));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::run(const std::function<void(int)>& fn) {
+  run_spmd(cfg_.nprocs, [&](int rank) {
+    tls_node = nodes_[static_cast<size_t>(rank)].get();
+    struct Reset {
+      ~Reset() { tls_node = nullptr; }
+    } reset;
+    fn(rank);
+  });
+}
+
+Node& Runtime::self() {
+  LOTS_CHECK(tls_node != nullptr, "Runtime::self() called outside run()");
+  return *tls_node;
+}
+
+bool Runtime::in_node() { return tls_node != nullptr; }
+
+void Runtime::aggregate_stats(NodeStats& out) const {
+  for (const auto& n : nodes_) out.accumulate(n->stats_);
+}
+
+uint64_t Runtime::max_modeled_wait_us() const {
+  uint64_t best = 0;
+  for (const auto& n : nodes_) {
+    const uint64_t w = n->stats_.net_wait_us.load() + n->stats_.disk_wait_us.load();
+    best = std::max(best, w);
+  }
+  return best;
+}
+
+void Runtime::reset_stats() {
+  for (auto& n : nodes_) n->stats_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Node lifecycle
+// ---------------------------------------------------------------------------
+
+Node::Node(Runtime& rt, int rank, std::unique_ptr<net::Transport> transport)
+    : rt_(rt),
+      rank_(rank),
+      ep_((transport->set_stats(&stats_), std::move(transport))),
+      space_(rt.config().dmm_bytes),
+      dmm_(rt.config().dmm_bytes, rt.config().page_bytes) {
+  disk_ = std::make_unique<storage::DiskStore>(rt.config().disk_dir, rank, rt.config().disk,
+                                               &stats_);
+  ep_.start([this](net::Message&& m) { dispatch(std::move(m)); });
+}
+
+Node::~Node() { ep_.stop(); }
+
+const Config& Node::config() const { return rt_.config(); }
+
+void Node::dispatch(net::Message&& m) {
+  using net::MsgType;
+  switch (m.type) {
+    case MsgType::kObjFetch: on_obj_fetch(std::move(m)); break;
+    case MsgType::kSwapPut: on_swap_put(std::move(m)); break;
+    case MsgType::kSwapGet: on_swap_get(std::move(m)); break;
+    case MsgType::kSwapDrop: on_swap_drop(std::move(m)); break;
+    case MsgType::kDiffToHome: on_diff_to_home(std::move(m)); break;
+    case MsgType::kLockAcquire: on_lock_acquire(std::move(m)); break;
+    case MsgType::kLockForward: on_lock_forward(std::move(m)); break;
+    case MsgType::kLockGrant: on_lock_grant(std::move(m)); break;
+    case MsgType::kLockRelease: on_lock_release(std::move(m)); break;
+    case MsgType::kBarrierEnter: on_barrier_enter(std::move(m)); break;
+    case MsgType::kBarrierDone: on_barrier_done(std::move(m)); break;
+    case MsgType::kRunBarrierEnter: on_run_barrier_enter(std::move(m)); break;
+    default:
+      LOTS_CHECK(false, std::string("unexpected message type ") + net::to_string(m.type));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Object lifecycle
+// ---------------------------------------------------------------------------
+
+ObjectId Node::alloc_object(size_t bytes) {
+  if (bytes == 0) throw UsageError("alloc_object: zero size");
+  if (bytes > rt_.config().dmm_bytes / 2) {
+    // Paper §4.3: "the single object size is only limited by the size of
+    // the DMM area". We cap at half so a twin-able working set always fits.
+    throw UsageError("single object of " + std::to_string(bytes) +
+                     " bytes exceeds the DMM area capacity");
+  }
+  std::unique_lock lk(mu_);
+  ObjectMeta& m = dir_.create(static_cast<uint32_t>(bytes), /*home=*/0);
+  // Round-robin initial homes, as in JIAJIA's page allocation; the mixed
+  // protocol migrates them at barriers anyway.
+  m.home = static_cast<int32_t>(m.id % static_cast<uint32_t>(nprocs()));
+  if (!rt_.config().large_object_space) {
+    // LOTS-x: eager, permanent mapping; the app must fit in the process
+    // space — which is the very limitation the paper removes.
+    map_in(m, lk);
+  }
+  return m.id;
+}
+
+void Node::free_object(ObjectId id) {
+  std::unique_lock lk(mu_);
+  ObjectMeta* m = dir_.find(id);
+  if (!m) return;
+  if (m->map == MapState::kMapped) {
+    space_.discard(m->dmm_offset, word_bytes(*m));
+    dmm_.free(m->dmm_offset);
+  }
+  if (m->on_disk) disk_->free_object(id);
+  dir_.remove(id);
+}
+
+size_t Node::object_size(ObjectId id) {
+  std::unique_lock lk(mu_);
+  return dir_.get(id).size_bytes;
+}
+
+// ---------------------------------------------------------------------------
+// The access check (paper §3.3): fast path is a table lookup.
+// ---------------------------------------------------------------------------
+
+void* Node::access(ObjectId id) {
+  stats_.access_checks.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lk(mu_);
+  ObjectMeta& m = dir_.get(id);
+  if (rt_.config().large_object_space) m.access_stamp = ++pin_clock_;
+  if (m.map == MapState::kMapped && m.share == ShareState::kValid && m.pending.empty() &&
+      m.twinned) {
+    return space_.dmm(m.dmm_offset);
+  }
+
+  // Slow path: bring the object in from disk and/or the network.
+  stats_.slow_path_checks.fetch_add(1, std::memory_order_relaxed);
+  if (m.map != MapState::kMapped) map_in(m, lk);
+  if (m.share == ShareState::kInvalid) fetch_clean_copy(m, lk);
+  if (!m.pending.empty()) apply_pending(m);
+  if (!m.twinned) ensure_twin(m);
+  return space_.dmm(m.dmm_offset);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic memory mapper
+// ---------------------------------------------------------------------------
+
+uint8_t* Node::map_in(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
+  LOTS_CHECK(m.map == MapState::kUnmapped, "map_in: already mapped");
+  const size_t bytes = word_bytes(m);
+  if (m.on_remote) {
+    // §5 remote swapping: pull the parked image back from the buddy's
+    // disk and continue as if it were local.
+    net::Message req;
+    req.type = net::MsgType::kSwapGet;
+    req.dst = swap_buddy();
+    net::Writer w(req.payload);
+    w.u64(remote_key(rank_, m.id));
+    lk.unlock();
+    net::Message reply = ep_.request(std::move(req));
+    net::Message drop;
+    drop.type = net::MsgType::kSwapDrop;
+    drop.dst = swap_buddy();
+    net::Writer dw(drop.payload);
+    dw.u64(remote_key(rank_, m.id));
+    ep_.send(std::move(drop));
+    lk.lock();
+    net::Reader r(reply.payload);
+    auto image = r.bytes_view();
+    disk_->write_object(m.id, image);  // rehydrate locally, then map in
+    m.on_remote = false;
+    m.on_disk = true;
+    stats_.remote_swap_gets.fetch_add(1, std::memory_order_relaxed);
+  }
+  m.dmm_offset = alloc_dmm_or_evict(m, lk);
+  m.map = MapState::kMapped;
+  uint8_t* data = space_.dmm(m.dmm_offset);
+  uint32_t* ts = space_.ctrl_words(m.dmm_offset);
+  if (m.on_disk) {
+    // Image layout: [data words][timestamp words][twin words if dirty].
+    std::vector<uint8_t> image((m.twinned ? 3 : 2) * bytes);
+    LOTS_CHECK(disk_->read_object(m.id, image), "map_in: disk image vanished");
+    std::memcpy(data, image.data(), bytes);
+    std::memcpy(ts, image.data() + bytes, bytes);
+    if (m.twinned) std::memcpy(space_.twin(m.dmm_offset), image.data() + 2 * bytes, bytes);
+    disk_->free_object(m.id);  // DMM copy is now the single source of truth
+    m.on_disk = false;
+  } else {
+    std::memset(data, 0, bytes);
+    std::memset(ts, 0, bytes);
+  }
+  return data;
+}
+
+size_t Node::alloc_dmm_or_evict(ObjectMeta& target, std::unique_lock<std::mutex>& lk) {
+  const size_t need = word_bytes(target);
+  for (;;) {
+    if (auto off = dmm_.alloc(need)) return *off;
+    if (!rt_.config().large_object_space) {
+      throw UsageError(
+          "DMM area exhausted in LOTS-x mode: the application does not fit in the "
+          "process space (enable large_object_space)");
+    }
+    // Collect eviction candidates: every mapped object except the one
+    // being brought in; the pin window (recent access stamps) protects
+    // the current statement's operands.
+    std::vector<mem::VictimCandidate> cands;
+    dir_.for_each([&](ObjectMeta& m) {
+      if (m.map == MapState::kMapped && m.id != target.id) {
+        cands.push_back({m.id, word_bytes(m), m.access_stamp});
+      }
+    });
+    auto victim = mem::choose_victim(cands, need, pin_clock_);
+    if (!victim) {
+      throw UsageError(
+          "cannot evict: every mapped object is pinned by the current statement "
+          "(paper §5 limitation — enlarge the DMM area)");
+    }
+    ObjectMeta& v = dir_.get(*victim);
+    if (v.share == ShareState::kValid || v.twinned) {
+      swap_out(v, lk);  // dirty objects keep their twin inside the disk image
+    } else {
+      drop_mapping(v, /*keep_disk_image=*/false);  // stale diff base: cheaper to refetch
+    }
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Node::swap_out(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
+  LOTS_CHECK(m.map == MapState::kMapped, "swap_out: not mapped");
+  const size_t bytes = word_bytes(m);
+  std::vector<uint8_t> image((m.twinned ? 3 : 2) * bytes);
+  std::memcpy(image.data(), space_.dmm(m.dmm_offset), bytes);
+  std::memcpy(image.data() + bytes, space_.ctrl_words(m.dmm_offset), bytes);
+  if (m.twinned) std::memcpy(image.data() + 2 * bytes, space_.twin(m.dmm_offset), bytes);
+
+  const Config& cfg = rt_.config();
+  const bool local_full = cfg.disk_capacity_bytes > 0 &&
+                          disk_->stored_bytes() + image.size() > cfg.disk_capacity_bytes;
+  if (local_full && m.twinned &&
+      std::memcmp(image.data(), image.data() + 2 * bytes, bytes) == 0) {
+    // Reader twin: identical to the data, so it carries no pending-write
+    // information — drop it so the object qualifies for a remote spill
+    // (flush_interval skips untwinned objects).
+    m.twinned = false;
+    image.resize(2 * bytes);
+  }
+  if (local_full && cfg.remote_swap && m.home != rank_ && !m.twinned && m.pending.empty()) {
+    // §5 remote swapping: spill to the buddy's disk. Restricted to
+    // clean, non-home objects so the service thread never has to chase
+    // a remote image synchronously (homes answer fetches from local
+    // state only). Unmap *before* releasing the lock so a concurrent
+    // incoming diff lands in `pending` rather than the dying mapping.
+    const size_t off = m.dmm_offset;
+    m.map = MapState::kUnmapped;
+    m.dmm_offset = 0;
+    net::Message req;
+    req.type = net::MsgType::kSwapPut;
+    req.dst = swap_buddy();
+    net::Writer w(req.payload);
+    w.u64(remote_key(rank_, m.id));
+    w.bytes(image);
+    lk.unlock();
+    ep_.request(std::move(req));  // acked: the image is durable remotely
+    lk.lock();
+    space_.discard(off, bytes);
+    dmm_.free(off);
+    m.on_remote = true;
+    stats_.remote_swap_puts.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  LOTS_CHECK(!local_full || cfg.remote_swap || cfg.disk_capacity_bytes == 0,
+             "local disk budget exhausted and remote swapping is disabled");
+  disk_->write_object(m.id, image);
+  m.on_disk = true;
+  drop_mapping(m, /*keep_disk_image=*/true);
+}
+
+void Node::drop_mapping(ObjectMeta& m, bool keep_disk_image) {
+  if (m.map == MapState::kMapped) {
+    space_.discard(m.dmm_offset, word_bytes(m));
+    dmm_.free(m.dmm_offset);
+    m.map = MapState::kUnmapped;
+    m.dmm_offset = 0;
+  }
+  if (!keep_disk_image) {
+    if (m.on_disk) {
+      disk_->free_object(m.id);
+      m.on_disk = false;
+    }
+    if (m.on_remote) {
+      net::Message drop;
+      drop.type = net::MsgType::kSwapDrop;
+      drop.dst = swap_buddy();
+      net::Writer w(drop.payload);
+      w.u64(remote_key(rank_, m.id));
+      ep_.send(std::move(drop));
+      m.on_remote = false;
+    }
+    m.valid_epoch = 0;  // no diff base left: next fetch is a full copy
+  }
+}
+
+void Node::force_swap_out(ObjectId id) {
+  std::unique_lock lk(mu_);
+  ObjectMeta& m = dir_.get(id);
+  if (m.map != MapState::kMapped) return;
+  if (m.share == ShareState::kValid || m.twinned) {
+    swap_out(m, lk);
+  } else {
+    drop_mapping(m, false);
+  }
+}
+
+bool Node::is_mapped(ObjectId id) {
+  std::unique_lock lk(mu_);
+  return dir_.get(id).map == MapState::kMapped;
+}
+
+bool Node::is_valid(ObjectId id) {
+  std::unique_lock lk(mu_);
+  return dir_.get(id).share == ShareState::kValid;
+}
+
+int32_t Node::home_of(ObjectId id) {
+  std::unique_lock lk(mu_);
+  return dir_.get(id).home;
+}
+
+void Node::ensure_twin(ObjectMeta& m) {
+  LOTS_CHECK(m.map == MapState::kMapped, "ensure_twin: not mapped");
+  std::memcpy(space_.twin(m.dmm_offset), space_.dmm(m.dmm_offset), word_bytes(m));
+  m.twinned = true;
+  interval_twins_.push_back(m.id);
+}
+
+void Node::apply_pending(ObjectMeta& m) {
+  LOTS_CHECK(m.map == MapState::kMapped, "apply_pending: not mapped");
+  for (const DiffRecord& rec : m.pending) apply_incoming(m, rec);
+  m.pending.clear();
+}
+
+void Node::apply_incoming(ObjectMeta& m, const DiffRecord& rec) {
+  LOTS_CHECK(m.map == MapState::kMapped, "apply_incoming: not mapped");
+  uint8_t* data = space_.dmm(m.dmm_offset);
+  uint32_t* ts = space_.ctrl_words(m.dmm_offset);
+  const size_t applied = apply_record(rec, data, ts);
+  stats_.diff_words_redundant.fetch_add(rec.words() - applied, std::memory_order_relaxed);
+  if (m.twinned && applied) {
+    // Mirror the accepted words into the twin so the next flush diffs
+    // only this node's own writes. A word was accepted exactly when its
+    // stamp now equals the record's epoch.
+    uint8_t* twin = space_.twin(m.dmm_offset);
+    for (size_t i = 0; i < rec.word_idx.size(); ++i) {
+      const uint32_t wi = rec.word_idx[i];
+      if (ts[wi] == rec.ts_of(i)) {
+        std::memcpy(twin + static_cast<size_t>(wi) * 4, &rec.word_val[i], 4);
+      }
+    }
+  }
+}
+
+std::vector<DiffRecord> Node::flush_interval(uint32_t flush_epoch) {
+  std::vector<DiffRecord> out;
+  for (ObjectId id : interval_twins_) {
+    ObjectMeta* m = dir_.find(id);
+    if (!m || !m->twinned) continue;
+    const size_t bytes = word_bytes(*m);
+    DiffRecord rec;
+    if (m->map == MapState::kMapped) {
+      rec = compute_twin_diff(id, flush_epoch, {space_.dmm(m->dmm_offset), bytes},
+                              {space_.twin(m->dmm_offset), bytes});
+      m->twinned = false;
+      if (rec.word_idx.empty()) continue;  // read-only access: nothing to do
+      uint32_t* ts = space_.ctrl_words(m->dmm_offset);
+      for (uint32_t wi : rec.word_idx) ts[wi] = flush_epoch;
+    } else {
+      // The dirty object was swapped out mid-interval: diff the disk
+      // image in place, without disturbing the DMM.
+      LOTS_CHECK(m->on_disk, "twinned unmapped object lost its disk image");
+      std::vector<uint8_t> image(3 * bytes);
+      LOTS_CHECK(disk_->read_object(id, image), "flush: disk image vanished");
+      rec = compute_twin_diff(id, flush_epoch, {image.data(), bytes},
+                              {image.data() + 2 * bytes, bytes});
+      m->twinned = false;
+      auto* ts = reinterpret_cast<uint32_t*>(image.data() + bytes);
+      for (uint32_t wi : rec.word_idx) ts[wi] = flush_epoch;
+      disk_->write_object(id, std::span<const uint8_t>(image.data(), 2 * bytes));
+      if (rec.word_idx.empty()) continue;
+    }
+    stats_.diffs_created.fetch_add(1, std::memory_order_relaxed);
+    m->local_writes.push_back(rec);
+    out.push_back(std::move(rec));
+  }
+  interval_twins_.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Object fetch (requester side)
+// ---------------------------------------------------------------------------
+
+void Node::fetch_clean_copy(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
+  const ObjectId id = m.id;
+  int32_t target = m.home;
+  LOTS_CHECK(target != rank_, "fetch_clean_copy: home asked to fetch from itself");
+  const size_t bytes = word_bytes(m);
+  // A retained stale copy (data + word stamps) serves as the diff base:
+  // the home then only sends words newer than our valid_epoch (§3.5).
+  const bool has_base = m.valid_epoch > 0;
+  const uint32_t base_epoch = m.valid_epoch;
+
+  for (int hop = 0; hop < nprocs() + 1; ++hop) {
+    net::Message req;
+    req.type = net::MsgType::kObjFetch;
+    req.dst = target;
+    net::Writer w(req.payload);
+    w.u32(id);
+    w.u32(base_epoch);
+    w.u8(has_base ? 1 : 0);
+
+    lk.unlock();  // never hold node state across a blocking request
+    net::Message reply = ep_.request(std::move(req));
+    lk.lock();
+
+    net::Reader r(reply.payload);
+    const uint8_t form = r.u8();
+    if (form == 2) {  // redirect: home migrated under us
+      target = r.i32();
+      continue;
+    }
+    stats_.object_fetches.fetch_add(1, std::memory_order_relaxed);
+    uint8_t* data = space_.dmm(m.dmm_offset);
+    uint32_t* ts = space_.ctrl_words(m.dmm_offset);
+    const uint32_t home_base = r.u32();
+    if (form == 0) {  // full copy
+      auto body = r.bytes_view();
+      LOTS_CHECK_EQ(body.size(), bytes, "fetch: full copy size mismatch");
+      std::memcpy(data, body.data(), bytes);
+      for (uint32_t wi = 0; wi < m.words(); ++wi) ts[wi] = home_base;
+    } else {  // per-word diff against our stale base
+      std::vector<uint32_t> idx, val, wts;
+      decode_word_diff(r, idx, val, wts);
+      apply_word_diff(idx, val, wts, data, ts);
+    }
+    if (m.twinned) {
+      // A twinned object re-validated mid-interval (write-invalidate
+      // lock mode): rebase the twin so the fetched content is not
+      // mistaken for local writes at the next flush.
+      std::memcpy(space_.twin(m.dmm_offset), data, bytes);
+    }
+    m.share = ShareState::kValid;
+    m.valid_epoch = home_base;
+    return;
+  }
+  LOTS_CHECK(false, "fetch_clean_copy: home redirect loop for object " + std::to_string(id));
+}
+
+// ---------------------------------------------------------------------------
+// Object fetch (home side, service thread — never blocks on the network)
+// ---------------------------------------------------------------------------
+
+void Node::on_obj_fetch(net::Message&& m) {
+  net::Reader r(m.payload);
+  const ObjectId id = r.u32();
+  const uint32_t req_base = r.u32();
+  const bool has_base = r.u8() != 0;
+
+  std::unique_lock lk(mu_);
+  ObjectMeta& obj = dir_.get(id);
+  net::Message resp;
+  resp.type = net::MsgType::kObjData;
+  net::Writer w(resp.payload);
+
+  if (obj.home != rank_) {  // stale home view at the requester
+    w.u8(2);
+    w.i32(obj.home);
+    lk.unlock();
+    ep_.reply(m, std::move(resp));
+    return;
+  }
+
+  const size_t bytes = word_bytes(obj);
+  // Materialize the home copy for reading without disturbing the DMM
+  // mapping state: mapped -> direct pointers; on disk -> scratch image;
+  // never touched -> zeros.
+  std::vector<uint8_t> scratch;
+  const uint8_t* data;
+  const uint32_t* ts;
+  if (obj.map == MapState::kMapped) {
+    data = space_.dmm(obj.dmm_offset);
+    ts = space_.ctrl_words(obj.dmm_offset);
+  } else if (obj.on_disk) {
+    scratch.resize((obj.twinned ? 3 : 2) * bytes);
+    LOTS_CHECK(disk_->read_object(id, scratch), "home disk image vanished");
+    data = scratch.data();
+    ts = reinterpret_cast<const uint32_t*>(scratch.data() + bytes);
+  } else {
+    scratch.assign(2 * bytes, 0);
+    data = scratch.data();
+    ts = reinterpret_cast<const uint32_t*>(scratch.data() + bytes);
+  }
+
+  // Prefer the on-demand diff (§3.5) when the requester kept a base and
+  // the diff is actually smaller than the full object.
+  if (has_base) {
+    std::vector<uint32_t> idx, val, wts;
+    diff_since({data, bytes}, ts, req_base, idx, val, wts);
+    if (idx.size() * 12 < bytes) {
+      w.u8(1);
+      w.u32(obj.valid_epoch);
+      encode_word_diff(w, idx, val, wts);
+      stats_.diff_words_sent.fetch_add(idx.size(), std::memory_order_relaxed);
+      lk.unlock();
+      ep_.reply(m, std::move(resp));
+      return;
+    }
+  }
+  w.u8(0);
+  w.u32(obj.valid_epoch);
+  w.bytes({data, bytes});
+  lk.unlock();
+  ep_.reply(m, std::move(resp));
+}
+
+// ---------------------------------------------------------------------------
+// Diff delivery (home side or write-update broadcast receiver)
+// ---------------------------------------------------------------------------
+
+void Node::on_diff_to_home(net::Message&& m) {
+  net::Reader r(m.payload);
+  const uint32_t nrecs = r.u32();
+  std::unique_lock lk(mu_);
+  for (uint32_t i = 0; i < nrecs; ++i) {
+    DiffRecord rec = decode_record(r);
+    ObjectMeta* obj = dir_.find(rec.object);
+    if (!obj) continue;
+    const uint32_t rec_epoch = rec.epoch;
+    const size_t bytes = word_bytes(*obj);
+    if (obj->map == MapState::kMapped) {
+      apply_incoming(*obj, rec);
+    } else if (obj->on_disk) {
+      std::vector<uint8_t> image((obj->twinned ? 3 : 2) * bytes);
+      LOTS_CHECK(disk_->read_object(rec.object, image), "diff target image vanished");
+      apply_record(rec, image.data(), reinterpret_cast<uint32_t*>(image.data() + bytes));
+      disk_->write_object(rec.object, image);
+    } else if (obj->home == rank_) {
+      // The home must materialize the master copy even if it never
+      // touched the object itself.
+      std::vector<uint8_t> image(2 * bytes, 0);
+      apply_record(rec, image.data(), reinterpret_cast<uint32_t*>(image.data() + bytes));
+      disk_->write_object(rec.object, image);
+      obj->on_disk = true;
+    } else {
+      obj->pending.push_back(std::move(rec));
+    }
+    if (obj->home == rank_) {
+      obj->valid_epoch = std::max(obj->valid_epoch, rec_epoch);
+    }
+  }
+  lk.unlock();
+  net::Message ack;
+  ack.type = net::MsgType::kReply;
+  ep_.reply(m, std::move(ack));
+}
+
+// ---------------------------------------------------------------------------
+// §5 remote swapping (buddy side, service thread — purely local work)
+// ---------------------------------------------------------------------------
+
+void Node::on_swap_put(net::Message&& m) {
+  net::Reader r(m.payload);
+  const uint64_t key = r.u64();
+  auto image = r.bytes_view();
+  {
+    std::lock_guard lk(mu_);
+    disk_->write_object(key, image);
+  }
+  net::Message ack;
+  ack.type = net::MsgType::kReply;
+  ep_.reply(m, std::move(ack));
+}
+
+void Node::on_swap_get(net::Message&& m) {
+  net::Reader r(m.payload);
+  const uint64_t key = r.u64();
+  net::Message resp;
+  resp.type = net::MsgType::kReply;
+  {
+    std::lock_guard lk(mu_);
+    const auto size = disk_->size_of(key);
+    LOTS_CHECK(size.has_value(), "remote swap image vanished");
+    std::vector<uint8_t> image(*size);
+    LOTS_CHECK(disk_->read_object(key, image), "remote swap image unreadable");
+    net::Writer w(resp.payload);
+    w.bytes(image);
+  }
+  ep_.reply(m, std::move(resp));
+}
+
+void Node::on_swap_drop(net::Message&& m) {
+  net::Reader r(m.payload);
+  const uint64_t key = r.u64();
+  std::lock_guard lk(mu_);
+  disk_->free_object(key);
+}
+
+}  // namespace lots::core

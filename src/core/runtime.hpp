@@ -1,0 +1,228 @@
+// The LOTS runtime: node lifecycle, the dynamic memory mapping mechanism
+// (paper §3.1-3.3), and the scope-consistency engine with the mixed
+// coherence protocol (§3.4-3.5).
+//
+// A Runtime owns one in-process "cluster": `nprocs` nodes, each an
+// application thread (runs the user's SPMD function) plus a service
+// thread (answers remote requests — the paper's SIGIO role). Every node
+// has a private process-space partition (SpaceLayout), DMM allocator,
+// disk store and object directory; all cross-node traffic flows through
+// the message layer.
+//
+// The application-facing API is Pointer<T> (pointer.hpp) plus the free
+// functions in api.hpp (lots::acquire/release/barrier/...). Node members
+// below are the underlying operations.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/tempdir.hpp"
+#include "core/diff.hpp"
+#include "core/object.hpp"
+#include "mem/dmm_allocator.hpp"
+#include "mem/eviction.hpp"
+#include "mem/space_layout.hpp"
+#include "net/endpoint.hpp"
+#include "net/inproc.hpp"
+#include "storage/disk_store.hpp"
+
+namespace lots::core {
+
+class Runtime;
+
+/// One DSM node. Application threads use it through Pointer<T>/api.hpp;
+/// its service thread runs the protocol handlers.
+class Node {
+ public:
+  Node(Runtime& rt, int rank, std::unique_ptr<net::Transport> transport);
+  ~Node();
+
+  // ---- object lifecycle (paper §3.2) ----
+  /// Declares + allocates the next shared object (collective: all nodes
+  /// execute the same sequence). Physical mapping is lazy unless the
+  /// runtime is in LOTS-x mode.
+  ObjectId alloc_object(size_t bytes);
+  /// Collective free.
+  void free_object(ObjectId id);
+
+  // ---- the access check (paper §3.3) ----
+  /// Resolves an object ID to its mapped data address, bringing the
+  /// object in from disk and/or the network as needed, creating the twin
+  /// on first access of an interval, and stamping the pin clock.
+  void* access(ObjectId id);
+  /// Object size as declared.
+  size_t object_size(ObjectId id);
+
+  // ---- synchronization (paper §3.4-3.6) ----
+  void acquire(uint32_t lock_id);
+  void release(uint32_t lock_id);
+  void barrier();
+  void run_barrier();  ///< event-only, no memory effect
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nprocs() const { return ep_.nprocs(); }
+  [[nodiscard]] const Config& config() const;
+  NodeStats& stats() { return stats_; }
+  [[nodiscard]] uint32_t epoch() const { return epoch_; }
+  storage::DiskStore& disk() { return *disk_; }
+  mem::DmmAllocator& dmm() { return dmm_; }
+
+  /// Test/bench hook: drop the object's DMM mapping (swap-out) so the
+  /// next access exercises the disk path.
+  void force_swap_out(ObjectId id);
+  /// Test hook: current mapping state.
+  bool is_mapped(ObjectId id);
+  bool is_valid(ObjectId id);
+  int32_t home_of(ObjectId id);
+
+ private:
+  friend class Runtime;
+
+  // -- mapper internals (called with mu_ held; `lk` is released around
+  // remote-swap requests, never around local work) --
+  uint8_t* map_in(ObjectMeta& m, std::unique_lock<std::mutex>& lk);
+  void swap_out(ObjectMeta& m, std::unique_lock<std::mutex>& lk);
+  void drop_mapping(ObjectMeta& m, bool keep_disk_image);
+  size_t alloc_dmm_or_evict(ObjectMeta& target, std::unique_lock<std::mutex>& lk);
+  [[nodiscard]] int32_t swap_buddy() const { return (rank_ + 1) % nprocs(); }
+  /// Key for images parked on a peer: (owner+1) << 32 | object id.
+  [[nodiscard]] static uint64_t remote_key(int32_t owner, ObjectId id) {
+    return (static_cast<uint64_t>(owner) + 1) << 32 | id;
+  }
+  void fetch_clean_copy(ObjectMeta& m, std::unique_lock<std::mutex>& lk);
+  void ensure_twin(ObjectMeta& m);
+  void apply_pending(ObjectMeta& m);
+  /// Applies an incoming update to a MAPPED object's data + word stamps
+  /// AND, crucially, to its twin when one exists: otherwise the next
+  /// flush would mistake the foreign words for local writes and re-stamp
+  /// them with this node's (possibly inflated) epoch — which can bury a
+  /// genuinely newer write at the barrier merge (lost update).
+  void apply_incoming(ObjectMeta& m, const DiffRecord& rec);
+  /// Flushes every twinned object into DiffRecords at a new epoch;
+  /// returns the records (also appended to each meta's local_writes).
+  std::vector<DiffRecord> flush_interval(uint32_t flush_epoch);
+
+  // -- lock protocol (locks.cpp) --
+  struct LockToken {
+    std::vector<DiffRecord> chain;  ///< scope update history (homeless)
+    uint32_t epoch = 0;             ///< epoch of the last release
+  };
+  struct LockWait {
+    bool granted = false;
+    net::Message grant;
+  };
+  struct ManagerState {
+    bool busy = false;
+    int32_t token_at = -1;  ///< node where the token (and chain) parks
+    std::vector<net::Message> waiters;  ///< queued kLockAcquire messages
+  };
+  void on_lock_acquire(net::Message&& m);   // manager side
+  void on_lock_forward(net::Message&& m);   // token-holder side
+  void on_lock_release(net::Message&& m);   // manager side
+  void on_lock_grant(net::Message&& m);     // acquirer side
+  void send_grant_locked(uint32_t lock_id, int32_t to, uint32_t acq_epoch);
+  void push_release_updates_home_based(LockToken& tok, std::vector<DiffRecord>&& recs,
+                                       std::unique_lock<std::mutex>& lk);
+
+  // -- barrier protocol (barrier.cpp) --
+  struct BarrierPlanEntry {
+    ObjectId object;
+    int32_t new_home;
+    uint8_t multi_writer;
+  };
+  struct MasterBarrier {
+    uint32_t arrived = 0;
+    uint32_t done = 0;
+    uint32_t max_epoch = 0;
+    std::vector<net::Message> enter_reqs;
+    std::vector<net::Message> done_reqs;
+    std::unordered_map<ObjectId, std::vector<int32_t>> writers;
+    std::unordered_map<ObjectId, int32_t> old_homes;
+    uint32_t run_arrived = 0;
+    std::vector<net::Message> run_reqs;
+    /// Adaptive protocol (paper §5): last two single-writer ranks per
+    /// object, persisted across barriers. When an object's lone writer
+    /// alternates between two nodes (ping-pong), migrating the home
+    /// "gives little benefit, since the [object] will be requested next
+    /// by the process that originally owns it" — so the master pins it.
+    std::unordered_map<ObjectId, std::pair<int32_t, int32_t>> writer_hist;
+  };
+  void on_barrier_enter(net::Message&& m);  // master side
+  void on_barrier_done(net::Message&& m);   // master side
+  void on_run_barrier_enter(net::Message&& m);
+  void on_diff_to_home(net::Message&& m);
+  void apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan, uint32_t new_epoch);
+
+  // -- fetch protocol (runtime.cpp) --
+  void on_obj_fetch(net::Message&& m);
+  void on_swap_put(net::Message&& m);
+  void on_swap_get(net::Message&& m);
+  void on_swap_drop(net::Message&& m);
+  void dispatch(net::Message&& m);
+
+  Runtime& rt_;
+  int rank_;
+  NodeStats stats_;
+  net::Endpoint ep_;
+  mem::SpaceLayout space_;
+  mem::DmmAllocator dmm_;
+  std::unique_ptr<storage::DiskStore> disk_;
+  ObjectDirectory dir_;
+
+  /// Guards all node state shared between the app and service threads.
+  std::mutex mu_;
+
+  uint32_t epoch_ = 1;
+  uint32_t last_barrier_epoch_ = 0;
+  uint64_t pin_clock_ = 0;
+  std::vector<ObjectId> interval_twins_;  ///< twinned this interval
+  std::unordered_map<uint32_t, LockToken> tokens_;
+  std::unordered_map<uint32_t, ManagerState> managed_locks_;
+  std::unordered_map<uint32_t, LockWait> lock_waits_;
+  std::condition_variable lock_cv_;
+  MasterBarrier master_;  ///< used on rank 0 only
+};
+
+/// The cluster. Construct with a Config, then run() SPMD functions.
+class Runtime {
+ public:
+  explicit Runtime(Config cfg);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Runs fn(rank) on every node's application thread and joins.
+  /// Callable repeatedly; objects persist across calls.
+  void run(const std::function<void(int)>& fn);
+
+  /// The node bound to the calling application thread.
+  static Node& self();
+  /// True when called from inside run() on an app thread.
+  static bool in_node();
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  Node& node(int rank) { return *nodes_[static_cast<size_t>(rank)]; }
+  [[nodiscard]] int nprocs() const { return cfg_.nprocs; }
+
+  /// Sum of all nodes' counters into `out` (benchmark reporting).
+  void aggregate_stats(NodeStats& out) const;
+  /// Max over nodes of modeled (net + disk) microseconds — the modeled
+  /// critical-path overlay reported by the benches.
+  uint64_t max_modeled_wait_us() const;
+  void reset_stats();
+
+ private:
+  Config cfg_;
+  std::unique_ptr<TempDir> scratch_;  ///< when cfg.disk_dir is empty
+  net::InProcFabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace lots::core

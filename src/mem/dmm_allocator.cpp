@@ -1,0 +1,233 @@
+#include "mem/dmm_allocator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lots::mem {
+namespace {
+constexpr size_t kAlign = 8;
+size_t round_up(size_t v) { return (v + kAlign - 1) / kAlign * kAlign; }
+}  // namespace
+
+DmmAllocator::DmmAllocator(size_t dmm_bytes, size_t page_bytes, size_t small_max, size_t large_min)
+    : dmm_(dmm_bytes),
+      page_(page_bytes),
+      small_max_(std::min(small_max, page_bytes / 2)),
+      large_min_(large_min),
+      classes_(dmm_bytes),
+      queues_(SizeClassTable::kClasses),
+      bytes_free_(dmm_bytes) {
+  LOTS_CHECK(dmm_ % page_ == 0, "DMM size must be page aligned");
+  free_blocks_[0] = dmm_;
+  enqueue_free(0, dmm_);
+}
+
+void DmmAllocator::enqueue_free(size_t offset, size_t size) {
+  queues_[classes_.index_for_block(size)].push_back(offset);
+}
+
+std::optional<size_t> DmmAllocator::alloc(size_t size) {
+  LOTS_CHECK(size > 0, "zero-size allocation");
+  size = round_up(size);
+  std::optional<size_t> off;
+  bool is_small = false;
+  if (size <= small_max_) {
+    off = small_alloc(size);
+    is_small = off.has_value();
+    // If the small path cannot get a fresh page, fall through to the
+    // general ranges before giving up.
+    if (!off) off = range_alloc(size, Placement::kMediumMidDown);
+  } else if (size >= large_min_) {
+    off = range_alloc(size, Placement::kLargeLowUp);
+  } else {
+    off = range_alloc(size, Placement::kMediumMidDown);
+  }
+  if (!off) return std::nullopt;
+  allocated_[*off] = AllocInfo{size, is_small};
+  return off;
+}
+
+void DmmAllocator::free(size_t offset) {
+  auto it = allocated_.find(offset);
+  LOTS_CHECK(it != allocated_.end(), "DmmAllocator::free of unknown offset");
+  const AllocInfo info = it->second;
+  allocated_.erase(it);
+  if (info.is_small) {
+    small_free(offset, info.size);
+  } else {
+    range_free(offset, info.size);
+  }
+}
+
+size_t DmmAllocator::size_of(size_t offset) const {
+  auto it = allocated_.find(offset);
+  LOTS_CHECK(it != allocated_.end(), "DmmAllocator::size_of unknown offset");
+  return it->second.size;
+}
+
+size_t DmmAllocator::largest_free_block() const {
+  size_t best = 0;
+  for (const auto& [off, len] : free_blocks_) best = std::max(best, len);
+  return best;
+}
+
+std::optional<size_t> DmmAllocator::range_alloc(size_t size, Placement place) {
+  // Approximate best-fit over the Fig. 4 queues: start at the class that
+  // may contain fitting blocks, pick the tightest fit among up to
+  // kMaxScanPerClass live entries, walk to larger classes if none fit.
+  for (size_t cls = classes_.index_for_block(size); cls < SizeClassTable::kClasses; ++cls) {
+    auto& q = queues_[cls];
+    size_t best_off = 0, best_len = ~size_t{0};
+    bool found = false;
+    size_t scanned = 0;
+    for (size_t i = 0; i < q.size() && scanned < kMaxScanPerClass;) {
+      const size_t off = q[i];
+      auto it = free_blocks_.find(off);
+      // Lazy invalidation: drop entries that no longer match a live
+      // free block of this class.
+      if (it == free_blocks_.end() || classes_.index_for_block(it->second) != cls) {
+        q[i] = q.back();
+        q.pop_back();
+        continue;
+      }
+      ++scanned;
+      const size_t len = it->second;
+      if (len >= size) {
+        bool better = !found || len < best_len;
+        if (found && len == best_len) {
+          // Placement tie-break: large zone prefers low addresses,
+          // medium/small prefer high addresses.
+          better = (place == Placement::kLargeLowUp) ? off < best_off : off > best_off;
+        }
+        if (better) {
+          best_off = off;
+          best_len = len;
+          found = true;
+        }
+      }
+      ++i;
+    }
+    if (!found) continue;
+
+    // Cut the chosen block according to the placement direction.
+    free_blocks_.erase(best_off);
+    size_t result;
+    if (place == Placement::kLargeLowUp) {
+      result = best_off;  // take the low end, remainder stays high
+      if (best_len > size) {
+        free_blocks_[best_off + size] = best_len - size;
+        enqueue_free(best_off + size, best_len - size);
+      }
+    } else {
+      result = best_off + best_len - size;  // take the high end
+      if (best_len > size) {
+        free_blocks_[best_off] = best_len - size;
+        enqueue_free(best_off, best_len - size);
+      }
+    }
+    bytes_free_ -= size;
+    return result;
+  }
+  return std::nullopt;
+}
+
+void DmmAllocator::range_free(size_t offset, size_t size) {
+  auto [it, inserted] = free_blocks_.emplace(offset, size);
+  LOTS_CHECK(inserted, "range_free: double free");
+  bytes_free_ += size;
+  // Coalesce with the successor block.
+  auto next = std::next(it);
+  if (next != free_blocks_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_blocks_.erase(next);
+  }
+  // Coalesce with the predecessor block.
+  if (it != free_blocks_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_blocks_.erase(it);
+      it = prev;
+    }
+  }
+  enqueue_free(it->first, it->second);
+}
+
+std::optional<size_t> DmmAllocator::small_alloc(size_t size) {
+  auto& bin = bins_[size];
+  // Reuse a partially filled page of this exact slot size (paper: small
+  // objects of the same size share a page).
+  while (!bin.empty()) {
+    SmallPage* pg = bin.back();
+    if (pg->used * pg->slot_size + pg->slot_size <= page_) break;
+    bin.pop_back();  // page became full; drop from the bin
+  }
+  SmallPage* pg = nullptr;
+  if (!bin.empty()) {
+    pg = bin.back();
+  } else {
+    const auto page_off = range_alloc(page_, Placement::kSmallHigh);
+    if (!page_off) return std::nullopt;
+    auto rec = std::make_unique<SmallPage>();
+    rec->offset = *page_off;
+    rec->slot_size = size;
+    pg = rec.get();
+    pages_[*page_off] = std::move(rec);
+    bin.push_back(pg);
+  }
+  const size_t slots = page_ / pg->slot_size;
+  for (size_t s = 0; s < slots; ++s) {
+    if (!pg->taken.test(s)) {
+      pg->taken.set(s);
+      ++pg->used;
+      if (pg->used == slots) {
+        auto& b = bins_[size];
+        b.erase(std::remove(b.begin(), b.end(), pg), b.end());
+      }
+      return pg->offset + s * pg->slot_size;
+    }
+  }
+  LOTS_CHECK(false, "small page bookkeeping inconsistent");
+  return std::nullopt;
+}
+
+const DmmAllocator::SmallPage* DmmAllocator::page_containing(size_t offset) const {
+  auto it = pages_.upper_bound(offset);
+  if (it == pages_.begin()) return nullptr;
+  --it;
+  const SmallPage* pg = it->second.get();
+  return (offset < pg->offset + page_) ? pg : nullptr;
+}
+
+DmmAllocator::SmallPage* DmmAllocator::page_containing(size_t offset) {
+  return const_cast<SmallPage*>(std::as_const(*this).page_containing(offset));
+}
+
+size_t DmmAllocator::page_of(size_t offset) const {
+  const SmallPage* pg = page_containing(offset);
+  LOTS_CHECK(pg != nullptr, "page_of: offset is not a small allocation");
+  return pg->offset;
+}
+
+void DmmAllocator::small_free(size_t offset, size_t size) {
+  SmallPage* pg = page_containing(offset);
+  LOTS_CHECK(pg != nullptr, "small_free: unknown page");
+  const size_t page_off = pg->offset;
+  LOTS_CHECK_EQ(pg->slot_size, size, "small_free: slot size mismatch");
+  const size_t slot = (offset - page_off) / size;
+  LOTS_CHECK(pg->taken.test(slot), "small_free: slot not allocated");
+  pg->taken.reset(slot);
+  const size_t slots = page_ / pg->slot_size;
+  if (pg->used == slots) bins_[size].push_back(pg);  // was full, now has space
+  --pg->used;
+  if (pg->used == 0) {
+    auto& b = bins_[size];
+    b.erase(std::remove(b.begin(), b.end(), pg), b.end());
+    pages_.erase(page_off);
+    range_free(page_off, page_);
+  }
+}
+
+}  // namespace lots::mem

@@ -1,0 +1,112 @@
+// DMM-area allocator (paper §3.2, Figs. 3-4).
+//
+// LOTS bypasses the Doug Lea allocator and manages the DMM area itself
+// with mmap-style placement:
+//   * 1024 size-class queues hold free blocks (Fig. 4); allocation is an
+//     approximation of best-fit (scan the first class that can satisfy
+//     the request, walk upward).
+//   * Placement policy: small objects live in the *upper half* of the
+//     DMM area, and small objects of the same size are packed into the
+//     same page (fewer page faults when traversing e.g. a linked list of
+//     equal-sized nodes); medium objects grow *downward* from the middle
+//     of the lower half boundary; large objects grow *upward* from the
+//     bottom of the lower half.
+//
+// Offsets are relative to the DMM base (SpaceLayout translates them to
+// addresses). The allocator is single-owner (one per node) and not
+// thread-safe by itself; the runtime serializes access.
+#pragma once
+
+#include <bitset>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/size_class.hpp"
+
+namespace lots::mem {
+
+class DmmAllocator {
+ public:
+  /// `small_max`: largest object treated as "small" (page-packed);
+  /// `large_min`: smallest object treated as "large" (bottom-up zone).
+  /// Sizes in between are "medium".
+  DmmAllocator(size_t dmm_bytes, size_t page_bytes, size_t small_max = 2048,
+               size_t large_min = 64 * 1024);
+
+  /// Allocates a block for an object of `size` bytes. Returns the DMM
+  /// offset, or nullopt when no placement exists (the runtime then
+  /// evicts mapped objects and retries — paper §3.3 swapping).
+  std::optional<size_t> alloc(size_t size);
+
+  /// Frees the block at `offset` (must come from alloc()).
+  void free(size_t offset);
+
+  /// Size recorded for the allocation at `offset`.
+  [[nodiscard]] size_t size_of(size_t offset) const;
+
+  [[nodiscard]] size_t bytes_free() const { return bytes_free_; }
+  [[nodiscard]] size_t bytes_capacity() const { return dmm_; }
+  [[nodiscard]] size_t largest_free_block() const;
+  [[nodiscard]] size_t allocation_count() const { return allocated_.size(); }
+
+  // ---- test introspection ----
+  [[nodiscard]] bool in_upper_half(size_t offset) const { return offset >= dmm_ / 2; }
+  [[nodiscard]] size_t small_max() const { return small_max_; }
+  [[nodiscard]] size_t large_min() const { return large_min_; }
+  /// Page-packing check: offset of the packing page holding this small
+  /// allocation. Packing pages are page-*sized* carve-outs of the upper
+  /// half (not necessarily page-aligned in the arena), so membership is
+  /// resolved via the page registry.
+  [[nodiscard]] size_t page_of(size_t offset) const;
+
+ private:
+  enum class Placement { kLargeLowUp, kMediumMidDown, kSmallHigh };
+  static constexpr size_t kMaxScanPerClass = 64;  // best-fit approximation
+  static constexpr size_t kSlotsMax = 4096;       // page/8 upper bound
+
+  struct SmallPage {
+    size_t offset = 0;
+    size_t slot_size = 0;
+    size_t used = 0;
+    std::bitset<kSlotsMax> taken;
+  };
+  struct AllocInfo {
+    size_t size = 0;
+    bool is_small = false;
+  };
+
+  std::optional<size_t> range_alloc(size_t size, Placement place);
+  void range_free(size_t offset, size_t size);
+  std::optional<size_t> small_alloc(size_t size);
+  void small_free(size_t offset, size_t size);
+  void enqueue_free(size_t offset, size_t size);
+
+  size_t dmm_;
+  size_t page_;
+  size_t small_max_;
+  size_t large_min_;
+  SizeClassTable classes_;
+
+  /// Ground truth for free space: offset -> length, coalesced.
+  std::map<size_t, size_t> free_blocks_;
+  /// Fig. 4 queues: per-class candidate offsets (lazily invalidated
+  /// against free_blocks_, so stale entries are cheap).
+  std::vector<std::vector<size_t>> queues_;
+
+  std::unordered_map<size_t, AllocInfo> allocated_;
+  /// slot size -> pages with free slots; page offset -> page record
+  /// (ordered so a slot offset finds its containing page by upper_bound).
+  std::unordered_map<size_t, std::vector<SmallPage*>> bins_;
+  std::map<size_t, std::unique_ptr<SmallPage>> pages_;
+
+  SmallPage* page_containing(size_t offset);
+  const SmallPage* page_containing(size_t offset) const;
+
+  size_t bytes_free_;
+};
+
+}  // namespace lots::mem

@@ -1,0 +1,39 @@
+#include "mem/eviction.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lots::mem {
+
+std::optional<uint64_t> choose_victim(std::span<const VictimCandidate> candidates, size_t need,
+                                      uint64_t newest_stamp, const EvictionConfig& cfg) {
+  std::vector<const VictimCandidate*> pool;
+  pool.reserve(candidates.size());
+  const uint64_t pin_floor =
+      newest_stamp >= cfg.pin_window ? newest_stamp - cfg.pin_window : 0;
+  for (const auto& c : candidates) {
+    if (c.access_stamp <= pin_floor) pool.push_back(&c);
+  }
+  if (pool.empty()) return std::nullopt;
+
+  // LRU pre-filter: the lru_window oldest candidates.
+  const size_t k = std::min(cfg.lru_window, pool.size());
+  std::partial_sort(pool.begin(), pool.begin() + static_cast<ptrdiff_t>(k), pool.end(),
+                    [](const VictimCandidate* a, const VictimCandidate* b) {
+                      if (a->access_stamp != b->access_stamp)
+                        return a->access_stamp < b->access_stamp;
+                      return a->object_id < b->object_id;
+                    });
+
+  // Best-fit among the window: tightest block that covers the need.
+  const VictimCandidate* best_fit = nullptr;
+  const VictimCandidate* largest = nullptr;
+  for (size_t i = 0; i < k; ++i) {
+    const auto* c = pool[i];
+    if (!largest || c->size > largest->size) largest = c;
+    if (c->size >= need && (!best_fit || c->size < best_fit->size)) best_fit = c;
+  }
+  return (best_fit ? best_fit : largest)->object_id;
+}
+
+}  // namespace lots::mem

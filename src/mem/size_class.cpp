@@ -1,0 +1,52 @@
+#include "mem/size_class.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lots::mem {
+
+SizeClassTable::SizeClassTable(size_t max_size) : max_size_(std::max(max_size, kFineMax * 2)) {
+  // Fine region: 8-byte granularity.
+  for (size_t i = 0; i < kFineClasses; ++i) lower_[i] = (i + 1) * kFineStep;
+  // Coarse region: geometric growth from kFineMax to max_size over the
+  // remaining classes.
+  const size_t coarse = kClasses - kFineClasses;
+  const double ratio =
+      std::pow(static_cast<double>(max_size_) / static_cast<double>(kFineMax),
+               1.0 / static_cast<double>(coarse));
+  double v = static_cast<double>(kFineMax);
+  for (size_t i = 0; i < coarse; ++i) {
+    v *= ratio;
+    size_t s = (static_cast<size_t>(v) + kFineStep - 1) / kFineStep * kFineStep;
+    s = std::max(s, lower_[kFineClasses + i - 1] + kFineStep);  // strictly increasing
+    lower_[kFineClasses + i] = s;
+  }
+  lower_[kClasses] = ~size_t{0};  // sentinel
+}
+
+size_t SizeClassTable::index_for_block(size_t size) const {
+  LOTS_CHECK(size >= kFineStep, "block below minimum size");
+  if (size < kFineMax + kFineStep) {
+    return std::min((size / kFineStep) - 1, kFineClasses - 1);
+  }
+  // Binary search the coarse region for the largest lower bound <= size.
+  size_t lo = kFineClasses, hi = kClasses;  // invariant: lower_[lo] <= size < lower_[hi]
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (lower_[mid] <= size) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t SizeClassTable::index_for_alloc(size_t size) const {
+  const size_t idx = index_for_block(size);
+  return lower_[idx] >= size ? idx : idx + 1;
+}
+
+}  // namespace lots::mem

@@ -1,0 +1,50 @@
+// The paper's 1024 size-class queues (Fig. 4).
+//
+// Used and free blocks in the DMM area are kept in linked lists whose
+// heads hang off 1024 queues, each covering a size range: fine 8-byte
+// granular classes for small blocks (8, 16, 24, 32, 40, ...) and
+// geometric classes up to the DMM size for large ones (... 1M, 2M, 4M,
+// ...). The allocator approximates best-fit by scanning the smallest
+// class that can hold a request and walking upward.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace lots::mem {
+
+class SizeClassTable {
+ public:
+  static constexpr size_t kClasses = 1024;  // paper Fig. 4
+  /// Fine classes cover 8..kFineMax in 8-byte steps.
+  static constexpr size_t kFineClasses = 512;
+  static constexpr size_t kFineStep = 8;
+  static constexpr size_t kFineMax = kFineClasses * kFineStep;  // 4096
+
+  /// `max_size` is the largest block the table must represent (the DMM
+  /// area size).
+  explicit SizeClassTable(size_t max_size);
+
+  /// Smallest block size belonging to class `idx`.
+  [[nodiscard]] size_t lower_bound_of(size_t idx) const { return lower_[idx]; }
+
+  /// Class that stores a *free block* of `size`: the largest class whose
+  /// lower bound does not exceed `size` (so every block in class i is
+  /// >= lower_[i]).
+  [[nodiscard]] size_t index_for_block(size_t size) const;
+
+  /// First class guaranteed to only contain blocks that satisfy an
+  /// allocation of `size` (blocks in index_for_block(size) may be
+  /// smaller than `size`, so callers scan that class first, then start
+  /// the guaranteed search here).
+  [[nodiscard]] size_t index_for_alloc(size_t size) const;
+
+  [[nodiscard]] size_t max_size() const { return max_size_; }
+
+ private:
+  size_t max_size_;
+  std::array<size_t, kClasses + 1> lower_{};
+};
+
+}  // namespace lots::mem

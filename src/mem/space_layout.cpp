@@ -1,0 +1,32 @@
+#include "mem/space_layout.hpp"
+
+#include <sys/mman.h>
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace lots::mem {
+
+SpaceLayout::SpaceLayout(size_t dmm_bytes) : s_(dmm_bytes) {
+  void* p = ::mmap(nullptr, 3 * s_, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    throw SystemError("SpaceLayout: mmap of " + std::to_string(3 * s_) + " bytes failed");
+  }
+  base_ = static_cast<uint8_t*>(p);
+}
+
+SpaceLayout::~SpaceLayout() {
+  if (base_) ::munmap(base_, 3 * s_);
+}
+
+void SpaceLayout::discard(size_t offset, size_t len) const {
+  // MADV_DONTNEED returns the pages to the OS; the next touch reads
+  // zeroes, which is fine because discarded ranges are always refilled
+  // (from disk or network) before use.
+  ::madvise(base_ + offset, len, MADV_DONTNEED);
+  ::madvise(base_ + s_ + offset, len, MADV_DONTNEED);
+  ::madvise(base_ + 2 * s_ + offset, len, MADV_DONTNEED);
+}
+
+}  // namespace lots::mem

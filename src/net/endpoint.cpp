@@ -1,0 +1,88 @@
+#include "net/endpoint.hpp"
+
+#include "common/error.hpp"
+
+namespace lots::net {
+
+Endpoint::Endpoint(std::unique_ptr<Transport> transport) : transport_(std::move(transport)) {}
+
+Endpoint::~Endpoint() { stop(); }
+
+void Endpoint::start(Handler handler) {
+  LOTS_CHECK(!running_.load(), "Endpoint already started");
+  handler_ = std::move(handler);
+  running_.store(true);
+  service_ = std::thread([this] { serve_loop(); });
+}
+
+void Endpoint::stop() {
+  if (!running_.exchange(false)) return;
+  Message bye;
+  bye.type = MsgType::kShutdown;
+  bye.dst = rank();
+  transport_->send(std::move(bye));
+  if (service_.joinable()) service_.join();
+}
+
+uint64_t Endpoint::send(Message m) {
+  m.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t seq = m.seq;
+  transport_->send(std::move(m));
+  return seq;
+}
+
+Message Endpoint::request(Message m, uint64_t timeout_us) {
+  auto slot = std::make_shared<Slot>();
+  m.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(pending_mu_);
+    pending_[m.seq] = slot;
+  }
+  const uint64_t seq = m.seq;
+  transport_->send(std::move(m));
+
+  std::unique_lock lk(slot->mu);
+  if (!slot->cv.wait_for(lk, std::chrono::microseconds(timeout_us),
+                         [&] { return slot->reply.has_value(); })) {
+    std::lock_guard plk(pending_mu_);
+    pending_.erase(seq);
+    throw SystemError("request timeout: node " + std::to_string(rank()) + " seq " +
+                      std::to_string(seq));
+  }
+  return std::move(*slot->reply);
+}
+
+void Endpoint::reply(const Message& req, Message resp) {
+  resp.dst = req.src;
+  resp.req_seq = req.seq;
+  send(std::move(resp));
+}
+
+void Endpoint::serve_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto m = transport_->recv(50'000);
+    if (!m) continue;
+    if (m->type == MsgType::kShutdown) break;
+
+    if (m->req_seq != 0) {  // reply to a blocked request()
+      std::shared_ptr<Slot> slot;
+      {
+        std::lock_guard lk(pending_mu_);
+        auto it = pending_.find(m->req_seq);
+        if (it != pending_.end()) {
+          slot = it->second;
+          pending_.erase(it);
+        }
+      }
+      if (slot) {
+        std::lock_guard lk(slot->mu);
+        slot->reply = std::move(*m);
+        slot->cv.notify_one();
+      }
+      continue;
+    }
+    if (handler_) handler_(std::move(*m));
+  }
+}
+
+}  // namespace lots::net

@@ -1,0 +1,79 @@
+// Endpoint: one node's messaging engine.
+//
+// The paper handles incoming messages with SIGIO handlers (§3.6): remote
+// requests are served asynchronously while the application computes.
+// Here the same role is played by a per-node *service thread* running
+// Endpoint::serve_loop. The application thread uses request()/send();
+// replies are matched to blocked requesters by sequence number, and all
+// other traffic is dispatched to the protocol handler installed by the
+// runtime.
+//
+// Handler contract: handlers run on the service thread and must never
+// block on a nested request() — they answer from node-local state (or
+// redirect). Every protocol in this repository obeys that rule; it is
+// what makes the system deadlock-free by construction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+
+namespace lots::net {
+
+class Endpoint {
+ public:
+  using Handler = std::function<void(Message&&)>;
+
+  explicit Endpoint(std::unique_ptr<Transport> transport);
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Starts the service thread with the given dispatch handler.
+  void start(Handler handler);
+  /// Stops and joins the service thread (idempotent).
+  void stop();
+
+  /// Fire-and-forget send; assigns and returns the message sequence.
+  uint64_t send(Message m);
+
+  /// Send `m` and block until a reply carrying req_seq == m.seq arrives.
+  /// Throws SystemError on timeout (a DSM node that stops answering is a
+  /// fatal cluster condition, not a recoverable one).
+  Message request(Message m, uint64_t timeout_us = 30'000'000);
+
+  /// Convenience for handlers: route `resp` back to the requester of
+  /// `req` with the reply sequence filled in.
+  void reply(const Message& req, Message resp);
+
+  [[nodiscard]] Transport& transport() { return *transport_; }
+  [[nodiscard]] int rank() const { return transport_->rank(); }
+  [[nodiscard]] int nprocs() const { return transport_->nprocs(); }
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Message> reply;
+  };
+
+  void serve_loop();
+
+  std::unique_ptr<Transport> transport_;
+  Handler handler_;
+  std::thread service_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> next_seq_{1};
+
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Slot>> pending_;
+};
+
+}  // namespace lots::net

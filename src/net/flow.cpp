@@ -1,0 +1,32 @@
+#include "net/flow.hpp"
+
+#include "common/error.hpp"
+
+namespace lots::net {
+
+void SendWindow::on_send(uint64_t seq, std::vector<uint8_t> wire, uint64_t now_us) {
+  LOTS_CHECK(can_send(), "SendWindow::on_send called with a full window");
+  inflight_.push_back(Pkt{seq, std::move(wire), now_us});
+}
+
+void SendWindow::on_ack(uint64_t cum_ack) {
+  while (!inflight_.empty() && inflight_.front().seq <= cum_ack) {
+    inflight_.pop_front();
+  }
+}
+
+std::vector<std::pair<uint64_t, const std::vector<uint8_t>*>> SendWindow::timed_out(
+    uint64_t now_us, uint64_t rto_us) {
+  std::vector<std::pair<uint64_t, const std::vector<uint8_t>*>> out;
+  if (inflight_.empty()) return out;
+  if (now_us - inflight_.front().sent_at_us < rto_us) return out;
+  // Go-back-N: resend the whole window, restart all timers.
+  for (auto& p : inflight_) {
+    p.sent_at_us = now_us;
+    out.emplace_back(p.seq, &p.wire);
+    ++retransmissions_;
+  }
+  return out;
+}
+
+}  // namespace lots::net

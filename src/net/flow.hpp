@@ -1,0 +1,75 @@
+// Sliding-window flow control (paper §3.6: "LOTS also adopts a simple
+// flow control algorithm, which is slightly more efficient than that of
+// the TCP protocol").
+//
+// This is a deliberately simple go-back-N scheme over datagrams:
+// cumulative ACKs, a fixed window, timeout retransmission from the
+// lowest unacknowledged sequence. The pure window logic lives here so it
+// can be unit-tested without sockets; UdpTransport drives it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace lots::net {
+
+/// Sender-side window state for one peer.
+class SendWindow {
+ public:
+  explicit SendWindow(size_t window = 32) : window_(window) {}
+
+  /// True when another datagram may enter the network.
+  [[nodiscard]] bool can_send() const { return inflight_.size() < window_; }
+
+  /// Registers datagram `seq` (must be `next_seq()`), with its wire image
+  /// retained for retransmission.
+  void on_send(uint64_t seq, std::vector<uint8_t> wire, uint64_t now_us);
+
+  /// Cumulative ACK: everything <= `cum_ack` is delivered.
+  void on_ack(uint64_t cum_ack);
+
+  /// Sequences (with wire images) needing retransmission at `now_us`.
+  /// Go-back-N: a timeout resends every in-flight datagram and resets
+  /// their timers.
+  [[nodiscard]] std::vector<std::pair<uint64_t, const std::vector<uint8_t>*>> timed_out(
+      uint64_t now_us, uint64_t rto_us);
+
+  [[nodiscard]] uint64_t next_seq() const { return next_seq_; }
+  uint64_t alloc_seq() { return next_seq_++; }
+  [[nodiscard]] size_t inflight() const { return inflight_.size(); }
+  [[nodiscard]] uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct Pkt {
+    uint64_t seq;
+    std::vector<uint8_t> wire;
+    uint64_t sent_at_us;
+  };
+  size_t window_;
+  uint64_t next_seq_ = 1;  // 0 means "nothing acked yet" in cumulative acks
+  std::deque<Pkt> inflight_;
+  uint64_t retransmissions_ = 0;
+};
+
+/// Receiver-side state for one peer: in-order acceptance with
+/// duplicate suppression, producing cumulative ACK values.
+class RecvWindow {
+ public:
+  /// True if `seq` is the next expected datagram (accept and advance);
+  /// false for duplicates or out-of-order arrivals (dropped; go-back-N
+  /// resends them in order).
+  bool accept(uint64_t seq) {
+    if (seq != expected_) return false;
+    ++expected_;
+    return true;
+  }
+  /// Highest in-order sequence received (cumulative ACK to send back).
+  [[nodiscard]] uint64_t cum_ack() const { return expected_ - 1; }
+
+ private:
+  uint64_t expected_ = 1;
+};
+
+}  // namespace lots::net

@@ -1,0 +1,70 @@
+#include "net/fragment.hpp"
+
+namespace lots::net {
+
+void FragHeader::encode(Writer& w) const {
+  w.u64(msg_id);
+  w.u32(index);
+  w.u32(count);
+}
+
+FragHeader FragHeader::decode(Reader& r) {
+  FragHeader h;
+  h.msg_id = r.u64();
+  h.index = r.u32();
+  h.count = r.u32();
+  return h;
+}
+
+std::vector<std::vector<uint8_t>> fragment(std::span<const uint8_t> encoded, uint64_t msg_id,
+                                           size_t max_datagram) {
+  LOTS_CHECK(max_datagram > FragHeader::kBytes, "datagram limit below fragment header size");
+  const size_t chunk = max_datagram - FragHeader::kBytes;
+  const size_t count = encoded.empty() ? 1 : (encoded.size() + chunk - 1) / chunk;
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t off = i * chunk;
+    const size_t len = std::min(chunk, encoded.size() - off);
+    std::vector<uint8_t> dgram;
+    dgram.reserve(FragHeader::kBytes + len);
+    Writer w(dgram);
+    FragHeader{msg_id, static_cast<uint32_t>(i), static_cast<uint32_t>(count)}.encode(w);
+    w.raw(encoded.data() + off, len);
+    out.push_back(std::move(dgram));
+  }
+  return out;
+}
+
+std::optional<Message> Reassembler::feed(int32_t src, std::span<const uint8_t> datagram) {
+  Reader r(datagram);
+  const FragHeader h = FragHeader::decode(r);
+  if (h.count == 0 || h.index >= h.count) {
+    throw SystemError("malformed fragment header");
+  }
+  std::vector<uint8_t> body(datagram.begin() + FragHeader::kBytes, datagram.end());
+
+  if (h.count == 1) {
+    return decode_message(body);  // fast path, nothing buffered
+  }
+
+  const Key key{src, h.msg_id};
+  Partial& p = partial_[key];
+  if (p.parts.empty()) p.parts.resize(h.count);
+  if (!p.parts[h.index].empty()) return std::nullopt;  // duplicate fragment
+  pending_bytes_ += body.size();
+  p.bytes += body.size();
+  p.parts[h.index] = std::move(body);
+  ++p.received;
+  if (p.received < h.count) return std::nullopt;
+
+  // Final fragment arrived: rebuild the original encoded message.
+  std::vector<uint8_t> whole;
+  whole.reserve(p.bytes);
+  for (auto& part : p.parts) whole.insert(whole.end(), part.begin(), part.end());
+  pending_bytes_ -= p.bytes;
+  partial_.erase(key);
+  return decode_message(whole);
+}
+
+}  // namespace lots::net

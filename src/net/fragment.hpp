@@ -1,0 +1,76 @@
+// Datagram fragmentation and reassembly (paper §5).
+//
+// The paper's sockets cannot carry messages above 64 KB, so large
+// payloads (e.g. whole large objects) are split into fragments and the
+// receiver "must receive all the message fragments in order to rebuild
+// the original message before decoding" — a bottleneck the authors call
+// out. This module implements exactly that scheme; the store-and-rebuild
+// cost is measured by bench/net_micro.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace lots::net {
+
+/// Maximum bytes of one wire datagram, matching the paper's 64 KB socket
+/// limit (minus UDP/IP headroom so a fragment always fits a datagram).
+constexpr size_t kMaxDatagram = 63 * 1024;
+
+/// Per-fragment header prepended to each datagram.
+struct FragHeader {
+  uint64_t msg_id = 0;    ///< unique per (sender, message)
+  uint32_t index = 0;     ///< fragment position
+  uint32_t count = 0;     ///< total fragments of the message
+  static constexpr size_t kBytes = 16;
+
+  void encode(Writer& w) const;
+  static FragHeader decode(Reader& r);
+};
+
+/// Splits an encoded message into <= kMaxDatagram wire fragments.
+/// Single-fragment messages still carry a FragHeader (count == 1) so the
+/// receive path is uniform.
+std::vector<std::vector<uint8_t>> fragment(std::span<const uint8_t> encoded, uint64_t msg_id,
+                                           size_t max_datagram = kMaxDatagram);
+
+/// Rebuilds messages from fragments arriving in any order. Keyed by
+/// (source, msg_id); duplicate fragments are ignored (UDP may duplicate).
+class Reassembler {
+ public:
+  /// Feed one datagram from `src`. Returns the decoded full message once
+  /// the final missing fragment arrives, otherwise nullopt.
+  std::optional<Message> feed(int32_t src, std::span<const uint8_t> datagram);
+
+  /// Buffered bytes held for incomplete messages (the paper's noted
+  /// memory cost of store-and-rebuild).
+  [[nodiscard]] size_t pending_bytes() const { return pending_bytes_; }
+  [[nodiscard]] size_t pending_messages() const { return partial_.size(); }
+
+ private:
+  struct Partial {
+    std::vector<std::vector<uint8_t>> parts;
+    uint32_t received = 0;
+    size_t bytes = 0;
+  };
+  struct Key {
+    int32_t src;
+    uint64_t msg_id;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.msg_id * 0x9E3779B97F4A7C15ull ^
+                                   static_cast<uint64_t>(static_cast<uint32_t>(k.src)));
+    }
+  };
+  std::unordered_map<Key, Partial, KeyHash> partial_;
+  size_t pending_bytes_ = 0;
+};
+
+}  // namespace lots::net

@@ -1,0 +1,105 @@
+#include "net/inproc.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace lots::net {
+
+InProcFabric::InProcFabric(int nprocs, NetModel model) : model_(model) {
+  LOTS_CHECK(nprocs >= 1, "fabric needs at least one node");
+  inboxes_.reserve(static_cast<size_t>(nprocs));
+  nic_free_at_us_.assign(static_cast<size_t>(nprocs), 0);
+  for (int i = 0; i < nprocs; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+    nic_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+std::unique_ptr<InProcTransport> InProcFabric::open(int rank) {
+  LOTS_CHECK(rank >= 0 && rank < nprocs(), "open(): rank out of range");
+  return std::make_unique<InProcTransport>(this, rank);
+}
+
+void InProcFabric::deliver(Message m, NodeStats* sender_stats) {
+  LOTS_CHECK(m.dst >= 0 && m.dst < nprocs(), "send(): dst out of range");
+  const size_t wire = m.wire_size();
+  const double model_us = model_.cost_us(wire);
+
+  if (sender_stats) {
+    sender_stats->msgs_sent.fetch_add(1, std::memory_order_relaxed);
+    sender_stats->bytes_sent.fetch_add(wire, std::memory_order_relaxed);
+    sender_stats->net_wait_us.fetch_add(static_cast<uint64_t>(model_us),
+                                        std::memory_order_relaxed);
+  }
+
+  uint64_t deliver_at = 0;
+  if (model_.time_scale > 0) {
+    // Serialize on the sender NIC: back-to-back messages queue behind
+    // each other at scaled wire rate.
+    const double ser_us = (static_cast<double>(wire) / model_.bandwidth_MBps) * model_.time_scale;
+    const double lat_us = model_.latency_us * model_.time_scale;
+    uint64_t start;
+    {
+      std::lock_guard lk(*nic_mu_[static_cast<size_t>(m.src)]);
+      uint64_t& free_at = nic_free_at_us_[static_cast<size_t>(m.src)];
+      start = std::max(free_at, now_us());
+      free_at = start + static_cast<uint64_t>(ser_us);
+    }
+    // The sending thread pays the serialization time (sync send path).
+    precise_delay_us(static_cast<double>(start) + ser_us - static_cast<double>(now_us()));
+    deliver_at = now_us() + static_cast<uint64_t>(lat_us);
+  }
+
+  Inbox& box = *inboxes_[static_cast<size_t>(m.dst)];
+  {
+    std::lock_guard lk(box.mu);
+    box.q.push_back(Timed{std::move(m), deliver_at});
+  }
+  box.cv.notify_one();
+}
+
+std::optional<Message> InProcFabric::take(int rank, uint64_t timeout_us) {
+  Inbox& box = *inboxes_[static_cast<size_t>(rank)];
+  const uint64_t deadline = timeout_us ? now_us() + timeout_us : 0;
+  std::unique_lock lk(box.mu);
+  for (;;) {
+    if (!box.q.empty()) {
+      const uint64_t at = box.q.front().deliver_at_us;
+      const uint64_t now = now_us();
+      if (at <= now) {
+        Message m = std::move(box.q.front().msg);
+        box.q.pop_front();
+        return m;
+      }
+      // Head not yet "on the wire": wait out the modeled latency, but
+      // remain interruptible by earlier messages (queue is FIFO per
+      // sender pair which is all UDP guarantees anyway).
+      box.cv.wait_for(lk, std::chrono::microseconds(at - now));
+      continue;
+    }
+    if (timeout_us == 0) return std::nullopt;
+    const uint64_t now = now_us();
+    if (now >= deadline) return std::nullopt;
+    box.cv.wait_for(lk, std::chrono::microseconds(deadline - now));
+  }
+}
+
+void InProcTransport::send(Message m) {
+  m.src = rank_;
+  fabric_->deliver(std::move(m), stats_);
+}
+
+std::optional<Message> InProcTransport::recv(uint64_t timeout_us) {
+  auto m = fabric_->take(rank_, timeout_us);
+  if (m && stats_) {
+    stats_->msgs_recv.fetch_add(1, std::memory_order_relaxed);
+    stats_->bytes_recv.fetch_add(m->wire_size(), std::memory_order_relaxed);
+  }
+  return m;
+}
+
+int InProcTransport::nprocs() const { return fabric_->nprocs(); }
+
+}  // namespace lots::net

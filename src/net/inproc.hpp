@@ -1,0 +1,74 @@
+// In-process interconnect: the cluster substitute.
+//
+// Each node owns an inbox (MPSC queue). A send charges the sending
+// thread the modeled serialization time of its NIC and stamps the
+// message with a delivery deadline (one-way latency); the receiver's
+// recv() does not surface the message before its deadline. With
+// time_scale == 0 the fabric degenerates to an ideal zero-latency
+// interconnect (unit tests); stats still accumulate *unscaled* modeled
+// microseconds so benches can report modeled time even in fast runs.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/config.hpp"
+#include "net/transport.hpp"
+
+namespace lots::net {
+
+class InProcFabric;
+
+/// One node's endpoint on the fabric.
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(InProcFabric* fabric, int rank) : fabric_(fabric), rank_(rank) {}
+
+  void send(Message m) override;
+  std::optional<Message> recv(uint64_t timeout_us) override;
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int nprocs() const override;
+
+ private:
+  InProcFabric* fabric_;
+  int rank_;
+};
+
+/// The shared interconnect: creates one InProcTransport per node.
+class InProcFabric {
+ public:
+  InProcFabric(int nprocs, NetModel model);
+
+  [[nodiscard]] std::unique_ptr<InProcTransport> open(int rank);
+  [[nodiscard]] int nprocs() const { return static_cast<int>(inboxes_.size()); }
+  [[nodiscard]] const NetModel& model() const { return model_; }
+
+ private:
+  friend class InProcTransport;
+
+  struct Timed {
+    Message msg;
+    uint64_t deliver_at_us = 0;  ///< wall deadline (scaled); 0 = immediate
+  };
+  struct Inbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Timed> q;
+  };
+
+  void deliver(Message m, NodeStats* sender_stats);
+  std::optional<Message> take(int rank, uint64_t timeout_us);
+
+  NetModel model_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  /// Per-sender NIC availability time (scaled wall clock, microseconds):
+  /// models back-to-back sends serializing on one adapter.
+  std::vector<std::unique_ptr<std::mutex>> nic_mu_;
+  std::vector<uint64_t> nic_free_at_us_;
+};
+
+}  // namespace lots::net

@@ -1,0 +1,75 @@
+#include "net/streaming.hpp"
+
+namespace lots::net {
+
+void StreamingReassembler::feed(std::span<const uint8_t> datagram) {
+  Reader r(datagram);
+  const FragHeader h = FragHeader::decode(r);
+  if (h.count == 0 || h.index >= h.count) throw SystemError("streaming: malformed fragment");
+  auto body = datagram.subspan(FragHeader::kBytes);
+
+  if (!active_) {
+    active_ = true;
+    msg_id_ = h.msg_id;
+    expected_count_ = h.count;
+    next_index_ = 0;
+    header_skip_ = Message::kHeaderBytes;
+    payload_offset_ = 0;
+    header_buf_.clear();
+  }
+  LOTS_CHECK(h.msg_id == msg_id_, "streaming: interleaved message ids on one stream");
+
+  if (h.index != next_index_) {
+    if (parked_.count(h.index)) return;  // duplicate
+    parked_bytes_ += body.size();
+    parked_.emplace(h.index, std::vector<uint8_t>(body.begin(), body.end()));
+    return;
+  }
+  consume(h.index, body);
+  ++next_index_;
+  // Drain any parked fragments that are now in order.
+  for (auto it = parked_.find(next_index_); it != parked_.end();
+       it = parked_.find(next_index_)) {
+    parked_bytes_ -= it->second.size();
+    consume(it->first, it->second);
+    parked_.erase(it);
+    ++next_index_;
+  }
+  finish_if_complete();
+}
+
+void StreamingReassembler::consume(uint32_t /*index*/, std::span<const uint8_t> body) {
+  // First swallow the wire header, then stream payload runs.
+  if (header_skip_ > 0) {
+    const size_t take = std::min(header_skip_, body.size());
+    header_buf_.insert(header_buf_.end(), body.begin(), body.begin() + static_cast<ptrdiff_t>(take));
+    header_skip_ -= take;
+    body = body.subspan(take);
+    if (header_skip_ == 0) {
+      // Decode the header now — the receiver learns what is coming
+      // before the bulk arrives (the §5 improvement).
+      Reader hr(header_buf_);
+      Message header;
+      header.type = static_cast<MsgType>(hr.u16());
+      header.src = hr.i32();
+      header.dst = hr.i32();
+      header.seq = hr.u64();
+      header.req_seq = hr.u64();
+      const uint32_t payload_bytes = hr.u32();
+      if (on_header_) on_header_(header, payload_bytes);
+    }
+  }
+  if (!body.empty()) {
+    if (on_body_) on_body_(payload_offset_, body);
+    payload_offset_ += body.size();
+  }
+}
+
+void StreamingReassembler::finish_if_complete() {
+  if (next_index_ == expected_count_) {
+    active_ = false;
+    if (on_done_) on_done_();
+  }
+}
+
+}  // namespace lots::net

@@ -1,0 +1,43 @@
+// Transport abstraction: how one DSM node's messages reach another.
+//
+// Two implementations exist:
+//  * InProcFabric  — per-node queues inside one process, with a
+//    calibrated delay model standing in for the paper's 100base-T
+//    switched Ethernet. Used by tests and by all benches.
+//  * UdpTransport  — real UDP/IP datagram sockets (paper §3.6) with
+//    fragmentation, sliding-window flow control and retransmission.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "net/message.hpp"
+
+namespace lots::net {
+
+/// One node's view of the interconnect. Thread-safety contract: send()
+/// may be called by the node's app and service threads concurrently;
+/// recv() is called only by the node's service thread.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queue `m` for delivery to m.dst. Blocks for the modeled wire time
+  /// (serialization on this node's NIC) when a delay model is active.
+  virtual void send(Message m) = 0;
+
+  /// Block until a message arrives or `timeout_us` elapses (0 = poll).
+  virtual std::optional<Message> recv(uint64_t timeout_us) = 0;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int nprocs() const = 0;
+
+  /// Stats sink shared with the owning node (may be null in micro tests).
+  void set_stats(NodeStats* stats) { stats_ = stats; }
+
+ protected:
+  NodeStats* stats_ = nullptr;
+};
+
+}  // namespace lots::net

@@ -1,0 +1,200 @@
+#include "net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace lots::net {
+namespace {
+
+constexpr uint8_t kData = 0;
+constexpr uint8_t kAck = 1;
+constexpr size_t kCtrlBytes = 1 + 8 + 8;  // kind + seq + cum_ack
+
+sockaddr_in addr_of(uint16_t base_port, int rank) {
+  sockaddr_in a{};
+  a.sin_family = AF_INET;
+  a.sin_port = htons(static_cast<uint16_t>(base_port + rank));
+  a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return a;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(int rank, int nprocs, uint16_t base_port, size_t window,
+                           uint64_t rto_us)
+    : rank_(rank),
+      nprocs_(nprocs),
+      base_port_(base_port),
+      window_(window),
+      rto_us_(rto_us),
+      fault_rng_(0xF001) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw SystemError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // Generous buffers: a whole window of max datagrams per peer.
+  int buf = 4 << 20;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+  sockaddr_in me = addr_of(base_port_, rank_);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&me), sizeof(me)) != 0) {
+    ::close(fd_);
+    throw SystemError("bind() failed for UDP rank " + std::to_string(rank_));
+  }
+  peers_.reserve(static_cast<size_t>(nprocs_));
+  for (int i = 0; i < nprocs_; ++i) peers_.push_back(std::make_unique<Peer>(window_));
+  pump_ = std::thread([this] { pump_loop(); });
+}
+
+UdpTransport::~UdpTransport() {
+  running_.store(false);
+  if (pump_.joinable()) pump_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::raw_send_locked(int dst, std::span<const uint8_t> dgram, bool allow_fault) {
+  if (allow_fault) {
+    if (fault_.drop_prob > 0 && fault_rng_.unit() < fault_.drop_prob) return;
+    if (fault_.dup_prob > 0 && fault_rng_.unit() < fault_.dup_prob) {
+      raw_send_locked(dst, dgram, false);
+    }
+  }
+  sockaddr_in to = addr_of(base_port_, dst);
+  ::sendto(fd_, dgram.data(), dgram.size(), 0, reinterpret_cast<sockaddr*>(&to), sizeof(to));
+  if (stats_) stats_->fragments_sent.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UdpTransport::send(Message m) {
+  m.src = rank_;
+  const int dst = m.dst;
+  LOTS_CHECK(dst >= 0 && dst < nprocs_, "UdpTransport::send dst out of range");
+
+  if (stats_) {
+    stats_->msgs_sent.fetch_add(1, std::memory_order_relaxed);
+    stats_->bytes_sent.fetch_add(m.wire_size(), std::memory_order_relaxed);
+  }
+
+  if (dst == rank_) {  // loopback shortcut, no wire involved
+    std::lock_guard lk(mu_);
+    ready_.push_back(std::move(m));
+    ready_cv_.notify_one();
+    return;
+  }
+
+  const std::vector<uint8_t> encoded = encode_message(m);
+  std::unique_lock lk(mu_);
+  const uint64_t msg_id = next_msg_id_++;
+  lk.unlock();
+  auto frags = fragment(encoded, msg_id, kMaxDatagram - kCtrlBytes);
+  for (auto& frag : frags) {
+    lk.lock();
+    Peer& p = peer(dst);
+    window_cv_.wait(lk, [&] { return p.send_win.can_send(); });
+    const uint64_t seq = p.send_win.alloc_seq();
+    std::vector<uint8_t> dgram;
+    dgram.reserve(kCtrlBytes + frag.size());
+    Writer w(dgram);
+    w.u8(kData);
+    w.u64(seq);
+    w.u64(p.recv_win.cum_ack());  // piggyback
+    w.raw(frag.data(), frag.size());
+    raw_send_locked(dst, dgram, /*allow_fault=*/true);
+    p.send_win.on_send(seq, std::move(dgram), now_us());
+    lk.unlock();
+  }
+}
+
+void UdpTransport::retransmit_expired_locked() {
+  const uint64_t now = now_us();
+  for (int r = 0; r < nprocs_; ++r) {
+    if (r == rank_) continue;
+    for (auto& [seq, wire] : peer(r).send_win.timed_out(now, rto_us_)) {
+      raw_send_locked(r, *wire, /*allow_fault=*/true);
+    }
+  }
+}
+
+void UdpTransport::pump_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pump_socket_once(2'000);
+    std::lock_guard lk(mu_);
+    retransmit_expired_locked();
+  }
+}
+
+void UdpTransport::pump_socket_once(uint64_t timeout_us) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_us / 1000));
+  if (rc <= 0) return;
+
+  uint8_t buf[kMaxDatagram + 64];
+  sockaddr_in from{};
+  socklen_t fl = sizeof(from);
+  for (;;) {
+    const ssize_t n =
+        ::recvfrom(fd_, buf, sizeof(buf), MSG_DONTWAIT, reinterpret_cast<sockaddr*>(&from), &fl);
+    if (n <= 0) break;
+    const int src = static_cast<int>(ntohs(from.sin_port)) - static_cast<int>(base_port_);
+    if (src < 0 || src >= nprocs_ || src == rank_) continue;
+
+    Reader r(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+    const uint8_t kind = r.u8();
+    const uint64_t seq = r.u64();
+    const uint64_t cum = r.u64();
+
+    std::lock_guard lk(mu_);
+    Peer& p = peer(src);
+    p.send_win.on_ack(cum);
+    window_cv_.notify_all();
+    if (kind == kAck) continue;
+
+    const bool fresh = p.recv_win.accept(seq);
+    // Always (re-)ACK so a lost ACK cannot stall the sender.
+    std::vector<uint8_t> ack;
+    Writer w(ack);
+    w.u8(kAck);
+    w.u64(0);
+    w.u64(p.recv_win.cum_ack());
+    raw_send_locked(src, ack, /*allow_fault=*/false);
+    if (!fresh) continue;
+
+    auto body = std::span<const uint8_t>(buf + kCtrlBytes, static_cast<size_t>(n) - kCtrlBytes);
+    if (auto msg = reasm_.feed(src, body)) {
+      if (stats_) {
+        stats_->msgs_recv.fetch_add(1, std::memory_order_relaxed);
+        stats_->bytes_recv.fetch_add(msg->wire_size(), std::memory_order_relaxed);
+      }
+      ready_.push_back(std::move(*msg));
+      ready_cv_.notify_one();
+    }
+  }
+}
+
+std::optional<Message> UdpTransport::recv(uint64_t timeout_us) {
+  std::unique_lock lk(mu_);
+  if (!ready_cv_.wait_for(lk, std::chrono::microseconds(timeout_us),
+                          [&] { return !ready_.empty(); })) {
+    return std::nullopt;
+  }
+  Message m = std::move(ready_.front());
+  ready_.pop_front();
+  return m;
+}
+
+uint64_t UdpTransport::retransmissions() const {
+  auto* self = const_cast<UdpTransport*>(this);
+  std::lock_guard lk(self->mu_);
+  uint64_t total = 0;
+  for (auto& p : peers_) total += p->send_win.retransmissions();
+  return total;
+}
+
+}  // namespace lots::net

@@ -1,0 +1,86 @@
+// Real UDP/IP transport (paper §3.6): dedicated point-to-point datagram
+// sockets, 64 KB datagram ceiling with fragmentation/reassembly, and the
+// simple sliding-window flow control of flow.hpp with timeout
+// retransmission. A fault-injection hook drops/duplicates outgoing
+// datagrams to exercise the reliability path in tests.
+//
+// An internal housekeeping thread pumps the socket continuously (ACK
+// processing, reassembly, retransmission timers) — the moral equivalent
+// of the paper's SIGIO-driven receive path. recv() therefore only waits
+// on the queue of fully reassembled messages; send() blocks on the
+// per-peer window when it is full.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "net/flow.hpp"
+#include "net/fragment.hpp"
+#include "net/transport.hpp"
+
+namespace lots::net {
+
+/// Outgoing-datagram fault injection for reliability tests.
+struct FaultSpec {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  uint64_t seed = 1;
+};
+
+class UdpTransport final : public Transport {
+ public:
+  /// Binds 127.0.0.1:(base_port + rank). All nodes of one cluster must
+  /// share base_port and nprocs.
+  UdpTransport(int rank, int nprocs, uint16_t base_port, size_t window = 32,
+               uint64_t rto_us = 20'000);
+  ~UdpTransport() override;
+
+  void send(Message m) override;
+  std::optional<Message> recv(uint64_t timeout_us) override;
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int nprocs() const override { return nprocs_; }
+
+  void set_fault(const FaultSpec& f) {
+    std::lock_guard lk(mu_);
+    fault_ = f;
+  }
+  [[nodiscard]] uint64_t retransmissions() const;
+
+ private:
+  struct Peer {
+    SendWindow send_win;
+    RecvWindow recv_win;
+    explicit Peer(size_t window) : send_win(window) {}
+  };
+
+  void raw_send_locked(int dst, std::span<const uint8_t> dgram, bool allow_fault);
+  void pump_loop();
+  void pump_socket_once(uint64_t timeout_us);
+  void retransmit_expired_locked();
+  Peer& peer(int r) { return *peers_[static_cast<size_t>(r)]; }
+
+  int rank_;
+  int nprocs_;
+  uint16_t base_port_;
+  int fd_ = -1;
+  size_t window_;
+  uint64_t rto_us_;
+
+  std::mutex mu_;  ///< guards peers_, ready_, reasm_, msg_id_, fault_
+  std::condition_variable window_cv_;
+  std::condition_variable ready_cv_;
+  FaultSpec fault_;
+  Rng fault_rng_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  Reassembler reasm_;
+  std::deque<Message> ready_;
+  uint64_t next_msg_id_ = 1;
+
+  std::atomic<bool> running_{true};
+  std::thread pump_;
+};
+
+}  // namespace lots::net

@@ -1,0 +1,175 @@
+#include "storage/disk_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/statvfs.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace lots::storage {
+
+DiskStore::DiskStore(const std::string& dir, int rank, DiskModel model, NodeStats* stats)
+    : model_(model), stats_(stats) {
+  std::filesystem::create_directories(dir);
+  path_ = dir + "/node" + std::to_string(rank) + ".store";
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  if (fd_ < 0) throw SystemError("DiskStore: cannot open " + path_);
+}
+
+DiskStore::~DiskStore() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+void DiskStore::charge(uint64_t bytes, bool /*is_write*/) {
+  const double us = model_.cost_us(bytes);
+  modeled_io_us_ += static_cast<uint64_t>(us);
+  if (stats_) stats_->disk_wait_us.fetch_add(static_cast<uint64_t>(us), std::memory_order_relaxed);
+  if (model_.time_scale > 0) precise_delay_us(us * model_.time_scale);
+}
+
+Extent DiskStore::allocate(uint64_t length) {
+  // First fit over the free list.
+  for (auto it = free_by_offset_.begin(); it != free_by_offset_.end(); ++it) {
+    if (it->second >= length) {
+      Extent e{it->first, length};
+      const uint64_t rest = it->second - length;
+      const uint64_t rest_off = it->first + length;
+      free_by_offset_.erase(it);
+      if (rest > 0) free_by_offset_[rest_off] = rest;
+      return e;
+    }
+  }
+  Extent e{file_end_, length};
+  file_end_ += length;
+  return e;
+}
+
+void DiskStore::release(Extent e) {
+  if (e.length == 0) return;
+  auto [it, inserted] = free_by_offset_.emplace(e.offset, e.length);
+  LOTS_CHECK(inserted, "DiskStore: double free of extent");
+  // Coalesce with successor.
+  auto next = std::next(it);
+  if (next != free_by_offset_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_by_offset_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_by_offset_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_by_offset_.erase(it);
+      it = prev;
+    }
+  }
+  // Trim the file tail when the last extent is free.
+  if (it->first + it->second == file_end_) {
+    file_end_ = it->first;
+    free_by_offset_.erase(it);
+    if (::ftruncate(fd_, static_cast<off_t>(file_end_)) != 0) {
+      // Non-fatal: the space is still tracked as free in-memory.
+    }
+  }
+}
+
+void DiskStore::write_object(uint64_t id, std::span<const uint8_t> data) {
+  std::lock_guard lk(mu_);
+  auto it = objects_.find(id);
+  Extent e;
+  if (it != objects_.end() && it->second.length == data.size()) {
+    e = it->second;  // in-place rewrite
+  } else {
+    if (it != objects_.end()) {
+      release(it->second);
+      live_bytes_ -= it->second.length;
+      objects_.erase(it);
+    }
+    e = allocate(data.size());
+    objects_[id] = e;
+    live_bytes_ += e.length;
+  }
+  size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                               static_cast<off_t>(e.offset + done));
+    if (n <= 0) throw SystemError("DiskStore: pwrite failed on " + path_);
+    done += static_cast<size_t>(n);
+  }
+  charge(data.size(), /*is_write=*/true);
+  if (stats_) {
+    stats_->swap_outs.fetch_add(1, std::memory_order_relaxed);
+    stats_->swap_bytes_out.fetch_add(data.size(), std::memory_order_relaxed);
+  }
+}
+
+bool DiskStore::read_object(uint64_t id, std::span<uint8_t> out) {
+  std::lock_guard lk(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return false;
+  LOTS_CHECK_EQ(it->second.length, out.size(), "DiskStore: read size mismatch");
+  size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(it->second.offset + done));
+    if (n <= 0) throw SystemError("DiskStore: pread failed on " + path_);
+    done += static_cast<size_t>(n);
+  }
+  charge(out.size(), /*is_write=*/false);
+  if (stats_) {
+    stats_->swap_ins.fetch_add(1, std::memory_order_relaxed);
+    stats_->swap_bytes_in.fetch_add(out.size(), std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void DiskStore::free_object(uint64_t id) {
+  std::lock_guard lk(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return;
+  live_bytes_ -= it->second.length;
+  release(it->second);
+  objects_.erase(it);
+}
+
+bool DiskStore::contains(uint64_t id) const {
+  std::lock_guard lk(mu_);
+  return objects_.count(id) != 0;
+}
+
+std::optional<uint64_t> DiskStore::size_of(uint64_t id) const {
+  std::lock_guard lk(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second.length;
+}
+
+uint64_t DiskStore::stored_bytes() const {
+  std::lock_guard lk(mu_);
+  return live_bytes_;
+}
+
+uint64_t DiskStore::file_bytes() const {
+  std::lock_guard lk(mu_);
+  return file_end_;
+}
+
+size_t DiskStore::object_count() const {
+  std::lock_guard lk(mu_);
+  return objects_.size();
+}
+
+uint64_t DiskStore::filesystem_free_bytes() const {
+  struct statvfs vfs{};
+  if (::statvfs(path_.c_str(), &vfs) != 0) return 0;
+  return static_cast<uint64_t>(vfs.f_bavail) * vfs.f_frsize;
+}
+
+}  // namespace lots::storage

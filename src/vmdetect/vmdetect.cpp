@@ -1,0 +1,107 @@
+#include "vmdetect/vmdetect.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lots::vm {
+namespace {
+
+void sigsegv_trampoline(int sig, siginfo_t* info, void* /*uctx*/) {
+  if (info && info->si_addr && FaultRegistry::instance().dispatch(info->si_addr)) {
+    return;  // resolved; the faulting instruction retries
+  }
+  // Not ours: restore the default action and re-raise so genuine bugs
+  // still produce a core dump with the right address.
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+int to_native(Prot p) {
+  switch (p) {
+    case Prot::kNone: return PROT_NONE;
+    case Prot::kRead: return PROT_READ;
+    case Prot::kReadWrite: return PROT_READ | PROT_WRITE;
+  }
+  return PROT_NONE;
+}
+
+}  // namespace
+
+Region::Region(size_t bytes, size_t page_bytes) : bytes_(bytes), page_(page_bytes) {
+  LOTS_CHECK(bytes_ % page_ == 0, "Region size must be page aligned");
+  void* p = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw SystemError("Region: mmap failed");
+  base_ = static_cast<uint8_t*>(p);
+  state_.assign(pages(), Prot::kReadWrite);
+  FaultRegistry::instance().add(this);
+}
+
+Region::~Region() {
+  FaultRegistry::instance().remove(this);
+  if (base_) ::munmap(base_, bytes_);
+}
+
+void Region::set_protection(size_t page_index, Prot p) {
+  LOTS_CHECK(page_index < pages(), "set_protection: page out of range");
+  if (state_[page_index] == p) return;
+  if (::mprotect(base_ + page_index * page_, page_, to_native(p)) != 0) {
+    throw SystemError("mprotect failed");
+  }
+  state_[page_index] = p;
+}
+
+bool Region::handle_fault(void* addr) {
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  const size_t idx = page_index(addr);
+  const Prot cur = state_[idx];
+  if (cur == Prot::kReadWrite) {
+    // Protection race with a concurrent set_protection: retry the access.
+    return true;
+  }
+  const bool is_write = (cur == Prot::kRead);
+  if (!on_fault_) return false;
+  return on_fault_(*this, idx, is_write);
+}
+
+FaultRegistry& FaultRegistry::instance() {
+  static FaultRegistry reg;
+  return reg;
+}
+
+void FaultRegistry::add(Region* r) {
+  if (!handler_installed_.exchange(true)) {
+    struct sigaction sa{};
+    sa.sa_sigaction = sigsegv_trampoline;
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&sa.sa_mask);
+    LOTS_CHECK(sigaction(SIGSEGV, &sa, nullptr) == 0, "sigaction(SIGSEGV) failed");
+    LOTS_CHECK(sigaction(SIGBUS, &sa, nullptr) == 0, "sigaction(SIGBUS) failed");
+  }
+  for (auto& slot : regions_) {
+    Region* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, r)) return;
+  }
+  LOTS_CHECK(false, "FaultRegistry: too many regions");
+}
+
+void FaultRegistry::remove(Region* r) {
+  for (auto& slot : regions_) {
+    Region* expected = r;
+    if (slot.compare_exchange_strong(expected, nullptr)) return;
+  }
+}
+
+bool FaultRegistry::dispatch(void* addr) {
+  for (auto& slot : regions_) {
+    Region* r = slot.load(std::memory_order_acquire);
+    if (r && r->contains(addr)) return r->handle_fault(addr);
+  }
+  return false;
+}
+
+}  // namespace lots::vm

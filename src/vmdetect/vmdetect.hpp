@@ -1,0 +1,102 @@
+// POSIX page-fault machinery: mprotect + SIGSEGV access detection.
+//
+// Page-based DSMs (IVY, TreadMarks, JIAJIA) detect shared-memory
+// accesses with virtual-memory traps: an invalid page is PROT_NONE (any
+// touch faults -> fetch from home), a clean page is PROT_READ (first
+// write faults -> make a twin, upgrade to read-write). The JIAJIA
+// baseline in this repository uses exactly that mechanism; LOTS itself
+// is pure-runtime (operator overloading, paper §3.3) and does not fault.
+//
+// Thread-safety: the handler is process-global, but every Region is
+// touched by exactly one application thread (per-node page caches are
+// disjoint address ranges), so fault handling needs no locking beyond
+// the registry's read-mostly region list. Faults are synchronous (the
+// faulting thread executes the handler at the faulting instruction), so
+// calling into protocol code that sends messages and waits for the
+// service thread's reply is safe — the classic TreadMarks construction.
+//
+// We deliberately avoid deducing read-vs-write from platform-specific
+// fault flags: the tracked protection state is enough (NONE -> "invalid
+// access" fault; READ -> necessarily a write fault), which keeps the
+// module portable POSIX.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lots::vm {
+
+enum class Prot : uint8_t {
+  kNone = 0,  ///< invalid: any access faults
+  kRead,      ///< clean: writes fault (twin creation point)
+  kReadWrite, ///< dirty: no faults
+};
+
+/// One protected address range with per-page protection state.
+class Region {
+ public:
+  /// The fault callback. `is_write` is true when the faulting page was
+  /// readable (so the fault must be a store). Must resolve the fault
+  /// (fetch/twin + set_protection upward) and return true; returning
+  /// false forwards the fault as a genuine crash.
+  using FaultFn = std::function<bool(Region&, size_t page_index, bool is_write)>;
+
+  Region(size_t bytes, size_t page_bytes);
+  ~Region();
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+  [[nodiscard]] uint8_t* base() const { return base_; }
+  [[nodiscard]] size_t bytes() const { return bytes_; }
+  [[nodiscard]] size_t page_bytes() const { return page_; }
+  [[nodiscard]] size_t pages() const { return bytes_ / page_; }
+
+  void set_fault_handler(FaultFn fn) { on_fault_ = std::move(fn); }
+
+  /// Changes the protection of one page and records the new state.
+  void set_protection(size_t page_index, Prot p);
+  [[nodiscard]] Prot protection(size_t page_index) const { return state_[page_index]; }
+
+  [[nodiscard]] bool contains(const void* addr) const {
+    const auto* a = static_cast<const uint8_t*>(addr);
+    return a >= base_ && a < base_ + bytes_;
+  }
+  [[nodiscard]] size_t page_index(const void* addr) const {
+    return (static_cast<const uint8_t*>(addr) - base_) / page_;
+  }
+
+  [[nodiscard]] uint64_t fault_count() const { return faults_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class FaultRegistry;
+  bool handle_fault(void* addr);
+
+  uint8_t* base_ = nullptr;
+  size_t bytes_;
+  size_t page_;
+  std::vector<Prot> state_;
+  FaultFn on_fault_;
+  std::atomic<uint64_t> faults_{0};
+};
+
+/// Process-global SIGSEGV dispatcher. Regions register themselves on
+/// construction; the first registration installs the signal handler.
+class FaultRegistry {
+ public:
+  static FaultRegistry& instance();
+  void add(Region* r);
+  void remove(Region* r);
+  /// Dispatch from the signal handler; returns false if no region owns
+  /// the address (fault is then re-raised with the default action).
+  bool dispatch(void* addr);
+
+ private:
+  FaultRegistry() = default;
+  static constexpr size_t kMaxRegions = 4096;
+  std::atomic<Region*> regions_[kMaxRegions] = {};
+  std::atomic<bool> handler_installed_{false};
+};
+
+}  // namespace lots::vm

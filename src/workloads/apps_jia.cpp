@@ -1,0 +1,306 @@
+// JIAJIA-baseline implementations of ME / LU / SOR / RX (paper §4.1).
+//
+// Identical algorithms and schedules to apps_lots.cpp, but on the flat
+// page-based shared heap: matrices are contiguous row-major arrays, so a
+// row that is not an integral multiple of a page shares pages with its
+// neighbours — the false-sharing behaviour the paper attributes JIAJIA's
+// LU slowdown to. Readers pull whole pages from fixed homes.
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "jiajia/jia_runtime.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/reference.hpp"
+
+namespace lots::work {
+namespace {
+
+using jia::JiaNode;
+using jia::JiaRuntime;
+
+void collect(JiaRuntime& rt, AppResult& r) {
+  NodeStats total;
+  rt.aggregate_stats(total);
+  r.msgs = total.msgs_sent.load();
+  r.bytes = total.bytes_sent.load();
+  r.fetches = total.page_fetches.load();
+  r.diff_words = total.diff_words_sent.load();
+  r.invalidations = total.invalidations.load();
+  uint64_t net = 0;
+  for (int i = 0; i < rt.nprocs(); ++i) {
+    net = std::max(net, rt.node(i).stats().net_wait_us.load());
+  }
+  r.modeled_net_us = net;
+}
+
+void reset_stats(JiaRuntime& rt) {
+  for (int i = 0; i < rt.nprocs(); ++i) rt.node(i).stats().reset();
+}
+
+void phase_start(int rank, JiaRuntime& rt) {
+  JiaRuntime::self().barrier();
+  if (rank == 0) reset_stats(rt);
+  JiaRuntime::self().barrier();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ME
+// ---------------------------------------------------------------------------
+
+AppResult jia_me(const Config& cfg, size_t n, uint64_t seed) {
+  AppResult result;
+  const int p = cfg.nprocs;
+  LOTS_CHECK((p & (p - 1)) == 0, "ME requires a power-of-two process count");
+  n = n / static_cast<size_t>(p) * static_cast<size_t>(p);
+  const auto input = gen_keys(n, seed);
+  const size_t chunk = n / static_cast<size_t>(p);
+
+  Config c = cfg;
+  c.jia_heap_bytes = std::max<size_t>(c.jia_heap_bytes, 4 * n * 4 + (1u << 20));
+  c.jia_heap_bytes = (c.jia_heap_bytes + c.page_bytes - 1) / c.page_bytes * c.page_bytes;
+  JiaRuntime rt(c);
+  rt.run([&](int rank) {
+    const size_t a_off = rt.alloc(n * 4);
+    const size_t b_off = rt.alloc(n * 4);
+    int32_t* a = rt.at<int32_t>(a_off);
+    int32_t* b = rt.at<int32_t>(b_off);
+    {
+      std::vector<int32_t> mine(input.begin() + static_cast<ptrdiff_t>(chunk * static_cast<size_t>(rank)),
+                                input.begin() + static_cast<ptrdiff_t>(chunk * static_cast<size_t>(rank + 1)));
+      std::sort(mine.begin(), mine.end());
+      std::memcpy(a + chunk * static_cast<size_t>(rank), mine.data(), chunk * 4);
+    }
+    phase_start(rank, rt);
+    const uint64_t t0 = now_us();
+
+    size_t len = chunk;
+    int32_t* src = a;
+    int32_t* dst = b;
+    for (int step = 1; step < p; step *= 2) {
+      JiaRuntime::self().barrier();
+      if (rank % (2 * step) == 0) {
+        const size_t base = chunk * static_cast<size_t>(rank);
+        const int32_t* left = src + base;
+        const int32_t* right = src + base + len;
+        int32_t* out = dst + base;
+        size_t i = 0, j = 0, k = 0;
+        while (i < len && j < len) out[k++] = (left[i] <= right[j]) ? left[i++] : right[j++];
+        while (i < len) out[k++] = left[i++];
+        while (j < len) out[k++] = right[j++];
+      }
+      JiaRuntime::self().barrier();
+      std::swap(src, dst);
+      len *= 2;
+    }
+    if (rank == 0) {
+      result.wall_s = static_cast<double>(now_us() - t0) / 1e6;
+      std::vector<int32_t> out(src, src + n);
+      result.ok = is_sorted_permutation(input, out);
+    }
+    JiaRuntime::self().barrier();
+  });
+  collect(rt, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// LU — contiguous row-major matrix: rows share pages (false sharing)
+// ---------------------------------------------------------------------------
+
+AppResult jia_lu(const Config& cfg, size_t n, uint64_t seed) {
+  AppResult result;
+  const int p = cfg.nprocs;
+  const auto a0 = gen_matrix(n, seed);
+
+  Config c = cfg;
+  c.jia_heap_bytes = std::max<size_t>(c.jia_heap_bytes, n * n * 8 + (1u << 20));
+  c.jia_heap_bytes = (c.jia_heap_bytes + c.page_bytes - 1) / c.page_bytes * c.page_bytes;
+  JiaRuntime rt(c);
+  rt.run([&](int rank) {
+    const size_t m_off = rt.alloc(n * n * 8);
+    double* m = rt.at<double>(m_off);
+    for (size_t i = 0; i < n; ++i) {
+      if (static_cast<int>(i % static_cast<size_t>(p)) == rank) {
+        std::memcpy(m + i * n, a0.data() + i * n, n * 8);
+      }
+    }
+    phase_start(rank, rt);
+    const uint64_t t0 = now_us();
+
+    std::vector<double> pivot_row(n);
+    for (size_t k = 0; k < n; ++k) {
+      std::memcpy(pivot_row.data() + k, m + k * n + k, (n - k) * 8);
+      const double pivot = pivot_row[k];
+      for (size_t i = k + 1; i < n; ++i) {
+        if (static_cast<int>(i % static_cast<size_t>(p)) != rank) continue;
+        double* ri = m + i * n;
+        const double f = ri[k] / pivot;
+        ri[k] = f;
+        for (size_t j = k + 1; j < n; ++j) ri[j] -= f * pivot_row[j];
+      }
+      JiaRuntime::self().barrier();
+    }
+    if (rank == 0) {
+      result.wall_s = static_cast<double>(now_us() - t0) / 1e6;
+      std::vector<double> mine(m, m + n * n);
+      std::vector<double> ref = a0;
+      result.ok = seq_lu(ref, n) && max_abs_diff(mine, ref) < 1e-6;
+    }
+    JiaRuntime::self().barrier();
+  });
+  collect(rt, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SOR
+// ---------------------------------------------------------------------------
+
+AppResult jia_sor(const Config& cfg, size_t n, int iterations, uint64_t seed) {
+  AppResult result;
+  const int p = cfg.nprocs;
+  const auto g0 = gen_grid(n, seed);
+
+  Config c = cfg;
+  c.jia_heap_bytes = std::max<size_t>(c.jia_heap_bytes, n * n * 8 + (1u << 20));
+  c.jia_heap_bytes = (c.jia_heap_bytes + c.page_bytes - 1) / c.page_bytes * c.page_bytes;
+  JiaRuntime rt(c);
+  rt.run([&](int rank) {
+    const size_t g_off = rt.alloc(n * n * 8);
+    double* g = rt.at<double>(g_off);
+    const size_t lo = n * static_cast<size_t>(rank) / static_cast<size_t>(p);
+    const size_t hi = n * static_cast<size_t>(rank + 1) / static_cast<size_t>(p);
+    for (size_t i = lo; i < hi; ++i) std::memcpy(g + i * n, g0.data() + i * n, n * 8);
+    phase_start(rank, rt);
+    const uint64_t t0 = now_us();
+
+    for (int it = 0; it < iterations; ++it) {
+      for (int colour = 0; colour < 2; ++colour) {
+        JiaRuntime::self().barrier();
+        for (size_t i = std::max<size_t>(lo, 1); i < std::min(hi, n - 1); ++i) {
+          for (size_t j = 1; j + 1 < n; ++j) {
+            if (((i + j) & 1) != static_cast<size_t>(colour)) continue;
+            g[i * n + j] =
+                0.25 * (g[(i - 1) * n + j] + g[(i + 1) * n + j] + g[i * n + j - 1] + g[i * n + j + 1]);
+          }
+        }
+      }
+    }
+    JiaRuntime::self().barrier();
+    if (rank == 0) {
+      result.wall_s = static_cast<double>(now_us() - t0) / 1e6;
+      std::vector<double> mine(g, g + n * n);
+      std::vector<double> ref = g0;
+      seq_sor(ref, n, iterations);
+      result.ok = max_abs_diff(mine, ref) < 1e-9;
+    }
+    JiaRuntime::self().barrier();
+  });
+  collect(rt, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// RX — page-multiple buckets in the flat heap
+// ---------------------------------------------------------------------------
+
+AppResult jia_rx(const Config& cfg, size_t n, int passes, uint64_t seed) {
+  AppResult result;
+  const int p = cfg.nprocs;
+  n = n / static_cast<size_t>(p) * static_cast<size_t>(p);
+  const uint32_t mask = passes >= 4 ? 0x7FFFFFFFu : ((1u << (8 * passes)) - 1);
+  const auto input = gen_keys(n, seed, mask);
+  const size_t slice = n / static_cast<size_t>(p);
+  const size_t page_ints = cfg.page_bytes / 4;
+  const size_t cap = ((4 * n / 256) / page_ints + 1) * page_ints;
+
+  Config c = cfg;
+  c.jia_heap_bytes = std::max<size_t>(c.jia_heap_bytes, 256 * cap * 4 + 256 * 4 * static_cast<size_t>(p) + (1u << 20));
+  c.jia_heap_bytes = (c.jia_heap_bytes + c.page_bytes - 1) / c.page_bytes * c.page_bytes;
+  JiaRuntime rt(c);
+  rt.run([&](int rank) {
+    const size_t buckets_off = rt.alloc(256 * cap * 4);  // paper: page-multiple buckets
+    const size_t hists_off = rt.alloc(256 * 4 * static_cast<size_t>(p));
+    int32_t* buckets = rt.at<int32_t>(buckets_off);
+    int32_t* hists = rt.at<int32_t>(hists_off);
+
+    std::vector<int32_t> mine(input.begin() + static_cast<ptrdiff_t>(slice * static_cast<size_t>(rank)),
+                              input.begin() + static_cast<ptrdiff_t>(slice * static_cast<size_t>(rank + 1)));
+    phase_start(rank, rt);
+    const uint64_t t0 = now_us();
+
+    for (int pass = 0; pass < passes; ++pass) {
+      const int shift = pass * 8;
+      auto digit = [shift](int32_t k) {
+        return static_cast<size_t>((static_cast<uint32_t>(k) >> shift) & 0xFF);
+      };
+      {
+        std::array<int32_t, 256> h{};
+        for (int32_t k : mine) ++h[digit(k)];
+        std::memcpy(hists + 256 * static_cast<size_t>(rank), h.data(), 256 * 4);
+      }
+      JiaRuntime::self().barrier();
+      std::array<size_t, 256> total{};
+      std::array<size_t, 256> my_off{};
+      for (size_t b = 0; b < 256; ++b) {
+        for (int r = 0; r < p; ++r) {
+          const auto v = static_cast<size_t>(hists[256 * static_cast<size_t>(r) + b]);
+          if (r == rank) my_off[b] = total[b];
+          total[b] += v;
+        }
+        LOTS_CHECK(total[b] <= cap, "RX bucket overflow: increase capacity");
+      }
+      // Serialized scatter rounds, as in the LOTS implementation (the
+      // paper prohibits concurrent bucket access with barriers).
+      for (int round = 0; round < p; ++round) {
+        if (round == rank) {
+          for (int32_t k : mine) {
+            const size_t b = digit(k);
+            buckets[b * cap + my_off[b]++] = k;
+          }
+        }
+        JiaRuntime::self().barrier();
+      }
+      std::array<size_t, 256> bucket_start{};
+      size_t acc = 0;
+      for (size_t b = 0; b < 256; ++b) {
+        bucket_start[b] = acc;
+        acc += total[b];
+      }
+      const size_t gpos_lo = slice * static_cast<size_t>(rank);
+      const size_t gpos_hi = gpos_lo + slice;
+      mine.clear();
+      for (size_t b = 0; b < 256 && mine.size() < slice; ++b) {
+        const size_t b_lo = bucket_start[b], b_hi = b_lo + total[b];
+        const size_t take_lo = std::max(b_lo, gpos_lo), take_hi = std::min(b_hi, gpos_hi);
+        for (size_t g = take_lo; g < take_hi; ++g) mine.push_back(buckets[b * cap + (g - b_lo)]);
+      }
+      JiaRuntime::self().barrier();
+    }
+    if (rank == 0) {
+      result.wall_s = static_cast<double>(now_us() - t0) / 1e6;
+      std::array<size_t, 256> total{};
+      for (size_t b = 0; b < 256; ++b) {
+        for (int r = 0; r < p; ++r) {
+          total[b] += static_cast<size_t>(hists[256 * static_cast<size_t>(r) + b]);
+        }
+      }
+      std::vector<int32_t> out;
+      out.reserve(n);
+      for (size_t b = 0; b < 256; ++b) {
+        for (size_t i = 0; i < total[b]; ++i) out.push_back(buckets[b * cap + i]);
+      }
+      result.ok = is_sorted_permutation(input, out);
+    }
+    JiaRuntime::self().barrier();
+  });
+  collect(rt, result);
+  return result;
+}
+
+}  // namespace lots::work

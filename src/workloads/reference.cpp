@@ -1,0 +1,105 @@
+#include "workloads/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace lots::work {
+
+std::vector<int32_t> gen_keys(size_t n, uint64_t seed, uint32_t mask) {
+  Rng rng(seed);
+  std::vector<int32_t> keys(n);
+  for (auto& k : keys) k = static_cast<int32_t>(rng.next_u32() & mask);
+  return keys;
+}
+
+std::vector<double> gen_matrix(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> a(n * n);
+  for (auto& v : a) v = rng.unit() - 0.5;
+  // Diagonal dominance keeps pivot-free LU stable.
+  for (size_t i = 0; i < n; ++i) a[i * n + i] += static_cast<double>(n);
+  return a;
+}
+
+std::vector<double> gen_grid(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> g(n * n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    g[j] = 1.0 + rng.unit();                  // hot top edge
+    g[(n - 1) * n + j] = rng.unit() * 0.25;   // cool bottom edge
+  }
+  return g;
+}
+
+std::vector<int32_t> seq_sort(std::vector<int32_t> keys) {
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+bool seq_lu(std::vector<double>& a, size_t n) {
+  for (size_t k = 0; k < n; ++k) {
+    const double pivot = a[k * n + k];
+    if (std::fabs(pivot) < 1e-12) return false;
+    for (size_t i = k + 1; i < n; ++i) {
+      const double f = a[i * n + k] / pivot;
+      a[i * n + k] = f;
+      for (size_t j = k + 1; j < n; ++j) a[i * n + j] -= f * a[k * n + j];
+    }
+  }
+  return true;
+}
+
+void seq_sor(std::vector<double>& grid, size_t n, int iterations) {
+  // Red-black ordering: update cells with (i+j) even, then odd, using
+  // the latest neighbour values — matches the parallel schedule exactly.
+  for (int it = 0; it < iterations; ++it) {
+    for (int colour = 0; colour < 2; ++colour) {
+      for (size_t i = 1; i + 1 < n; ++i) {
+        for (size_t j = 1; j + 1 < n; ++j) {
+          if (((i + j) & 1) != static_cast<size_t>(colour)) continue;
+          grid[i * n + j] = 0.25 * (grid[(i - 1) * n + j] + grid[(i + 1) * n + j] +
+                                    grid[i * n + j - 1] + grid[i * n + j + 1]);
+        }
+      }
+    }
+  }
+}
+
+std::vector<int32_t> seq_radix(std::vector<int32_t> keys, int passes) {
+  std::vector<int32_t> out(keys.size());
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = pass * 8;
+    size_t count[256] = {};
+    for (int32_t k : keys) ++count[(static_cast<uint32_t>(k) >> shift) & 0xFF];
+    size_t off[256];
+    size_t acc = 0;
+    for (int b = 0; b < 256; ++b) {
+      off[b] = acc;
+      acc += count[b];
+    }
+    for (int32_t k : keys) out[off[(static_cast<uint32_t>(k) >> shift) & 0xFF]++] = k;
+    keys.swap(out);
+  }
+  return keys;
+}
+
+bool is_sorted_permutation(const std::vector<int32_t>& input, const std::vector<int32_t>& output) {
+  if (input.size() != output.size()) return false;
+  if (!std::is_sorted(output.begin(), output.end())) return false;
+  std::vector<int32_t> a = input, b = output;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = a.size() == b.size() ? 0.0 : 1e30;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace lots::work

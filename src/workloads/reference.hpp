@@ -1,0 +1,39 @@
+// Input generators, sequential reference implementations and verifiers
+// for the paper's four applications (§4.1): ME (merge sort), LU
+// (factorization), SOR (red-black successive over-relaxation) and RX
+// (radix sort). The DSM implementations in apps_lots/apps_jia are
+// checked against these on every run — a DSM benchmark that returns
+// wrong answers measures nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lots::work {
+
+/// Deterministic pseudo-random keys (uniform 32-bit, optionally masked).
+std::vector<int32_t> gen_keys(size_t n, uint64_t seed, uint32_t mask = 0x7FFFFFFF);
+
+/// Deterministic diagonally-dominant matrix (LU-factorable without
+/// pivoting), row-major n*n.
+std::vector<double> gen_matrix(size_t n, uint64_t seed);
+
+/// Deterministic grid with fixed boundary values for SOR.
+std::vector<double> gen_grid(size_t n, uint64_t seed);
+
+// ---- sequential references ----
+std::vector<int32_t> seq_sort(std::vector<int32_t> keys);
+/// In-place LU without pivoting; returns false on a tiny pivot.
+bool seq_lu(std::vector<double>& a, size_t n);
+/// Red-black Gauss-Seidel sweeps over an n*n grid (interior points).
+void seq_sor(std::vector<double>& grid, size_t n, int iterations);
+/// LSD radix sort with 8-bit digits (the RX algorithm).
+std::vector<int32_t> seq_radix(std::vector<int32_t> keys, int passes);
+
+// ---- verifiers ----
+bool is_sorted_permutation(const std::vector<int32_t>& input, const std::vector<int32_t>& output);
+/// Max absolute elementwise difference.
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace lots::work

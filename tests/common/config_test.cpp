@@ -1,0 +1,66 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lots {
+namespace {
+
+TEST(Config, DefaultsAreValid) {
+  Config c;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Config, RejectsBadNprocs) {
+  Config c;
+  c.nprocs = 0;
+  EXPECT_THROW(c.validate(), UsageError);
+  c.nprocs = 257;  // paper §5: designed to support up to 256 processes
+  EXPECT_THROW(c.validate(), UsageError);
+  c.nprocs = 256;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Config, RejectsUnalignedDmm) {
+  Config c;
+  c.dmm_bytes = c.page_bytes * 4 + 1;
+  EXPECT_THROW(c.validate(), UsageError);
+}
+
+TEST(Config, RejectsTinyDmm) {
+  Config c;
+  c.dmm_bytes = c.page_bytes * 2;
+  EXPECT_THROW(c.validate(), UsageError);
+}
+
+TEST(Config, RejectsNonPow2Page) {
+  Config c;
+  c.page_bytes = 3000;
+  EXPECT_THROW(c.validate(), UsageError);
+}
+
+TEST(Config, RejectsNegativeTimeScale) {
+  Config c;
+  c.net.time_scale = -1.0;
+  EXPECT_THROW(c.validate(), UsageError);
+}
+
+TEST(NetModel, CostIsLatencyPlusSerialization) {
+  NetModel m;
+  m.latency_us = 100;
+  m.bandwidth_MBps = 10;  // 10 bytes per microsecond
+  EXPECT_DOUBLE_EQ(m.cost_us(0), 100.0);
+  EXPECT_DOUBLE_EQ(m.cost_us(1000), 200.0);
+}
+
+TEST(DiskModel, ZeroThroughputMeansUnmodeled) {
+  DiskModel d;
+  EXPECT_DOUBLE_EQ(d.cost_us(1 << 20), 0.0);
+  d.throughput_MBps = 50;
+  d.seek_us = 8000;
+  EXPECT_GT(d.cost_us(1 << 20), 8000.0);
+}
+
+}  // namespace
+}  // namespace lots

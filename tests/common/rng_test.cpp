@@ -1,0 +1,61 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lots {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBound) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(r.below(37), 37u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusiveEndpoints) {
+  Rng r(3);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo |= (v == -2);
+    hi |= (v == 2);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng r(5);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);  // crude uniformity sanity check
+}
+
+}  // namespace
+}  // namespace lots

@@ -1,0 +1,49 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lots {
+namespace {
+
+TEST(NodeStats, ResetZeroesEverything) {
+  NodeStats s;
+  s.msgs_sent = 5;
+  s.swap_bytes_out = 123;
+  s.disk_wait_us = 7;
+  s.reset();
+  EXPECT_EQ(s.msgs_sent.load(), 0u);
+  EXPECT_EQ(s.swap_bytes_out.load(), 0u);
+  EXPECT_EQ(s.disk_wait_us.load(), 0u);
+}
+
+TEST(NodeStats, AccumulateAddsEveryCounter) {
+  NodeStats a, b;
+  a.msgs_sent = 1;
+  a.bytes_sent = 100;
+  b.msgs_sent = 2;
+  b.bytes_sent = 50;
+  b.diff_words_sent = 7;
+  a.accumulate(b);
+  EXPECT_EQ(a.msgs_sent.load(), 3u);
+  EXPECT_EQ(a.bytes_sent.load(), 150u);
+  EXPECT_EQ(a.diff_words_sent.load(), 7u);
+  // b untouched
+  EXPECT_EQ(b.msgs_sent.load(), 2u);
+}
+
+TEST(NodeStats, PrintContainsKeyFields) {
+  NodeStats s;
+  s.msgs_sent = 42;
+  s.swap_ins = 3;
+  std::ostringstream os;
+  s.print(os, "node0");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("node0"), std::string::npos);
+  EXPECT_NE(out.find("msgs=42"), std::string::npos);
+  EXPECT_NE(out.find("swaps(in/out)=3/0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lots

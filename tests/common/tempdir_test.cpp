@@ -1,0 +1,33 @@
+#include "common/tempdir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+
+namespace lots {
+namespace {
+
+TEST(TempDir, CreatesUniqueDirectories) {
+  TempDir a, b;
+  EXPECT_TRUE(fs::is_directory(a.path()));
+  EXPECT_TRUE(fs::is_directory(b.path()));
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(TempDir, RemovesTreeOnDestruction) {
+  std::string path;
+  {
+    TempDir t;
+    path = t.path();
+    fs::create_directories(path + "/sub/deeper");
+    std::ofstream(path + "/sub/deeper/file.bin") << "data";
+    ASSERT_TRUE(fs::exists(path + "/sub/deeper/file.bin"));
+  }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+}  // namespace
+}  // namespace lots

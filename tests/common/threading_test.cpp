@@ -1,0 +1,65 @@
+#include "common/threading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace lots {
+namespace {
+
+TEST(RunSpmd, AllRanksRunExactlyOnce) {
+  std::atomic<int> count{0};
+  std::atomic<uint32_t> rank_mask{0};
+  run_spmd(8, [&](int rank) {
+    count.fetch_add(1);
+    rank_mask.fetch_or(1u << rank);
+  });
+  EXPECT_EQ(count.load(), 8);
+  EXPECT_EQ(rank_mask.load(), 0xFFu);
+}
+
+TEST(RunSpmd, PropagatesWorkerException) {
+  EXPECT_THROW(
+      run_spmd(4,
+               [&](int rank) {
+                 if (rank == 2) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+}
+
+TEST(RunSpmd, SingleRankWorks) {
+  int seen = -1;
+  run_spmd(1, [&](int rank) { seen = rank; });
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(SpinBarrier, RendezvousOrdering) {
+  SpinBarrier bar(4);
+  std::atomic<int> before{0}, after{0};
+  run_spmd(4, [&](int) {
+    before.fetch_add(1);
+    bar.arrive_and_wait();
+    // Every thread must observe all arrivals after the barrier.
+    EXPECT_EQ(before.load(), 4);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(SpinBarrier, Reusable) {
+  SpinBarrier bar(3);
+  std::atomic<int> phase_sum{0};
+  run_spmd(3, [&](int) {
+    for (int phase = 0; phase < 10; ++phase) {
+      bar.arrive_and_wait();
+      phase_sum.fetch_add(1);
+      bar.arrive_and_wait();
+      EXPECT_EQ(phase_sum.load() % 3, 0);  // all three bumped before anyone leaves
+    }
+  });
+  EXPECT_EQ(phase_sum.load(), 30);
+}
+
+}  // namespace
+}  // namespace lots

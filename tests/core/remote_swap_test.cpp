@@ -1,0 +1,112 @@
+// Paper §5 future work, implemented: swapping to REMOTE disks. When the
+// local disk budget is exhausted, clean non-home objects spill to a
+// peer's store and come back transparently on access.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+
+namespace lots::core {
+namespace {
+
+Config remote_cfg() {
+  Config c;
+  c.nprocs = 2;
+  c.dmm_bytes = 1u << 20;            // small window: swapping engages fast
+  c.disk_capacity_bytes = 512 << 10; // tiny local budget: spills remotely
+  c.remote_swap = true;
+  return c;
+}
+
+TEST(RemoteSwap, SpillsAndRehydratesTransparently) {
+  Runtime rt(remote_cfg());
+  rt.run([](int rank) {
+    // Rank 1 writes many rows (homes migrate to rank 1 at the barrier),
+    // then rank 0 reads them all: rank 0's cached copies overflow both
+    // its DMM and its local disk budget and must park on rank 1's disk.
+    constexpr int kRows = 24;
+    constexpr int kInts = 32 * 1024;  // 128 KB rows, 3 MB total
+    std::vector<Pointer<int>> rows(kRows);
+    for (auto& r : rows) r.alloc(kInts);
+    if (rank == 1) {
+      for (int k = 0; k < kRows; ++k) {
+        auto& row = rows[static_cast<size_t>(k)];
+        for (int i = 0; i < kInts; i += 32) row[static_cast<size_t>(i)] = k * 100000 + i;
+        lots::barrier();
+      }
+    } else {
+      for (int k = 0; k < kRows; ++k) lots::barrier();
+    }
+    // Rank 0 walks everything twice; the second walk re-fetches parked
+    // images (remote get path).
+    if (rank == 0) {
+      for (int round = 0; round < 2; ++round) {
+        for (int k = 0; k < kRows; ++k) {
+          auto& row = rows[static_cast<size_t>(k)];
+          for (int i = 0; i < kInts; i += 2048) {
+            ASSERT_EQ(row[static_cast<size_t>(i)], k * 100000 + i) << "round " << round;
+          }
+        }
+      }
+      auto& n = Runtime::self();
+      EXPECT_GT(n.stats().remote_swap_puts.load(), 0u) << "local budget never overflowed";
+      EXPECT_LE(n.disk().stored_bytes(), 512u << 10) << "local budget exceeded";
+    }
+    lots::barrier();
+  });
+}
+
+TEST(RemoteSwap, DisabledBudgetAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Config c = remote_cfg();
+  c.remote_swap = false;  // budget without spill target: hard error
+  // The whole cluster must live inside the death statement: the child
+  // process needs its own service threads.
+  EXPECT_DEATH(
+      {
+        Runtime rt(c);
+        rt.run([](int rank) {
+          constexpr int kRows = 24;
+          std::vector<Pointer<int>> rows(kRows);
+          for (auto& r : rows) r.alloc(32 * 1024);
+          if (rank == 1) {
+            for (int k = 0; k < kRows; ++k) {
+              rows[static_cast<size_t>(k)][0] = k;
+              lots::barrier();
+            }
+          } else {
+            for (int k = 0; k < kRows; ++k) lots::barrier();
+          }
+          if (rank == 0) {
+            long sum = 0;
+            for (int round = 0; round < 2; ++round) {
+              for (int k = 0; k < kRows; ++k) sum += rows[static_cast<size_t>(k)][0];
+            }
+            (void)sum;
+          }
+          lots::barrier();
+        });
+      },
+      "disk budget exhausted");
+}
+
+TEST(RemoteSwap, HomeObjectsNeverLeaveTheirNode) {
+  // Homes must answer fetches from local state; the spill rule excludes
+  // them, so a tiny budget forces home copies to stay local-disk.
+  Config c = remote_cfg();
+  c.disk_capacity_bytes = 8u << 20;  // roomy: no spill at all
+  Runtime rt(c);
+  rt.run([](int rank) {
+    Pointer<int> a;
+    a.alloc(1024);
+    if (rank == 0) a[0] = 7;
+    lots::barrier();
+    if (rank == 1) ASSERT_EQ(a[0], 7);
+    lots::barrier();
+  });
+  NodeStats total;
+  rt.aggregate_stats(total);
+  EXPECT_EQ(total.remote_swap_puts.load(), 0u);
+}
+
+}  // namespace
+}  // namespace lots::core

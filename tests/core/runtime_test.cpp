@@ -1,0 +1,257 @@
+// Runtime mechanics: allocation, the access check, the dynamic memory
+// mapper (swap in/out, eviction, pinning), LOTS-x mode, Pointer API.
+#include "core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+
+namespace lots::core {
+namespace {
+
+Config small_config(int nprocs = 1) {
+  Config c;
+  c.nprocs = nprocs;
+  c.dmm_bytes = 1u << 20;  // 1 MB DMM: eviction kicks in quickly
+  return c;
+}
+
+TEST(RuntimeBasics, SingleNodeAllocAndAccess) {
+  Runtime rt(small_config());
+  rt.run([](int) {
+    Pointer<int> a;
+    a.alloc(100);
+    for (int i = 0; i < 100; ++i) a[i] = i * i;
+    for (int i = 0; i < 100; ++i) ASSERT_EQ(a[i], i * i);
+    EXPECT_EQ(a.size(), 100u);
+  });
+}
+
+TEST(RuntimeBasics, ObjectIdsAreDeterministicAcrossNodes) {
+  Runtime rt(small_config(4));
+  std::array<std::array<ObjectId, 3>, 4> ids{};
+  rt.run([&](int rank) {
+    for (int k = 0; k < 3; ++k) {
+      Pointer<double> p;
+      p.alloc(10);
+      ids[static_cast<size_t>(rank)][static_cast<size_t>(k)] = p.id();
+    }
+  });
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(ids[static_cast<size_t>(r)], ids[0]);
+}
+
+TEST(RuntimeBasics, RoundRobinInitialHomes) {
+  Runtime rt(small_config(4));
+  rt.run([&](int rank) {
+    Pointer<int> a, b, c;
+    a.alloc(4);
+    b.alloc(4);
+    c.alloc(4);
+    if (rank == 0) {
+      Node& n = Runtime::self();
+      EXPECT_EQ(n.home_of(a.id()), static_cast<int32_t>(a.id() % 4));
+      EXPECT_EQ(n.home_of(b.id()), static_cast<int32_t>(b.id() % 4));
+      EXPECT_EQ(n.home_of(c.id()), static_cast<int32_t>(c.id() % 4));
+    }
+  });
+}
+
+TEST(RuntimeBasics, PointerArithmetic) {
+  // Paper §3.3: *(a+4) = 1 is valid LOTS code.
+  Runtime rt(small_config());
+  rt.run([](int) {
+    Pointer<int> a;
+    a.alloc(10);
+    *(a + 4) = 1;
+    *(a + 9) = 99;
+    EXPECT_EQ(a[4], 1);
+    EXPECT_EQ(a[9], 99);
+    auto p = a + 2;
+    p[3] = 7;  // a[5]
+    EXPECT_EQ(a[5], 7);
+    auto q = (a + 8) - 3;
+    EXPECT_EQ(q.offset(), 5);
+    *q = 11;
+    EXPECT_EQ(a[5], 11);
+  });
+}
+
+TEST(RuntimeBasics, PointerIsFourBytes) {
+  EXPECT_EQ(sizeof(Pointer<int>), 4u);
+  EXPECT_EQ(sizeof(Pointer<double>), 4u);
+}
+
+TEST(RuntimeBasics, AccessCheckCountsFastAndSlow) {
+  Runtime rt(small_config());
+  rt.run([&](int) {
+    Pointer<int> a;
+    a.alloc(8);
+    a[0] = 1;  // slow (first touch)
+    a[1] = 2;  // fast
+    a[2] = 3;  // fast
+    Node& n = Runtime::self();
+    EXPECT_GE(n.stats().access_checks.load(), 3u);
+    EXPECT_EQ(n.stats().slow_path_checks.load(), 1u);
+  });
+}
+
+TEST(Mapper, SwapOutAndBackPreservesData) {
+  Runtime rt(small_config());
+  rt.run([](int) {
+    Pointer<int> a;
+    a.alloc(1000);
+    for (int i = 0; i < 1000; ++i) a[i] = i ^ 0x5A5A;
+    lots::barrier();  // clears the twin so the object becomes evictable
+    Node& n = Runtime::self();
+    n.force_swap_out(a.id());
+    EXPECT_FALSE(n.is_mapped(a.id()));
+    EXPECT_GT(n.disk().stored_bytes(), 0u);
+    for (int i = 0; i < 1000; ++i) ASSERT_EQ(a[i], i ^ 0x5A5A) << i;
+    EXPECT_TRUE(n.is_mapped(a.id()));
+    EXPECT_GE(n.stats().swap_ins.load(), 1u);
+  });
+}
+
+TEST(Mapper, EvictionUnderDmmPressure) {
+  // Allocate far more object bytes than the DMM area holds; every object
+  // must still read back correctly (disk swapping, paper §3.3/§4.3).
+  Config c = small_config();
+  c.dmm_bytes = 1u << 20;
+  Runtime rt(c);
+  rt.run([](int) {
+    constexpr int kObjects = 40;
+    constexpr int kInts = 16 * 1024;  // 64 KB each => 2.5 MB total
+    std::vector<Pointer<int>> objs(kObjects);
+    for (int k = 0; k < kObjects; ++k) {
+      objs[static_cast<size_t>(k)].alloc(kInts);
+    }
+    for (int round = 0; round < 2; ++round) {
+      for (int k = 0; k < kObjects; ++k) {
+        auto& o = objs[static_cast<size_t>(k)];
+        for (int i = 0; i < kInts; i += 512) o[static_cast<size_t>(i)] = k * 100000 + i + round;
+        lots::barrier();  // untwin so earlier objects can be evicted
+      }
+    }
+    for (int k = 0; k < kObjects; ++k) {
+      auto& o = objs[static_cast<size_t>(k)];
+      for (int i = 0; i < kInts; i += 512) {
+        ASSERT_EQ(o[static_cast<size_t>(i)], k * 100000 + i + 1) << "obj " << k << " idx " << i;
+      }
+    }
+    Node& n = Runtime::self();
+    EXPECT_GT(n.stats().evictions.load(), 0u);
+    EXPECT_GT(n.stats().swap_outs.load(), 0u);
+  });
+}
+
+TEST(Mapper, PinningProtectsStatementOperands) {
+  // a[i] = b[i] + c[i] style statements touch three objects; none of
+  // them may be evicted mid-statement even under memory pressure.
+  Config c = small_config();
+  c.dmm_bytes = 1u << 20;
+  Runtime rt(c);
+  rt.run([](int) {
+    constexpr int kInts = 40 * 1024;  // 160 KB each; 3 fit, 6 do not
+    std::vector<Pointer<int>> objs(6);
+    for (auto& o : objs) o.alloc(kInts);
+    // Initialize in pairs (barrier untwins between rounds).
+    for (auto& o : objs) {
+      for (int i = 0; i < kInts; i += 256) o[static_cast<size_t>(i)] = i;
+      lots::barrier();
+    }
+    // Three-operand statements cycling through all six objects.
+    for (int round = 0; round < 6; ++round) {
+      auto& a = objs[static_cast<size_t>(round % 6)];
+      auto& b = objs[static_cast<size_t>((round + 2) % 6)];
+      auto& cc = objs[static_cast<size_t>((round + 4) % 6)];
+      for (int i = 0; i < kInts; i += 256) {
+        a[static_cast<size_t>(i)] = b[static_cast<size_t>(i)] + cc[static_cast<size_t>(i)];
+      }
+      lots::barrier();
+    }
+    // If pinning failed, addresses would have dangled and sums corrupted
+    // in ways the final read-back detects. Rounds compose to:
+    // o0=o1=2i, o2=o3=3i, o4=o5=5i.
+    for (int i = 0; i < kInts; i += 256) {
+      ASSERT_EQ(objs[5][static_cast<size_t>(i)], 5 * i);
+      ASSERT_EQ(objs[0][static_cast<size_t>(i)], 2 * i);
+      ASSERT_EQ(objs[2][static_cast<size_t>(i)], 3 * i);
+    }
+  });
+}
+
+TEST(Mapper, SingleObjectLargerThanHalfDmmRejected) {
+  Runtime rt(small_config());
+  rt.run([](int) {
+    Pointer<int> a;
+    EXPECT_THROW(a.alloc((1u << 20)), lots::UsageError);  // > dmm/2 in bytes? 4 MB > 0.5 MB
+  });
+}
+
+TEST(LotsX, DisabledLargeObjectSpaceStillCorrect) {
+  Config c = small_config();
+  c.large_object_space = false;  // LOTS-x (paper §4.1)
+  Runtime rt(c);
+  rt.run([](int) {
+    Pointer<int> a;
+    a.alloc(1024);
+    for (int i = 0; i < 1024; ++i) a[i] = 3 * i;
+    lots::barrier();
+    for (int i = 0; i < 1024; ++i) ASSERT_EQ(a[i], 3 * i);
+    // Eagerly mapped: no swap machinery may engage.
+    Node& n = Runtime::self();
+    EXPECT_EQ(n.stats().swap_outs.load(), 0u);
+    EXPECT_EQ(n.stats().evictions.load(), 0u);
+  });
+}
+
+TEST(LotsX, OverflowThrowsInsteadOfSwapping) {
+  Config c = small_config();
+  c.large_object_space = false;
+  Runtime rt(c);
+  EXPECT_THROW(rt.run([](int) {
+                 std::vector<Pointer<int>> objs;
+                 for (int k = 0; k < 64; ++k) {
+                   objs.emplace_back();
+                   objs.back().alloc(16 * 1024);  // 64 KB each, 4 MB total > 1 MB DMM
+                 }
+               }),
+               lots::UsageError);
+}
+
+TEST(RuntimeBasics, FreeObjectReleasesResources) {
+  Runtime rt(small_config());
+  rt.run([](int) {
+    Node& n = Runtime::self();
+    const size_t before = n.dmm().bytes_free();
+    Pointer<int> a;
+    a.alloc(1000);
+    a[0] = 1;
+    lots::barrier();
+    n.force_swap_out(a.id());
+    a.free();
+    EXPECT_EQ(n.disk().stored_bytes(), 0u);
+    EXPECT_EQ(n.dmm().bytes_free(), before);
+  });
+}
+
+TEST(RuntimeBasics, RunCanBeCalledRepeatedly) {
+  Runtime rt(small_config(2));
+  Pointer<int> shared;
+  rt.run([&](int rank) {
+    Pointer<int> a;
+    a.alloc(16);
+    if (rank == 0) shared = a;
+    lots::barrier();
+    if (rank == 0) a[0] = 42;
+    lots::barrier();
+  });
+  rt.run([&](int) { EXPECT_EQ(shared[0], 42); });
+}
+
+TEST(RuntimeBasics, SelfOutsideRunThrowsCheck) {
+  EXPECT_FALSE(Runtime::in_node());
+}
+
+}  // namespace
+}  // namespace lots::core

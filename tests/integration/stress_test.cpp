@@ -1,0 +1,164 @@
+// Property-style stress sweeps: randomized schedules on the JIAJIA
+// baseline, swapping-pressure sweeps on LOTS, and lock contention.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/api.hpp"
+#include "jiajia/jia_runtime.hpp"
+
+namespace lots {
+namespace {
+
+TEST(JiaModelCheck, RandomSingleWriterScheduleMatchesMirror) {
+  // Same randomized ground-truth scheme as the LOTS ModelCheck, on the
+  // page-based baseline: random exclusive writer per page-sized region
+  // per round, every node mirrors the expected state.
+  Config c;
+  c.nprocs = 4;
+  c.jia_heap_bytes = 4u << 20;
+  jia::JiaRuntime rt(c);
+  rt.run([&](int rank) {
+    constexpr int kRegions = 12;
+    constexpr int kInts = 1024;  // one page per region
+    const size_t off = rt.alloc(kRegions * kInts * 4);
+    int* base = rt.at<int>(off);
+    std::vector<std::vector<int>> mirror(kRegions, std::vector<int>(kInts, 0));
+    Rng rng(99);  // same schedule everywhere
+    jia::JiaRuntime::self().barrier();
+    for (int round = 0; round < 6; ++round) {
+      for (int k = 0; k < kRegions; ++k) {
+        const int writer = static_cast<int>(rng.below(4));
+        const int count = 1 + static_cast<int>(rng.below(48));
+        for (int w = 0; w < count; ++w) {
+          const auto idx = static_cast<size_t>(rng.below(kInts));
+          const int val = static_cast<int>(rng.next_u32() >> 1);
+          mirror[static_cast<size_t>(k)][idx] = val;
+          if (writer == rank) base[k * kInts + static_cast<int>(idx)] = val;
+        }
+      }
+      jia::JiaRuntime::self().barrier();
+      for (int probe = 0; probe < 48; ++probe) {
+        const auto k = static_cast<size_t>(rng.below(kRegions));
+        const auto idx = static_cast<size_t>(rng.below(kInts));
+        ASSERT_EQ(base[k * static_cast<size_t>(kInts) + idx], mirror[k][idx])
+            << "round " << round;
+      }
+      jia::JiaRuntime::self().barrier();
+    }
+  });
+}
+
+class DmmPressure : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DmmPressure, CorrectAcrossWindowSizes) {
+  // The same workload must be byte-exact whether the DMM window holds
+  // everything, half, or almost nothing (the large-object-space
+  // property, parameterized over the over-commit ratio).
+  Config c;
+  c.nprocs = 2;
+  c.dmm_bytes = GetParam();
+  core::Runtime rt(c);
+  rt.run([](int rank) {
+    constexpr int kObjs = 16;
+    constexpr int kInts = 16 * 1024;  // 64 KB objects, 1 MB total
+    std::vector<Pointer<int>> objs(kObjs);
+    for (auto& o : objs) o.alloc(kInts);
+    lots::barrier();
+    for (int k = 0; k < kObjs; ++k) {
+      if (k % 2 == rank) {
+        auto& o = objs[static_cast<size_t>(k)];
+        for (int i = 0; i < kInts; i += 64) o[static_cast<size_t>(i)] = k * 7919 + i;
+      }
+      lots::barrier();
+    }
+    for (int k = kObjs - 1; k >= 0; --k) {  // reverse order maximizes misses
+      auto& o = objs[static_cast<size_t>(k)];
+      for (int i = 0; i < kInts; i += 64) {
+        ASSERT_EQ(o[static_cast<size_t>(i)], k * 7919 + i) << "dmm=" << GetParam();
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, DmmPressure,
+                         ::testing::Values(size_t{512} << 10, size_t{1} << 20, size_t{2} << 20,
+                                           size_t{16} << 20),
+                         [](const auto& info) {
+                           return std::to_string(info.param >> 10) + "KB";
+                         });
+
+TEST(LockStress, ManyLocksManyNodesNoLostUpdates) {
+  Config c;
+  c.nprocs = 8;
+  c.dmm_bytes = 2u << 20;
+  core::Runtime rt(c);
+  rt.run([](int rank) {
+    constexpr int kLocks = 16;
+    Pointer<long> counters;
+    counters.alloc(kLocks);
+    lots::barrier();
+    Rng rng(static_cast<uint64_t>(rank) + 1);
+    for (int op = 0; op < 120; ++op) {
+      const auto lock = static_cast<uint32_t>(rng.below(kLocks));
+      lots::acquire(100 + lock);
+      counters[lock] = counters[lock] + 1;
+      lots::release(100 + lock);
+    }
+    lots::barrier();
+    long total = 0;
+    for (int k = 0; k < kLocks; ++k) total += counters[static_cast<size_t>(k)];
+    EXPECT_EQ(total, 8 * 120);
+  });
+}
+
+TEST(LockStress, FifoFairnessUnderContention) {
+  // One hot lock, all nodes hammering: every increment must land and no
+  // node may starve (bounded by the manager's FIFO wait queue).
+  Config c;
+  c.nprocs = 8;
+  core::Runtime rt(c);
+  rt.run([](int rank) {
+    Pointer<int> counter, per_node;
+    counter.alloc(1);
+    per_node.alloc(8);
+    lots::barrier();
+    for (int op = 0; op < 40; ++op) {
+      lots::acquire(1);
+      counter[0] = counter[0] + 1;
+      per_node[static_cast<size_t>(rank)] = per_node[static_cast<size_t>(rank)] + 1;
+      lots::release(1);
+    }
+    lots::barrier();
+    EXPECT_EQ(counter[0], 320);
+    for (int r = 0; r < 8; ++r) EXPECT_EQ(per_node[static_cast<size_t>(r)], 40);
+  });
+}
+
+TEST(Sixteen, FullClusterSmoke) {
+  // The paper's cluster size: 16 nodes end to end.
+  Config c;
+  c.nprocs = 16;
+  c.dmm_bytes = 1u << 20;
+  core::Runtime rt(c);
+  rt.run([](int rank) {
+    Pointer<long> acc;
+    acc.alloc(16);
+    lots::barrier();
+    acc[static_cast<size_t>(rank)] = rank * rank;
+    lots::barrier();
+    long sum = 0;
+    for (int r = 0; r < 16; ++r) sum += acc[static_cast<size_t>(r)];
+    EXPECT_EQ(sum, 1240);  // sum of squares 0..15
+    lots::barrier();  // nobody may start mutating acc[0] while others read
+    for (int round = 0; round < 5; ++round) {
+      lots::acquire(3);
+      acc[0] = acc[0] + 1;
+      lots::release(3);
+    }
+    lots::barrier();
+    EXPECT_EQ(acc[0], 80);
+  });
+}
+
+}  // namespace
+}  // namespace lots

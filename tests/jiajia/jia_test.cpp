@@ -1,0 +1,178 @@
+// JIAJIA baseline semantics: page-grain home-based coherence, write
+// notices, false sharing behaviour, VM-trap write detection.
+#include "jiajia/jia_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lots::jia {
+namespace {
+
+Config cfg(int nprocs, size_t heap = 8u << 20) {
+  Config c;
+  c.nprocs = nprocs;
+  c.jia_heap_bytes = heap;
+  return c;
+}
+
+TEST(Jia, AllocIsCollectiveAndDeterministic) {
+  JiaRuntime rt(cfg(4));
+  std::array<std::array<size_t, 3>, 4> offs{};
+  rt.run([&](int rank) {
+    for (int k = 0; k < 3; ++k) {
+      offs[static_cast<size_t>(rank)][static_cast<size_t>(k)] = rt.alloc(100);
+    }
+  });
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(offs[static_cast<size_t>(r)], offs[0]);
+  EXPECT_EQ(offs[0][0], 0u);
+  EXPECT_EQ(offs[0][1], 104u);  // 8-byte aligned dense packing
+}
+
+TEST(Jia, HeapExhaustionIsFatalByDesign) {
+  // The paper's point: a page-based DSM cannot exceed the process space.
+  JiaRuntime rt(cfg(1, 1u << 20));
+  EXPECT_DEATH(rt.run([&](int) { rt.alloc(2u << 20); }), "heap exhausted");
+}
+
+TEST(Jia, RoundRobinHomes) {
+  JiaRuntime rt(cfg(4));
+  rt.run([&](int rank) {
+    if (rank != 0) return;
+    JiaNode& n = JiaRuntime::self();
+    EXPECT_EQ(n.home_of_page(0), 0);
+    EXPECT_EQ(n.home_of_page(1), 1);
+    EXPECT_EQ(n.home_of_page(5), 1);
+    EXPECT_EQ(n.home_of_page(7), 3);
+  });
+}
+
+TEST(Jia, BarrierPropagatesWrites) {
+  JiaRuntime rt(cfg(4));
+  rt.run([&](int rank) {
+    const size_t off = rt.alloc(4096 * 4);
+    int* a = rt.at<int>(off);
+    if (rank == 1) {
+      for (int i = 0; i < 4096; ++i) a[i] = 5 * i;
+    }
+    JiaRuntime::self().barrier();
+    for (int i = 0; i < 4096; i += 97) ASSERT_EQ(a[i], 5 * i);
+  });
+}
+
+TEST(Jia, WriteDetectionUsesFaults) {
+  JiaRuntime rt(cfg(2));
+  rt.run([&](int rank) {
+    const size_t off = rt.alloc(4096);
+    int* a = rt.at<int>(off);
+    if (rank == 0) {
+      a[0] = 1;  // home write: one fault (twin-less dirty marking)
+      a[1] = 2;  // no further fault
+      EXPECT_GE(JiaRuntime::self().stats().access_checks.load(), 0u);
+    }
+    JiaRuntime::self().barrier();
+    ASSERT_EQ(a[0] + a[1], 3);
+  });
+}
+
+TEST(Jia, FalseSharingTwoWritersOnePage) {
+  // The LU pathology (paper §4.1): two nodes write different halves of
+  // ONE page; both must diff-to-home and the merge must be exact.
+  JiaRuntime rt(cfg(2));
+  rt.run([&](int rank) {
+    const size_t off = rt.alloc(4096);
+    int* a = rt.at<int>(off);
+    JiaRuntime::self().barrier();
+    if (rank == 0) {
+      for (int i = 0; i < 512; ++i) a[i] = 100 + i;
+    } else {
+      for (int i = 512; i < 1024; ++i) a[i] = 200 + i;
+    }
+    JiaRuntime::self().barrier();
+    for (int i = 0; i < 512; ++i) ASSERT_EQ(a[i], 100 + i);
+    for (int i = 512; i < 1024; ++i) ASSERT_EQ(a[i], 200 + i);
+  });
+  NodeStats total;
+  rt.aggregate_stats(total);
+  EXPECT_GE(total.diffs_created.load(), 1u);   // at least the non-home writer diffed
+  EXPECT_GE(total.invalidations.load(), 1u);   // write notices invalidated copies
+}
+
+TEST(Jia, LockTransfersNotices) {
+  JiaRuntime rt(cfg(2));
+  rt.run([&](int rank) {
+    const size_t off = rt.alloc(4096);
+    int* a = rt.at<int>(off);
+    JiaRuntime::self().barrier();
+    if (rank == 0) {
+      JiaRuntime::self().lock(3);
+      a[7] = 77;
+      JiaRuntime::self().unlock(3);
+      JiaRuntime::self().barrier();
+    } else {
+      JiaRuntime::self().barrier();
+      JiaRuntime::self().lock(3);
+      EXPECT_EQ(a[7], 77);
+      JiaRuntime::self().unlock(3);
+    }
+  });
+}
+
+TEST(Jia, MigratoryCounterThroughLock) {
+  JiaRuntime rt(cfg(4));
+  rt.run([&](int) {
+    const size_t off = rt.alloc(64);
+    int* c = rt.at<int>(off);
+    JiaRuntime::self().barrier();
+    for (int round = 0; round < 25; ++round) {
+      JiaRuntime::self().lock(1);
+      c[0] = c[0] + 1;
+      JiaRuntime::self().unlock(1);
+    }
+    JiaRuntime::self().barrier();
+    EXPECT_EQ(c[0], 100);
+  });
+}
+
+TEST(Jia, WholePageFetchCost) {
+  // Readers pull entire pages (the paper's page-request overhead): a
+  // one-int read of a remote page still moves page_bytes on the wire.
+  JiaRuntime rt(cfg(2));
+  rt.run([&](int rank) {
+    const size_t off = rt.alloc(4096 * 4);
+    int* a = rt.at<int>(off);
+    if (rank == 1) {
+      for (int i = 0; i < 4096; ++i) a[i] = i;
+    }
+    JiaRuntime::self().barrier();
+    if (rank == 0) {
+      const uint64_t before = JiaRuntime::self().stats().bytes_recv.load();
+      // One element from page 1, whose round-robin home is rank 1.
+      volatile int v = a[1024];
+      (void)v;
+      const uint64_t moved = JiaRuntime::self().stats().bytes_recv.load() - before;
+      EXPECT_GE(moved, 4096u);
+    }
+    JiaRuntime::self().barrier();
+  });
+}
+
+TEST(Jia, MultiRoundOwnershipStress) {
+  JiaRuntime rt(cfg(4));
+  rt.run([&](int rank) {
+    constexpr int kInts = 16 * 1024;
+    const size_t off = rt.alloc(kInts * 4);
+    int* a = rt.at<int>(off);
+    JiaRuntime::self().barrier();
+    for (int round = 0; round < 4; ++round) {
+      const int writer = (round + 1) % 4;
+      if (rank == writer) {
+        for (int i = 0; i < kInts; ++i) a[i] = round * 100000 + i;
+      }
+      JiaRuntime::self().barrier();
+      for (int i = 0; i < kInts; i += 333) ASSERT_EQ(a[i], round * 100000 + i);
+      JiaRuntime::self().barrier();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lots::jia

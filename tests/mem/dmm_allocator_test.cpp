@@ -1,0 +1,185 @@
+#include "mem/dmm_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace lots::mem {
+namespace {
+
+constexpr size_t kDmm = 8u << 20;  // 8 MB test arena
+constexpr size_t kPage = 4096;
+
+TEST(DmmAllocator, AllocFreeRoundTrip) {
+  DmmAllocator a(kDmm, kPage);
+  auto off = a.alloc(10'000);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(a.size_of(*off), 10'000u + 0u + (8 - 10'000 % 8) % 8);
+  a.free(*off);
+  EXPECT_EQ(a.bytes_free(), kDmm);
+}
+
+TEST(DmmAllocator, SmallObjectsLandInUpperHalf) {
+  // Paper §3.2: small objects are assigned to the upper half of DMM.
+  DmmAllocator a(kDmm, kPage);
+  for (int i = 0; i < 50; ++i) {
+    auto off = a.alloc(64);
+    ASSERT_TRUE(off.has_value());
+    EXPECT_TRUE(a.in_upper_half(*off)) << "small object at " << *off;
+  }
+}
+
+TEST(DmmAllocator, SameSizeSmallObjectsSharePages) {
+  // Paper §3.2: for small objects of the same size, LOTS tries its best
+  // to allocate them in the same page (linked-list traversal locality).
+  DmmAllocator a(kDmm, kPage);
+  std::set<size_t> pages;
+  const int per_page = kPage / 64;
+  for (int i = 0; i < per_page; ++i) {
+    auto off = a.alloc(64);
+    ASSERT_TRUE(off.has_value());
+    pages.insert(a.page_of(*off));
+  }
+  EXPECT_EQ(pages.size(), 1u);  // one full page before opening a second
+  auto extra = a.alloc(64);
+  ASSERT_TRUE(extra.has_value());
+  EXPECT_EQ(pages.count(a.page_of(*extra)), 0u);
+}
+
+TEST(DmmAllocator, DifferentSmallSizesUseDifferentPages) {
+  DmmAllocator a(kDmm, kPage);
+  auto x = a.alloc(64);
+  auto y = a.alloc(128);
+  ASSERT_TRUE(x && y);
+  EXPECT_NE(a.page_of(*x), a.page_of(*y));
+}
+
+TEST(DmmAllocator, LargeObjectsGrowUpwardFromBottom) {
+  // Paper §3.2: large objects allocated in increasing addresses of the
+  // lower half.
+  DmmAllocator a(kDmm, kPage, 2048, /*large_min=*/64 * 1024);
+  auto l1 = a.alloc(128 * 1024);
+  auto l2 = a.alloc(128 * 1024);
+  ASSERT_TRUE(l1 && l2);
+  EXPECT_EQ(*l1, 0u);
+  EXPECT_GT(*l2, *l1);
+  EXPECT_LT(*l2, kDmm / 2);
+}
+
+TEST(DmmAllocator, MediumObjectsGrowDownward) {
+  // Paper §3.2: medium objects in decreasing addresses.
+  DmmAllocator a(kDmm, kPage, 2048, 64 * 1024);
+  auto m1 = a.alloc(8 * 1024);
+  auto m2 = a.alloc(8 * 1024);
+  ASSERT_TRUE(m1 && m2);
+  EXPECT_LT(*m2, *m1);  // descending
+}
+
+TEST(DmmAllocator, MediumAndLargeShareLowerHalfFromOppositeEnds) {
+  DmmAllocator a(kDmm, kPage, 2048, 64 * 1024);
+  auto large = a.alloc(256 * 1024);
+  auto med = a.alloc(16 * 1024);
+  ASSERT_TRUE(large && med);
+  EXPECT_LT(*large, *med);
+}
+
+TEST(DmmAllocator, BestFitPrefersTightestBlock) {
+  DmmAllocator a(kDmm, kPage, 2048, 64 * 1024);
+  // Carve three medium blocks, free the middle-sized holes.
+  auto h1 = a.alloc(32 * 1024);
+  auto g1 = a.alloc(8 * 1024);  // guard so frees do not coalesce
+  auto h2 = a.alloc(12 * 1024);
+  auto g2 = a.alloc(8 * 1024);
+  ASSERT_TRUE(h1 && g1 && h2 && g2);
+  a.free(*h1);
+  a.free(*h2);
+  // A 10 KB request fits both holes; best-fit must choose the 12 KB one.
+  auto got = a.alloc(10 * 1024);
+  ASSERT_TRUE(got.has_value());
+  const bool in_h2 = *got >= *h2 && *got < *h2 + 12 * 1024;
+  EXPECT_TRUE(in_h2) << "allocated at " << *got << ", expected within the tighter hole at "
+                     << *h2;
+}
+
+TEST(DmmAllocator, ExhaustionReturnsNullopt) {
+  DmmAllocator a(1u << 20, kPage);
+  auto big = a.alloc(900 * 1024);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_FALSE(a.alloc(600 * 1024).has_value());  // over capacity -> caller must evict
+  a.free(*big);
+  EXPECT_TRUE(a.alloc(600 * 1024).has_value());
+}
+
+TEST(DmmAllocator, CoalescingRebuildsLargeBlocks) {
+  DmmAllocator a(kDmm, kPage, 2048, 64 * 1024);
+  std::vector<size_t> offs;
+  for (int i = 0; i < 8; ++i) {
+    auto off = a.alloc(256 * 1024);
+    ASSERT_TRUE(off.has_value());
+    offs.push_back(*off);
+  }
+  for (size_t off : offs) a.free(off);
+  EXPECT_EQ(a.bytes_free(), kDmm);
+  EXPECT_EQ(a.largest_free_block(), kDmm);
+  // After full coalescing a near-DMM-sized object must fit.
+  EXPECT_TRUE(a.alloc(kDmm - kPage).has_value());
+}
+
+TEST(DmmAllocator, EmptySmallPageReturnsToRange) {
+  DmmAllocator a(kDmm, kPage);
+  std::vector<size_t> offs;
+  for (int i = 0; i < 10; ++i) {
+    auto off = a.alloc(64);
+    ASSERT_TRUE(off.has_value());
+    offs.push_back(*off);
+  }
+  for (size_t off : offs) a.free(off);
+  EXPECT_EQ(a.bytes_free(), kDmm);  // the packing page itself was released
+}
+
+TEST(DmmAllocator, PropertyRandomWorkloadConservesSpace) {
+  DmmAllocator a(kDmm, kPage);
+  lots::Rng rng(99);
+  std::vector<std::pair<size_t, size_t>> live;  // offset, requested size
+  uint64_t failures = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    if (live.empty() || rng.unit() < 0.55) {
+      // Mix of small / medium / large requests.
+      const double pick = rng.unit();
+      size_t size;
+      if (pick < 0.5) {
+        size = 8 + rng.below(2000);
+      } else if (pick < 0.9) {
+        size = 2048 + rng.below(60'000);
+      } else {
+        size = 64 * 1024 + rng.below(512 * 1024);
+      }
+      auto off = a.alloc(size);
+      if (off) {
+        // No overlap with any live allocation.
+        const size_t rsz = a.size_of(*off);
+        for (auto& [o, s] : live) {
+          const size_t os = a.size_of(o);
+          ASSERT_TRUE(*off + rsz <= o || o + os <= *off)
+              << "overlap: [" << *off << "," << *off + rsz << ") vs [" << o << "," << o + os
+              << ")";
+        }
+        live.emplace_back(*off, size);
+      } else {
+        ++failures;
+      }
+    } else {
+      const size_t k = rng.below(live.size());
+      a.free(live[k].first);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(k));
+    }
+  }
+  for (auto& [o, s] : live) a.free(o);
+  EXPECT_EQ(a.bytes_free(), kDmm);
+  EXPECT_EQ(a.allocation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace lots::mem

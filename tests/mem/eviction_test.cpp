@@ -1,0 +1,77 @@
+#include "mem/eviction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lots::mem {
+namespace {
+
+VictimCandidate cand(uint64_t id, size_t size, uint64_t stamp) { return {id, size, stamp}; }
+
+TEST(Eviction, PicksLeastRecentlyUsed) {
+  std::vector<VictimCandidate> cs{cand(1, 100, 10), cand(2, 100, 5), cand(3, 100, 50)};
+  auto v = choose_victim(cs, 100, /*newest_stamp=*/100);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2u);
+}
+
+TEST(Eviction, BestFitBreaksLruTies) {
+  // Among the LRU window, the block that best fits the request wins.
+  EvictionConfig cfg;
+  cfg.lru_window = 3;
+  std::vector<VictimCandidate> cs{cand(1, 4096, 1), cand(2, 1024, 2), cand(3, 512, 3)};
+  auto v = choose_victim(cs, 1000, /*newest_stamp=*/100, cfg);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2u);  // 1024 is the tightest block >= 1000
+}
+
+TEST(Eviction, FallsBackToLargestWhenNothingFits) {
+  EvictionConfig cfg;
+  cfg.lru_window = 3;
+  std::vector<VictimCandidate> cs{cand(1, 64, 1), cand(2, 512, 2), cand(3, 128, 3)};
+  auto v = choose_victim(cs, 100'000, 100, cfg);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2u);  // frees the most space toward coalescing a hole
+}
+
+TEST(Eviction, PinnedObjectsAreUntouchable) {
+  // Paper §3.3: objects with a recent access timestamp are pinned so the
+  // operands of the current statement stay resident.
+  EvictionConfig cfg;
+  cfg.pin_window = 8;
+  std::vector<VictimCandidate> cs{cand(1, 100, 97), cand(2, 100, 99), cand(3, 100, 90)};
+  auto v = choose_victim(cs, 100, /*newest_stamp=*/100, cfg);
+  ASSERT_TRUE(v.has_value());
+  // pin_floor = 100 - 8 = 92: stamps 97 and 99 are pinned, 90 is not.
+  EXPECT_EQ(*v, 3u);
+}
+
+TEST(Eviction, AllPinnedReturnsNullopt) {
+  // Paper §5: "The system can do nothing if all the objects currently
+  // mapped in the DMM area are accessed in the same program statement."
+  EvictionConfig cfg;
+  cfg.pin_window = 8;
+  std::vector<VictimCandidate> cs{cand(1, 100, 100), cand(2, 100, 99), cand(3, 100, 98)};
+  EXPECT_FALSE(choose_victim(cs, 100, /*newest_stamp=*/100, cfg).has_value());
+}
+
+TEST(Eviction, EmptyCandidateListReturnsNullopt) {
+  EXPECT_FALSE(choose_victim({}, 100, 10).has_value());
+}
+
+TEST(Eviction, LruWindowBoundsBestFitChoice) {
+  // A tight-fitting but recently used block outside the LRU window must
+  // not be chosen over older blocks.
+  EvictionConfig cfg;
+  cfg.lru_window = 2;
+  cfg.pin_window = 0;
+  std::vector<VictimCandidate> cs{
+      cand(1, 1 << 20, 1), cand(2, 1 << 20, 2), cand(3, 1000, 50)};
+  auto v = choose_victim(cs, 1000, /*newest_stamp=*/1000, cfg);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(*v, 3u);
+}
+
+}  // namespace
+}  // namespace lots::mem

@@ -1,0 +1,69 @@
+#include "mem/size_class.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lots::mem {
+namespace {
+
+TEST(SizeClass, FineClassesAreEightByteGranular) {
+  SizeClassTable t(512u << 20);
+  // Paper Fig. 4: queues for 8, 16, 24, 32, 40, ...
+  EXPECT_EQ(t.lower_bound_of(0), 8u);
+  EXPECT_EQ(t.lower_bound_of(1), 16u);
+  EXPECT_EQ(t.lower_bound_of(2), 24u);
+  EXPECT_EQ(t.lower_bound_of(4), 40u);
+  EXPECT_EQ(t.lower_bound_of(SizeClassTable::kFineClasses - 1), SizeClassTable::kFineMax);
+}
+
+TEST(SizeClass, ExactlyTenTwentyFourClasses) {
+  EXPECT_EQ(SizeClassTable::kClasses, 1024u);  // paper Fig. 4
+}
+
+TEST(SizeClass, LowerBoundsStrictlyIncrease) {
+  SizeClassTable t(512u << 20);
+  for (size_t i = 1; i < SizeClassTable::kClasses; ++i) {
+    ASSERT_GT(t.lower_bound_of(i), t.lower_bound_of(i - 1)) << "class " << i;
+  }
+}
+
+TEST(SizeClass, CoarseClassesReachMaxSize) {
+  const size_t max = 512u << 20;
+  SizeClassTable t(max);
+  const size_t top = t.lower_bound_of(SizeClassTable::kClasses - 1);
+  EXPECT_GE(top, max / 2);
+  EXPECT_LE(top, max + (8u << 20));
+}
+
+TEST(SizeClass, IndexForBlockBrackets) {
+  SizeClassTable t(64u << 20);
+  for (size_t size : {8u, 9u, 16u, 100u, 4096u, 8192u, 1u << 20, 32u << 20}) {
+    const size_t idx = t.index_for_block(size);
+    EXPECT_LE(t.lower_bound_of(idx), size) << size;
+    if (idx + 1 < SizeClassTable::kClasses) {
+      EXPECT_GT(t.lower_bound_of(idx + 1), size) << size;
+    }
+  }
+}
+
+TEST(SizeClass, IndexForAllocGuarantee) {
+  SizeClassTable t(64u << 20);
+  for (size_t size = 8; size <= (1u << 20); size = size * 2 + 8) {
+    const size_t idx = t.index_for_alloc(size);
+    EXPECT_GE(t.lower_bound_of(idx), size) << size;
+    if (idx > 0) {
+      // The previous class may contain blocks below `size` — that is the
+      // definition of the guarantee boundary.
+      EXPECT_LT(t.lower_bound_of(idx - 1), size) << size;
+    }
+  }
+}
+
+TEST(SizeClass, SmallTablesStillWellFormed) {
+  SizeClassTable t(1u << 20);  // tiny DMM
+  for (size_t i = 1; i < SizeClassTable::kClasses; ++i) {
+    ASSERT_GT(t.lower_bound_of(i), t.lower_bound_of(i - 1));
+  }
+}
+
+}  // namespace
+}  // namespace lots::mem

@@ -1,0 +1,93 @@
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lots::net {
+namespace {
+
+std::vector<uint8_t> wire(uint8_t tag) { return {tag, tag, tag}; }
+
+TEST(SendWindow, BlocksWhenFull) {
+  SendWindow w(2);
+  EXPECT_TRUE(w.can_send());
+  w.on_send(w.alloc_seq(), wire(1), 0);
+  EXPECT_TRUE(w.can_send());
+  w.on_send(w.alloc_seq(), wire(2), 0);
+  EXPECT_FALSE(w.can_send());
+}
+
+TEST(SendWindow, CumulativeAckDrains) {
+  SendWindow w(4);
+  for (int i = 0; i < 4; ++i) w.on_send(w.alloc_seq(), wire(static_cast<uint8_t>(i)), 0);
+  EXPECT_EQ(w.inflight(), 4u);
+  w.on_ack(2);  // acks seq 1 and 2
+  EXPECT_EQ(w.inflight(), 2u);
+  w.on_ack(2);  // duplicate ack: no effect
+  EXPECT_EQ(w.inflight(), 2u);
+  w.on_ack(4);
+  EXPECT_EQ(w.inflight(), 0u);
+  EXPECT_TRUE(w.can_send());
+}
+
+TEST(SendWindow, SequencesAreConsecutiveFromOne) {
+  SendWindow w;
+  EXPECT_EQ(w.alloc_seq(), 1u);
+  EXPECT_EQ(w.alloc_seq(), 2u);
+  EXPECT_EQ(w.next_seq(), 3u);
+}
+
+TEST(SendWindow, TimeoutTriggersGoBackN) {
+  SendWindow w(8);
+  for (int i = 0; i < 3; ++i) w.on_send(w.alloc_seq(), wire(static_cast<uint8_t>(i)), 1000);
+  EXPECT_TRUE(w.timed_out(1500, 1000).empty());  // not yet expired
+  auto again = w.timed_out(2500, 1000);
+  ASSERT_EQ(again.size(), 3u);  // go-back-N resends the whole window
+  EXPECT_EQ(again[0].first, 1u);
+  EXPECT_EQ(*again[1].second, wire(1));
+  EXPECT_EQ(w.retransmissions(), 3u);
+  // Timers restarted: immediate re-check is quiet.
+  EXPECT_TRUE(w.timed_out(2600, 1000).empty());
+}
+
+TEST(SendWindow, AckedPacketsNeverRetransmit) {
+  SendWindow w(8);
+  for (int i = 0; i < 3; ++i) w.on_send(w.alloc_seq(), wire(static_cast<uint8_t>(i)), 0);
+  w.on_ack(2);
+  auto again = w.timed_out(10'000, 1000);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].first, 3u);
+}
+
+TEST(RecvWindow, AcceptsOnlyNextInOrder) {
+  RecvWindow r;
+  EXPECT_EQ(r.cum_ack(), 0u);
+  EXPECT_TRUE(r.accept(1));
+  EXPECT_FALSE(r.accept(1));  // duplicate
+  EXPECT_FALSE(r.accept(3));  // gap
+  EXPECT_TRUE(r.accept(2));
+  EXPECT_TRUE(r.accept(3));
+  EXPECT_EQ(r.cum_ack(), 3u);
+}
+
+TEST(Window, LossRecoveryScenario) {
+  // Sender emits 1..4; datagram 2 is lost. Receiver acks 1, then keeps
+  // re-acking 1 for 3 and 4; timeout resends 2..4; all arrive.
+  SendWindow s(8);
+  RecvWindow r;
+  for (int i = 1; i <= 4; ++i) s.on_send(s.alloc_seq(), wire(static_cast<uint8_t>(i)), 0);
+  EXPECT_TRUE(r.accept(1));
+  s.on_ack(r.cum_ack());
+  // 2 lost; 3 and 4 arrive out of order and are dropped.
+  EXPECT_FALSE(r.accept(3));
+  EXPECT_FALSE(r.accept(4));
+  s.on_ack(r.cum_ack());  // still 1
+  EXPECT_EQ(s.inflight(), 3u);
+  auto again = s.timed_out(5000, 1000);
+  ASSERT_EQ(again.size(), 3u);
+  for (auto& [seq, _] : again) EXPECT_TRUE(r.accept(seq));
+  s.on_ack(r.cum_ack());
+  EXPECT_EQ(s.inflight(), 0u);
+}
+
+}  // namespace
+}  // namespace lots::net

@@ -1,0 +1,138 @@
+#include "net/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace lots::net {
+namespace {
+
+Message big_msg(size_t n, uint64_t seed) {
+  Message m;
+  m.type = MsgType::kObjData;
+  m.src = 2;
+  m.dst = 3;
+  m.seq = 77;
+  m.payload.resize(n);
+  lots::Rng rng(seed);
+  for (auto& b : m.payload) b = static_cast<uint8_t>(rng.next_u32());
+  return m;
+}
+
+struct Sink {
+  std::vector<uint8_t> payload;
+  size_t announced = 0;
+  Message header;
+  int done = 0;
+
+  StreamingReassembler make() {
+    return StreamingReassembler(
+        [this](const Message& h, size_t bytes) {
+          header = h;
+          announced = bytes;
+          payload.resize(bytes);
+        },
+        [this](size_t off, std::span<const uint8_t> b) {
+          ASSERT_LE(off + b.size(), payload.size());
+          std::copy(b.begin(), b.end(), payload.begin() + static_cast<ptrdiff_t>(off));
+        },
+        [this] { ++done; });
+  }
+};
+
+TEST(Streaming, InOrderDeliveryNeverParks) {
+  const Message m = big_msg(200 * 1024, 1);
+  const auto frags = fragment(encode_message(m), 9);
+  Sink sink;
+  auto s = sink.make();
+  for (const auto& f : frags) {
+    s.feed(f);
+    EXPECT_EQ(s.parked_bytes(), 0u);  // the §5 fix: no store-and-rebuild
+  }
+  EXPECT_EQ(sink.done, 1);
+  EXPECT_EQ(sink.announced, m.payload.size());
+  EXPECT_EQ(sink.payload, m.payload);
+  EXPECT_EQ(sink.header.type, MsgType::kObjData);
+  EXPECT_EQ(sink.header.seq, 77u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Streaming, HeaderAnnouncedOnFirstFragment) {
+  const Message m = big_msg(300 * 1024, 2);
+  const auto frags = fragment(encode_message(m), 10);
+  ASSERT_GE(frags.size(), 4u);
+  Sink sink;
+  auto s = sink.make();
+  s.feed(frags[0]);
+  // After ONE fragment the receiver already knows what is coming.
+  EXPECT_EQ(sink.announced, m.payload.size());
+  EXPECT_EQ(sink.header.src, 2);
+  EXPECT_EQ(sink.done, 0);
+}
+
+TEST(Streaming, OutOfOrderParksBounded) {
+  const Message m = big_msg(250 * 1024, 3);
+  auto frags = fragment(encode_message(m), 11);
+  ASSERT_GE(frags.size(), 4u);
+  Sink sink;
+  auto s = sink.make();
+  // Deliver fragment 1 before 0: it parks; 0 releases both.
+  s.feed(frags[1]);
+  EXPECT_GT(s.parked_bytes(), 0u);
+  s.feed(frags[0]);
+  EXPECT_EQ(s.parked_bytes(), 0u);
+  for (size_t i = 2; i < frags.size(); ++i) s.feed(frags[i]);
+  EXPECT_EQ(sink.done, 1);
+  EXPECT_EQ(sink.payload, m.payload);
+}
+
+TEST(Streaming, FullyReversedStillCompletes) {
+  const Message m = big_msg(180 * 1024, 4);
+  auto frags = fragment(encode_message(m), 12);
+  Sink sink;
+  auto s = sink.make();
+  for (auto it = frags.rbegin(); it != frags.rend(); ++it) s.feed(*it);
+  EXPECT_EQ(sink.done, 1);
+  EXPECT_EQ(sink.payload, m.payload);
+}
+
+TEST(Streaming, DuplicateParkedFragmentIgnored) {
+  const Message m = big_msg(150 * 1024, 5);
+  auto frags = fragment(encode_message(m), 13);
+  ASSERT_GE(frags.size(), 3u);
+  Sink sink;
+  auto s = sink.make();
+  s.feed(frags[2]);
+  const size_t parked = s.parked_bytes();
+  s.feed(frags[2]);  // duplicate out-of-order
+  EXPECT_EQ(s.parked_bytes(), parked);
+  s.feed(frags[0]);
+  s.feed(frags[1]);
+  EXPECT_EQ(sink.done, 1);
+  EXPECT_EQ(sink.payload, m.payload);
+}
+
+TEST(Streaming, BackToBackMessagesReuseStreamer) {
+  Sink sink;
+  auto s = sink.make();
+  for (uint64_t id = 1; id <= 3; ++id) {
+    const Message m = big_msg(100 * 1024, id);
+    for (const auto& f : fragment(encode_message(m), id)) s.feed(f);
+    EXPECT_EQ(sink.done, static_cast<int>(id));
+    EXPECT_EQ(sink.payload, m.payload);
+  }
+}
+
+TEST(Streaming, SmallSingleFragmentMessage) {
+  const Message m = big_msg(64, 9);
+  Sink sink;
+  auto s = sink.make();
+  for (const auto& f : fragment(encode_message(m), 1)) s.feed(f);
+  EXPECT_EQ(sink.done, 1);
+  EXPECT_EQ(sink.payload, m.payload);
+}
+
+}  // namespace
+}  // namespace lots::net

@@ -1,0 +1,111 @@
+#include "net/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace lots::net {
+namespace {
+
+// Distinct port blocks per test to avoid rebind races.
+uint16_t next_base_port() {
+  static std::atomic<uint16_t> port{27100};
+  return port.fetch_add(16);
+}
+
+Message msg(int dst, MsgType type, std::vector<uint8_t> payload = {}) {
+  Message m;
+  m.type = type;
+  m.dst = dst;
+  m.seq = 1;
+  m.payload = std::move(payload);
+  return m;
+}
+
+TEST(Udp, LoopbackSmallMessage) {
+  const uint16_t port = next_base_port();
+  UdpTransport a(0, 2, port), b(1, 2, port);
+  a.send(msg(1, MsgType::kPing, {1, 2, 3}));
+  auto m = b.recv(2'000'000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->src, 0);
+  EXPECT_EQ(m->payload, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(Udp, SelfSendShortCircuits) {
+  const uint16_t port = next_base_port();
+  UdpTransport a(0, 1, port);
+  a.send(msg(0, MsgType::kPing, {9}));
+  auto m = a.recv(500'000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, (std::vector<uint8_t>{9}));
+}
+
+TEST(Udp, LargeMessageFragmentsAndReassembles) {
+  const uint16_t port = next_base_port();
+  UdpTransport a(0, 2, port), b(1, 2, port);
+  std::vector<uint8_t> big(300 * 1024);
+  lots::Rng rng(5);
+  for (auto& byte : big) byte = static_cast<uint8_t>(rng.next_u32());
+
+  std::thread sender([&] { a.send(msg(1, MsgType::kObjData, big)); });
+  auto m = b.recv(10'000'000);
+  sender.join();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, big);
+}
+
+TEST(Udp, ReliableUnderInjectedLoss) {
+  const uint16_t port = next_base_port();
+  UdpTransport a(0, 2, port, /*window=*/16, /*rto_us=*/10'000);
+  UdpTransport b(1, 2, port, 16, 10'000);
+  a.set_fault(FaultSpec{.drop_prob = 0.15, .dup_prob = 0.05, .seed = 99});
+
+  std::vector<uint8_t> big(150 * 1024, 0xCD);
+  std::thread sender([&] {
+    for (int i = 0; i < 3; ++i) a.send(msg(1, MsgType::kObjData, big));
+  });
+  for (int i = 0; i < 3; ++i) {
+    auto m = b.recv(30'000'000);
+    ASSERT_TRUE(m.has_value()) << "message " << i << " lost despite retransmission";
+    EXPECT_EQ(m->payload.size(), big.size());
+  }
+  sender.join();
+  EXPECT_GT(a.retransmissions(), 0u);
+}
+
+TEST(Udp, BidirectionalTraffic) {
+  const uint16_t port = next_base_port();
+  UdpTransport a(0, 2, port), b(1, 2, port);
+  std::thread left([&] {
+    for (int i = 0; i < 50; ++i) {
+      a.send(msg(1, MsgType::kPing, {static_cast<uint8_t>(i)}));
+      auto m = a.recv(5'000'000);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->payload[0], static_cast<uint8_t>(i));
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    auto m = b.recv(5'000'000);
+    ASSERT_TRUE(m.has_value());
+    b.send(msg(0, MsgType::kPing, m->payload));  // echo
+  }
+  left.join();
+}
+
+TEST(Udp, ThreeNodeExchange) {
+  const uint16_t port = next_base_port();
+  UdpTransport a(0, 3, port), b(1, 3, port), c(2, 3, port);
+  a.send(msg(1, MsgType::kPing, {1}));
+  a.send(msg(2, MsgType::kPing, {2}));
+  auto mb = b.recv(2'000'000);
+  auto mc = c.recv(2'000'000);
+  ASSERT_TRUE(mb && mc);
+  EXPECT_EQ(mb->payload[0], 1);
+  EXPECT_EQ(mc->payload[0], 2);
+}
+
+}  // namespace
+}  // namespace lots::net

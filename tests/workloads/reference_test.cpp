@@ -1,0 +1,95 @@
+#include "workloads/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lots::work {
+namespace {
+
+TEST(Reference, KeysAreDeterministic) {
+  EXPECT_EQ(gen_keys(100, 7), gen_keys(100, 7));
+  EXPECT_NE(gen_keys(100, 7), gen_keys(100, 8));
+}
+
+TEST(Reference, KeysRespectMask) {
+  for (int32_t k : gen_keys(1000, 3, 0xFFFF)) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 1 << 16);
+  }
+}
+
+TEST(Reference, MatrixIsDiagonallyDominant) {
+  const size_t n = 32;
+  auto a = gen_matrix(n, 5);
+  for (size_t i = 0; i < n; ++i) {
+    double off = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) off += std::abs(a[i * n + j]);
+    }
+    EXPECT_GT(std::abs(a[i * n + i]), off);
+  }
+}
+
+TEST(Reference, SeqLuReconstructs) {
+  const size_t n = 24;
+  const auto a0 = gen_matrix(n, 11);
+  auto lu = a0;
+  ASSERT_TRUE(seq_lu(lu, n));
+  // Rebuild A = L*U and compare.
+  std::vector<double> rebuilt(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double sum = 0;
+      const size_t kmax = std::min(i, j);
+      for (size_t k = 0; k <= kmax; ++k) {
+        const double l = (k == i) ? 1.0 : lu[i * n + k];
+        const double u = lu[k * n + j];
+        if (k <= j && k <= i) sum += (k < i ? l * u : u);
+      }
+      rebuilt[i * n + j] = sum;
+    }
+  }
+  EXPECT_LT(max_abs_diff(rebuilt, a0), 1e-9);
+}
+
+TEST(Reference, SeqSorConverges) {
+  const size_t n = 24;
+  auto g = gen_grid(n, 9);
+  const auto g0 = g;
+  seq_sor(g, n, 100);
+  // Interior must have moved toward the boundary average and stabilized.
+  EXPECT_GT(max_abs_diff(g, g0), 1e-6);
+  auto g2 = g;
+  seq_sor(g2, n, 1);
+  EXPECT_LT(max_abs_diff(g, g2), 0.05);  // near fixed point after 100 iters
+}
+
+TEST(Reference, SeqRadixSorts) {
+  auto keys = gen_keys(5000, 13, 0xFFFF);
+  const auto sorted = seq_radix(keys, 2);
+  EXPECT_TRUE(is_sorted_permutation(keys, sorted));
+  EXPECT_EQ(sorted, seq_sort(keys));
+}
+
+TEST(Reference, SeqRadixFullWidth) {
+  auto keys = gen_keys(3000, 17);  // 31-bit keys
+  const auto sorted = seq_radix(keys, 4);
+  EXPECT_EQ(sorted, seq_sort(keys));
+}
+
+TEST(Reference, PermutationVerifierCatchesCorruption) {
+  auto keys = gen_keys(100, 1, 0xFF);
+  auto sorted = seq_sort(keys);
+  EXPECT_TRUE(is_sorted_permutation(keys, sorted));
+  sorted[50] = sorted[51];  // duplicate one element: not a permutation
+  EXPECT_FALSE(is_sorted_permutation(keys, sorted));
+  auto unsorted = keys;
+  std::reverse(unsorted.begin(), unsorted.end());
+  if (!std::is_sorted(unsorted.begin(), unsorted.end())) {
+    EXPECT_FALSE(is_sorted_permutation(keys, unsorted));
+  }
+}
+
+}  // namespace
+}  // namespace lots::work
