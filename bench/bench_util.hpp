@@ -9,10 +9,72 @@
 
 #include <cstdio>
 #include <string>
+#include <type_traits>
 
 #include "workloads/apps.hpp"
 
 namespace lots::bench {
+
+/// Machine-readable result emission: one JSON object per line, prefixed
+/// with BENCH_JSON so harnesses can grep results out of the
+/// human-readable tables and track them across PRs.
+///
+///   JsonLine("fig8_sor").str("app", "SOR").num("n", 512)
+///       .num("lots_s", 1.23).emit();
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) : buf_("{\"bench\":\"" + escaped(bench) + "\"") {}
+
+  /// Accepts any arithmetic type: integers print exactly, floats as %.6g
+  /// (a single template avoids int-literal overload ambiguity).
+  template <typename T>
+  JsonLine& num(const char* key, T v) {
+    static_assert(std::is_arithmetic_v<T>, "JsonLine::num needs a number");
+    if constexpr (std::is_floating_point_v<T>) {
+      char tmp[64];
+      std::snprintf(tmp, sizeof(tmp), "%.6g", static_cast<double>(v));
+      buf_ += std::string(",\"") + key + "\":" + tmp;
+    } else {
+      buf_ += std::string(",\"") + key + "\":" + std::to_string(v);
+    }
+    return *this;
+  }
+  JsonLine& boolean(const char* key, bool v) {
+    buf_ += std::string(",\"") + key + "\":" + (v ? "true" : "false");
+    return *this;
+  }
+  JsonLine& str(const char* key, const std::string& v) {
+    buf_ += std::string(",\"") + key + "\":\"" + escaped(v) + "\"";
+    return *this;
+  }
+  void emit() { std::printf("BENCH_JSON %s}\n", buf_.c_str()); }
+
+ private:
+  /// Minimal JSON string escaping so labels cannot break the line.
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char tmp[8];
+            std::snprintf(tmp, sizeof(tmp), "\\u%04x", c);
+            out += tmp;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::string buf_;
+};
 
 /// Baseline config for Fig. 8 runs: the paper's 100base-T network model,
 /// zero time-scale (delays are modeled, not slept), generous DMM.
@@ -40,6 +102,22 @@ inline void print_row(size_t n, int p, const work::AppResult& jia, const work::A
   std::printf("%-10zu %6d %10.3f %10.3f %10.3f %13.2fx %s\n", n, p, jia.time_s(), l.time_s(),
               lx.time_s(), jia.time_s() / (l.time_s() > 0 ? l.time_s() : 1e-9),
               (jia.ok && l.ok && lx.ok) ? "" : "  !! VERIFY FAILED");
+}
+
+/// JSON twin of print_row: emitted alongside the table so the result
+/// trajectory is trackable without parsing the human format.
+inline void json_row(const char* fig, const char* app, size_t n, int p,
+                     const work::AppResult& jia, const work::AppResult& l,
+                     const work::AppResult& lx) {
+  JsonLine(fig)
+      .str("app", app)
+      .num("n", static_cast<uint64_t>(n))
+      .num("p", static_cast<uint64_t>(p))
+      .num("jiajia_s", jia.time_s())
+      .num("lots_s", l.time_s())
+      .num("lotsx_s", lx.time_s())
+      .boolean("ok", jia.ok && l.ok && lx.ok)
+      .emit();
 }
 
 }  // namespace lots::bench

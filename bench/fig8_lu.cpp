@@ -19,6 +19,7 @@ int main() {
       const auto l = work::lots_lu(cfg, n, 7);
       const auto lx = work::lots_lu(cfg_x, n, 7);
       print_row(n, p, jia, l, lx);
+      json_row("fig8_lu", "LU", n, p, jia, l, lx);
     }
   }
   return 0;

@@ -20,6 +20,7 @@ int main() {
       const auto l = work::lots_me(cfg, n, 42);
       const auto lx = work::lots_me(cfg_x, n, 42);
       print_row(n, p, jia, l, lx);
+      json_row("fig8_me", "ME", n, p, jia, l, lx);
     }
   }
   return 0;

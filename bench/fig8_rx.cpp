@@ -20,6 +20,7 @@ int main() {
       const auto l = work::lots_rx(cfg, n, 2, 99);
       const auto lx = work::lots_rx(cfg_x, n, 2, 99);
       print_row(n, p, jia, l, lx);
+      json_row("fig8_rx", "RX", n, p, jia, l, lx);
     }
   }
   return 0;

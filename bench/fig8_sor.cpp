@@ -19,6 +19,7 @@ int main() {
       const auto l = work::lots_sor(cfg, n, 24, 3);
       const auto lx = work::lots_sor(cfg_x, n, 24, 3);
       print_row(n, p, jia, l, lx);
+      json_row("fig8_sor", "SOR", n, p, jia, l, lx);
     }
   }
   return 0;

@@ -23,6 +23,9 @@ void Config::validate() const {
   if (net.time_scale < 0 || disk.time_scale < 0) {
     throw UsageError("time_scale knobs must be non-negative");
   }
+  if (dir_shards < 1 || dir_shards > 4096) {
+    throw UsageError("Config.dir_shards must be in [1,4096]");
+  }
 }
 
 }  // namespace lots

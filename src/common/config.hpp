@@ -91,6 +91,14 @@ struct Config {
   ProtocolMode protocol = ProtocolMode::kMixed;
   DiffMode diff_mode = DiffMode::kPerWordTimestamp;
 
+  // -- Concurrency --------------------------------------------------------
+  /// Stripe count of the per-node object directory. Per-object protocol
+  /// work (access checks, fetch service, diff application) serializes
+  /// only within a stripe, so the app and service threads scale on
+  /// disjoint objects. 1 reproduces the old single-lock node (ablation
+  /// bench abl_sharding measures the difference).
+  size_t dir_shards = 16;
+
   // -- Cost models ---------------------------------------------------------
   NetModel net;
   DiskModel disk;

@@ -12,6 +12,8 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.fragments_sent);
   fn(s.diffs_created);
   fn(s.diff_words_sent);
+  fn(s.diff_batch_msgs);
+  fn(s.diff_records_batched);
   fn(s.diff_words_redundant);
   fn(s.object_fetches);
   fn(s.page_fetches);
@@ -21,6 +23,7 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.barriers);
   fn(s.access_checks);
   fn(s.slow_path_checks);
+  fn(s.shard_lock_acquires);
   fn(s.swap_ins);
   fn(s.swap_outs);
   fn(s.swap_bytes_in);

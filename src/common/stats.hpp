@@ -25,6 +25,8 @@ struct NodeStats {
   // coherence
   std::atomic<uint64_t> diffs_created{0};
   std::atomic<uint64_t> diff_words_sent{0};
+  std::atomic<uint64_t> diff_batch_msgs{0};      ///< kDiffBatch messages sent
+  std::atomic<uint64_t> diff_records_batched{0}; ///< records carried by them
   std::atomic<uint64_t> diff_words_redundant{0};  ///< accumulation waste
   std::atomic<uint64_t> object_fetches{0};
   std::atomic<uint64_t> page_fetches{0};
@@ -36,6 +38,7 @@ struct NodeStats {
   // large object space machinery
   std::atomic<uint64_t> access_checks{0};
   std::atomic<uint64_t> slow_path_checks{0};
+  std::atomic<uint64_t> shard_lock_acquires{0};  ///< object-directory stripe locks taken
   std::atomic<uint64_t> swap_ins{0};
   std::atomic<uint64_t> swap_outs{0};
   std::atomic<uint64_t> swap_bytes_in{0};

@@ -9,14 +9,21 @@
 //     barrier exit message");
 //   * multi-writer object   -> home stays put; every non-home writer
 //     sends its merged diff to the home.
-// Phase 2 — writers deliver diffs (acked), then report done; the master
-// releases everyone. On exit every node invalidates its copies of
-// modified objects it is not the new home of, frees the associated
-// bookkeeping, and advances to the new global epoch.
+// Phase 2 — writers deliver diffs, coalesced into ONE kDiffBatch per
+// destination peer (acked), then report done; the master releases
+// everyone. On exit every node invalidates its copies of modified
+// objects it is not the new home of, frees the associated bookkeeping,
+// and advances to the new global epoch.
 //
 // The kWriteUpdateOnly ablation replaces phase 2 with an all-to-all
 // update broadcast and skips invalidation — the "very heavy all-to-all
-// traffic" the paper argues against.
+// traffic" the paper argues against. Even that broadcast is one batch
+// message per peer.
+//
+// Locking: per-object work (flush, merge, plan application) takes only
+// each object's directory-shard lock in turn; the master's rendezvous
+// bookkeeping lives under sync_mu_. Neither is ever held across the
+// blocking enter/diff/done requests.
 #include <map>
 
 #include "core/runtime.hpp"
@@ -25,15 +32,13 @@ namespace lots::core {
 
 void Node::barrier() {
   // ---- flush local writes of the ending interval ----
-  std::unique_lock lk(mu_);
-  flush_interval(epoch_ + 1);
+  coherence_.flush_interval(epoch_ + 1);
   epoch_ += 1;
   std::vector<ObjectId> mods;
   dir_.for_each([&](ObjectMeta& m) {
     if (!m.local_writes.empty()) mods.push_back(m.id);
   });
   const uint32_t my_epoch = epoch_;
-  lk.unlock();
 
   // ---- phase 1: enter with the write summary, receive the plan ----
   net::Message enter;
@@ -56,57 +61,36 @@ void Node::barrier() {
     e.multi_writer = pr.u8();
   }
 
-  // ---- phase 2: deliver diffs ----
+  // ---- phase 2: deliver diffs, one batch message per peer ----
   const bool write_update_everywhere = rt_.config().protocol == ProtocolMode::kWriteUpdateOnly;
+  const bool dense_ok = rt_.config().protocol == ProtocolMode::kAdaptive;
   std::vector<net::Message> outs;
-  lk.lock();
+  std::map<int32_t, std::vector<DiffRecord>> by_peer;
   if (write_update_everywhere) {
-    // Ablation: merged updates broadcast to every other node.
+    // Ablation: merged updates broadcast to every other node (payload
+    // encoded once, cloned per peer).
     std::vector<DiffRecord> merged;
     for (ObjectId id : mods) {
+      auto lk = dir_.lock_shard(id);
       ObjectMeta& m = dir_.get(id);
       DiffRecord rec = merge_records(m.local_writes, /*since=*/0);
       if (!rec.word_idx.empty()) merged.push_back(std::move(rec));
     }
-    for (int peer = 0; peer < nprocs(); ++peer) {
-      if (peer == rank_ || merged.empty()) continue;
-      net::Message msg;
-      msg.type = net::MsgType::kDiffToHome;
-      msg.dst = peer;
-      net::Writer w(msg.payload);
-      w.u32(static_cast<uint32_t>(merged.size()));
-      for (const auto& rec : merged) {
-        encode_record(w, rec, rt_.config().protocol == ProtocolMode::kAdaptive);
-        stats_.diff_words_sent.fetch_add(rec.words(), std::memory_order_relaxed);
-      }
-      outs.push_back(std::move(msg));
-    }
+    outs = CoherenceEngine::build_broadcast_batches(merged, nprocs(), rank_, dense_ok, stats_);
   } else {
     // Mixed / write-invalidate: diffs flow to the (possibly migrated)
     // home, and only for multi-writer objects — a single writer becomes
     // the home, moving zero object data.
-    std::map<int32_t, std::vector<DiffRecord>> by_home;
     for (const auto& e : plan) {
+      auto lk = dir_.lock_shard(e.object);
       ObjectMeta* m = dir_.find(e.object);
       if (!m || m->local_writes.empty()) continue;  // not my write
       if (e.new_home == rank_) continue;            // I hold the newest copy
       DiffRecord rec = merge_records(m->local_writes, /*since=*/0);
-      if (!rec.word_idx.empty()) by_home[e.new_home].push_back(std::move(rec));
+      if (!rec.word_idx.empty()) by_peer[e.new_home].push_back(std::move(rec));
     }
-    for (auto& [home, group] : by_home) {
-      net::Message msg;
-      msg.type = net::MsgType::kDiffToHome;
-      msg.dst = home;
-      net::Writer w(msg.payload);
-      w.u32(static_cast<uint32_t>(group.size()));
-      for (const auto& rec : group) {
-        encode_record(w, rec, rt_.config().protocol == ProtocolMode::kAdaptive);
-        stats_.diff_words_sent.fetch_add(rec.words(), std::memory_order_relaxed);
-      }
-      outs.push_back(std::move(msg));
-    }
+    outs = CoherenceEngine::build_diff_batches(by_peer, dense_ok, stats_);
   }
-  lk.unlock();
   for (auto& msg : outs) ep_.request(std::move(msg));  // acked delivery
 
   // ---- apply the plan BEFORE reporting done ----
@@ -116,9 +100,7 @@ void Node::barrier() {
   // invalidations) took effect. Hence no fetch can ever reach a node
   // still holding pre-barrier home/validity state — the invariant that
   // the serving home always has a complete, current copy.
-  lk.lock();
   apply_barrier_plan(plan, new_epoch);
-  lk.unlock();
 
   // ---- phase 2 rendezvous: wait until everyone applied the plan ----
   net::Message done;
@@ -130,7 +112,9 @@ void Node::barrier() {
 
 void Node::apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan, uint32_t new_epoch) {
   const bool write_update_everywhere = rt_.config().protocol == ProtocolMode::kWriteUpdateOnly;
+  std::vector<ObjectId> adopt_remote;
   for (const auto& e : plan) {
+    auto lk = dir_.lock_shard(e.object);
     ObjectMeta* m = dir_.find(e.object);
     if (!m) continue;
     if (write_update_everywhere) {
@@ -143,6 +127,11 @@ void Node::apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan, uint32_
     if (e.new_home == rank_) {
       m->share = ShareState::kValid;
       m->valid_epoch = new_epoch;
+      // A home must answer fetches from local state. If our only copy
+      // is parked on the swap buddy (spilled after the writing interval
+      // flushed), pull it back before reporting done — otherwise
+      // on_obj_fetch would serve zeros.
+      if (m->on_remote) adopt_remote.push_back(e.object);
     } else {
       if (m->share == ShareState::kValid) {
         stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
@@ -154,10 +143,22 @@ void Node::apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan, uint32_
     }
     m->local_writes.clear();
   }
+  // Adopt remotely parked images for objects we just became home of.
+  // Runs before barrier() reports done, so no fetch can observe a home
+  // without its data (the buddy's service thread answers kSwapGet from
+  // disk state alone, so this cannot deadlock the rendezvous).
+  for (ObjectId id : adopt_remote) {
+    auto lk = dir_.lock_shard(id);
+    ObjectMeta* m = dir_.find(id);
+    if (m && m->on_remote) rehydrate_remote(*m, lk);
+  }
   // The barrier reconciles everything: scope update chains reset.
-  for (auto& [lock_id, tok] : tokens_) {
-    (void)lock_id;
-    tok.chain.clear();
+  {
+    std::lock_guard sl(sync_mu_);
+    for (auto& [lock_id, tok] : tokens_) {
+      (void)lock_id;
+      tok.chain.clear();
+    }
   }
   epoch_ = new_epoch;
   last_barrier_epoch_ = new_epoch;
@@ -177,15 +178,32 @@ void Node::on_barrier_enter(net::Message&& m) {
   net::Reader r(m.payload);
   const uint32_t epoch = r.u32();
   const uint32_t nmods = r.u32();
-  std::unique_lock lk(mu_);
-  master_.max_epoch = std::max(master_.max_epoch, epoch);
-  for (uint32_t i = 0; i < nmods; ++i) {
-    const ObjectId id = r.u32();
-    master_.writers[id].push_back(m.src);
-    if (!master_.old_homes.count(id)) {
-      ObjectMeta* obj = dir_.find(id);
-      master_.old_homes[id] = obj ? obj->home : 0;
+  // Decode ids, then look up homes only for ids the master has not seen
+  // this barrier — under their shard locks, BEFORE sync_mu_ (sync_mu_ is
+  // never held while taking a shard lock). Handlers run on the single
+  // service thread, so master_ cannot change between the two sections.
+  std::vector<ObjectId> ids(nmods);
+  for (auto& id : ids) id = r.u32();
+  std::vector<ObjectId> unseen;
+  {
+    std::lock_guard sl(sync_mu_);
+    for (ObjectId id : ids) {
+      if (!master_.old_homes.count(id)) unseen.push_back(id);
     }
+  }
+  std::unordered_map<ObjectId, int32_t> homes;
+  for (ObjectId id : unseen) {
+    auto lk = dir_.lock_shard(id);
+    ObjectMeta* obj = dir_.find(id);
+    homes[id] = obj ? obj->home : 0;
+  }
+
+  std::unique_lock lk(sync_mu_);
+  master_.max_epoch = std::max(master_.max_epoch, epoch);
+  for (ObjectId id : ids) {
+    master_.writers[id].push_back(m.src);
+    auto it = homes.find(id);
+    if (it != homes.end()) master_.old_homes.try_emplace(id, it->second);
   }
   master_.enter_reqs.push_back(std::move(m));
   if (++master_.arrived < static_cast<uint32_t>(nprocs())) return;
@@ -240,7 +258,7 @@ void Node::on_barrier_enter(net::Message&& m) {
 }
 
 void Node::on_barrier_done(net::Message&& m) {
-  std::unique_lock lk(mu_);
+  std::unique_lock lk(sync_mu_);
   master_.done_reqs.push_back(std::move(m));
   if (++master_.done < static_cast<uint32_t>(nprocs())) return;
   std::vector<net::Message> reqs = std::move(master_.done_reqs);
@@ -255,7 +273,7 @@ void Node::on_barrier_done(net::Message&& m) {
 }
 
 void Node::on_run_barrier_enter(net::Message&& m) {
-  std::unique_lock lk(mu_);
+  std::unique_lock lk(sync_mu_);
   master_.run_reqs.push_back(std::move(m));
   if (++master_.run_arrived < static_cast<uint32_t>(nprocs())) return;
   std::vector<net::Message> reqs = std::move(master_.run_reqs);

@@ -1,0 +1,99 @@
+// The coherence engine: twin management, interval flushing, and diff
+// application (paper §3.3 twins, §3.4-3.5 mixed protocol mechanics),
+// extracted from the node so it can operate per-directory-shard.
+//
+// The engine owns the "what changed and how does it propagate" half of
+// the protocol; the node keeps the "who talks to whom" half (fetch,
+// lock, barrier message flows). Every entry point below documents its
+// locking contract against the striped ObjectDirectory:
+//
+//  * per-meta calls (ensure_twin / apply_pending / apply_incoming /
+//    apply_delivery) require the caller to hold the meta's shard lock;
+//  * flush_interval takes shard locks itself, one object at a time, and
+//    must be called with NO shard lock held;
+//  * build_diff_batches is pure message assembly — no locks involved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/diff.hpp"
+#include "core/object.hpp"
+#include "mem/space_layout.hpp"
+#include "net/message.hpp"
+#include "storage/disk_store.hpp"
+
+namespace lots::core {
+
+class CoherenceEngine {
+ public:
+  CoherenceEngine(ObjectDirectory& dir, mem::SpaceLayout& space, storage::DiskStore& disk,
+                  NodeStats& stats)
+      : dir_(dir), space_(space), disk_(disk), stats_(stats) {}
+  CoherenceEngine(const CoherenceEngine&) = delete;
+  CoherenceEngine& operator=(const CoherenceEngine&) = delete;
+
+  /// Copies the object's current data into its twin slot and records it
+  /// as twinned this interval. Caller holds the shard lock; the object
+  /// must be mapped.
+  void ensure_twin(ObjectMeta& m);
+
+  /// Applies all updates parked while the object was unmapped. Caller
+  /// holds the shard lock; the object must be mapped.
+  void apply_pending(ObjectMeta& m);
+
+  /// Applies an incoming update to a MAPPED object's data + word stamps
+  /// AND, crucially, to its twin when one exists: otherwise the next
+  /// flush would mistake the foreign words for local writes and re-stamp
+  /// them with this node's (possibly inflated) epoch — which can bury a
+  /// genuinely newer write at the barrier merge (lost update). Caller
+  /// holds the shard lock.
+  void apply_incoming(ObjectMeta& m, const DiffRecord& rec);
+
+  /// Full delivery path for a record arriving from a peer (release push
+  /// or barrier phase 2): applies in place when mapped, patches the disk
+  /// image when swapped out, materializes the master copy when this node
+  /// is the home, and parks in `pending` otherwise. Caller holds the
+  /// shard lock.
+  void apply_delivery(ObjectMeta& m, DiffRecord&& rec, int32_t self_rank);
+
+  /// Flushes every object twinned this interval into DiffRecords at
+  /// `flush_epoch`; returns the records. Each record is also coalesced
+  /// into its meta's `local_writes` (newest per-word stamp wins), so the
+  /// barrier merge reads one bounded record per object no matter how
+  /// many lock intervals preceded it. Call with NO shard lock held: the
+  /// engine locks each object's shard in turn.
+  std::vector<DiffRecord> flush_interval(uint32_t flush_epoch);
+
+  /// Packages per-peer record groups into ONE kDiffBatch message per
+  /// peer — the release/barrier paths send O(peers) messages per sync
+  /// operation regardless of how many objects changed. Counts
+  /// diff_batch_msgs / diff_records_batched / diff_words_sent.
+  static std::vector<net::Message> build_diff_batches(
+      const std::map<int32_t, std::vector<DiffRecord>>& by_peer, bool allow_dense,
+      NodeStats& stats);
+
+  /// Broadcast form (write-update ablation): the same record set goes to
+  /// every peer except `self_rank`. The payload is encoded once and the
+  /// byte buffer cloned per destination — no per-peer record copies.
+  static std::vector<net::Message> build_broadcast_batches(std::span<const DiffRecord> records,
+                                                           int nprocs, int self_rank,
+                                                           bool allow_dense, NodeStats& stats);
+
+ private:
+  ObjectDirectory& dir_;
+  mem::SpaceLayout& space_;
+  storage::DiskStore& disk_;
+  NodeStats& stats_;
+
+  /// Objects twinned since the last flush. Guarded by its own (leaf)
+  /// mutex: ensure_twin appends under a shard lock, flush swaps the
+  /// whole list out before taking any shard lock.
+  std::mutex twins_mu_;
+  std::vector<ObjectId> interval_twins_;
+};
+
+}  // namespace lots::core

@@ -21,6 +21,13 @@
 // merged updates to each object's home and the chain carries only
 // invalidation notices (empty records); acquirers invalidate and refetch
 // on access.
+//
+// Locking: protocol bookkeeping (tokens_, managed_locks_, lock_waits_)
+// sits under the node-level sync_mu_; object-state effects (applying a
+// grant's updates, invalidations) take only the affected object's
+// directory-shard lock, never while sync_mu_ is held. A token being
+// released is mutated without sync_mu_: the manager cannot forward it
+// until our kLockRelease message lands, so no grant for it can race.
 #include <map>
 
 #include "core/runtime.hpp"
@@ -45,11 +52,10 @@ std::vector<DiffRecord> compact_chain(std::vector<DiffRecord>& chain) {
 
 void Node::acquire(uint32_t lock_id) {
   const int32_t manager = static_cast<int32_t>(lock_id % static_cast<uint32_t>(nprocs()));
-  uint32_t my_epoch;
+  const uint32_t my_epoch = epoch_;  // interval state: app-thread-owned
   {
-    std::unique_lock lk(mu_);
+    std::lock_guard sl(sync_mu_);
     lock_waits_[lock_id] = LockWait{};
-    my_epoch = epoch_;
   }
   net::Message req;
   req.type = net::MsgType::kLockAcquire;
@@ -59,12 +65,17 @@ void Node::acquire(uint32_t lock_id) {
   w.u32(my_epoch);
   ep_.send(std::move(req));
 
-  std::unique_lock lk(mu_);
-  lock_cv_.wait(lk, [&] { return lock_waits_[lock_id].granted; });
-  net::Message grant = std::move(lock_waits_[lock_id].grant);
-  lock_waits_.erase(lock_id);
+  net::Message grant;
+  {
+    std::unique_lock sl(sync_mu_);
+    lock_cv_.wait(sl, [&] { return lock_waits_[lock_id].granted; });
+    grant = std::move(lock_waits_[lock_id].grant);
+    lock_waits_.erase(lock_id);
+  }
 
   // Decode the token: {lock, holder_epoch, is_notice, nrecs, records}.
+  // Updates are applied under each object's shard lock only — another
+  // lock's grant or a fetch for an unrelated object proceeds in parallel.
   net::Reader r(grant.payload);
   r.u32();  // lock id (already known)
   const uint32_t holder_epoch = r.u32();
@@ -77,51 +88,62 @@ void Node::acquire(uint32_t lock_id) {
     if (is_notice) {
       // Write-invalidate ablation: drop our copy; the release already
       // pushed the data to the object's home.
+      auto lk = dir_.lock_shard(rec.object);
       ObjectMeta* m = dir_.find(rec.object);
       if (m && m->home != rank_ && m->share == ShareState::kValid) {
         m->share = ShareState::kInvalid;
         m->pending.clear();
         stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
       }
+      lk.unlock();
       tok.chain.push_back(std::move(rec));  // notices stay in the chain
       continue;
     }
     // Write-update: apply immediately if mapped, else defer to map-in.
-    ObjectMeta* m = dir_.find(rec.object);
-    if (m) {
-      if (m->map == MapState::kMapped) {
-        apply_incoming(*m, rec);
-      } else {
-        m->pending.push_back(rec);
+    {
+      auto lk = dir_.lock_shard(rec.object);
+      ObjectMeta* m = dir_.find(rec.object);
+      if (m) {
+        if (m->map == MapState::kMapped) {
+          coherence_.apply_incoming(*m, rec);
+        } else {
+          m->pending.push_back(rec);
+        }
       }
     }
     tok.chain.push_back(std::move(rec));  // the chain travels with the token
   }
-  tokens_[lock_id] = std::move(tok);
+  {
+    std::lock_guard sl(sync_mu_);
+    tokens_[lock_id] = std::move(tok);
+  }
   epoch_ = std::max(epoch_, holder_epoch) + 1;
   stats_.lock_acquires.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Node::release(uint32_t lock_id) {
   const int32_t manager = static_cast<int32_t>(lock_id % static_cast<uint32_t>(nprocs()));
-  std::unique_lock lk(mu_);
-  LOTS_CHECK(tokens_.count(lock_id), "release of a lock this node does not hold");
-  std::vector<DiffRecord> recs = flush_interval(epoch_ + 1);
+  LockToken* tok = nullptr;
+  {
+    std::lock_guard sl(sync_mu_);
+    auto it = tokens_.find(lock_id);
+    LOTS_CHECK(it != tokens_.end(), "release of a lock this node does not hold");
+    tok = &it->second;  // stable address; see file comment on release races
+  }
+  std::vector<DiffRecord> recs = coherence_.flush_interval(epoch_ + 1);
   epoch_ += 1;
-  LockToken& tok = tokens_[lock_id];
-  tok.epoch = epoch_;
+  tok->epoch = epoch_;
 
   if (rt_.config().protocol == ProtocolMode::kWriteInvalidateOnly) {
-    push_release_updates_home_based(tok, std::move(recs), lk);
+    push_release_updates_home_based(*tok, std::move(recs));
   } else {
-    for (auto& rec : recs) tok.chain.push_back(std::move(rec));
+    for (auto& rec : recs) tok->chain.push_back(std::move(rec));
     if (rt_.config().diff_mode == DiffMode::kPerWordTimestamp) {
       // §3.5: keep only the latest value of every field.
-      tok.chain = compact_chain(tok.chain);
+      tok->chain = compact_chain(tok->chain);
     }
   }
 
-  lk.unlock();
   net::Message rel;
   rel.type = net::MsgType::kLockRelease;
   rel.dst = manager;
@@ -131,14 +153,21 @@ void Node::release(uint32_t lock_id) {
 }
 
 /// Write-invalidate ablation: merged release updates go to each object's
-/// home (acked so a post-invalidation fetch cannot miss them); the token
-/// chain receives one empty "notice" record per modified object.
-void Node::push_release_updates_home_based(LockToken& tok, std::vector<DiffRecord>&& recs,
-                                           std::unique_lock<std::mutex>& lk) {
+/// home — batched into ONE kDiffBatch per peer, acked so a
+/// post-invalidation fetch cannot miss them; the token chain receives
+/// one empty "notice" record per modified object.
+void Node::push_release_updates_home_based(LockToken& tok, std::vector<DiffRecord>&& recs) {
   std::map<int32_t, std::vector<DiffRecord>> by_home;
-  std::vector<net::Message> outs;
   for (auto& rec : recs) {
-    ObjectMeta& m = dir_.get(rec.object);
+    int32_t home;
+    {
+      auto lk = dir_.lock_shard(rec.object);
+      ObjectMeta& m = dir_.get(rec.object);
+      home = m.home;
+      if (home == rank_) {
+        m.valid_epoch = std::max(m.valid_epoch, rec.epoch);  // already applied in place
+      }
+    }
     DiffRecord notice;
     notice.object = rec.object;
     notice.epoch = rec.epoch;
@@ -151,27 +180,11 @@ void Node::push_release_updates_home_based(LockToken& tok, std::vector<DiffRecor
       }
     }
     if (!dup) tok.chain.push_back(std::move(notice));
-    if (m.home == rank_) {
-      m.valid_epoch = std::max(m.valid_epoch, rec.epoch);  // already applied in place
-    } else {
-      by_home[m.home].push_back(std::move(rec));
-    }
+    if (home != rank_) by_home[home].push_back(std::move(rec));
   }
-  for (auto& [home, group] : by_home) {
-    net::Message msg;
-    msg.type = net::MsgType::kDiffToHome;
-    msg.dst = home;
-    net::Writer w(msg.payload);
-    w.u32(static_cast<uint32_t>(group.size()));
-    for (const auto& rec : group) {
-      encode_record(w, rec, rt_.config().protocol == ProtocolMode::kAdaptive);
-      stats_.diff_words_sent.fetch_add(rec.words(), std::memory_order_relaxed);
-    }
-    outs.push_back(std::move(msg));
-  }
-  lk.unlock();
-  for (auto& msg : outs) ep_.request(std::move(msg));  // acked
-  lk.lock();
+  auto outs = CoherenceEngine::build_diff_batches(
+      by_home, rt_.config().protocol == ProtocolMode::kAdaptive, stats_);
+  for (auto& msg : outs) ep_.request(std::move(msg));  // acked; no locks held
 }
 
 // --- manager side (service thread) -----------------------------------------
@@ -180,7 +193,7 @@ void Node::on_lock_acquire(net::Message&& m) {
   net::Reader r(m.payload);
   const uint32_t lock_id = r.u32();
   const uint32_t acq_epoch = r.u32();
-  std::unique_lock lk(mu_);
+  std::unique_lock lk(sync_mu_);
   ManagerState& s = managed_locks_[lock_id];
   if (s.token_at < 0) {
     s.token_at = rank_;  // token is born at the manager, chain empty
@@ -209,7 +222,7 @@ void Node::on_lock_acquire(net::Message&& m) {
 void Node::on_lock_release(net::Message&& m) {
   net::Reader r(m.payload);
   const uint32_t lock_id = r.u32();
-  std::unique_lock lk(mu_);
+  std::unique_lock lk(sync_mu_);
   ManagerState& s = managed_locks_[lock_id];
   s.token_at = m.src;
   s.busy = false;
@@ -242,10 +255,11 @@ void Node::on_lock_forward(net::Message&& m) {
   const uint32_t lock_id = r.u32();
   const int32_t acquirer = r.i32();
   const uint32_t acq_epoch = r.u32();
-  std::unique_lock lk(mu_);
+  std::unique_lock lk(sync_mu_);
   send_grant_locked(lock_id, acquirer, acq_epoch);
 }
 
+/// Caller holds sync_mu_.
 void Node::send_grant_locked(uint32_t lock_id, int32_t to, uint32_t /*acq_epoch*/) {
   auto it = tokens_.find(lock_id);
   LOTS_CHECK(it != tokens_.end(), "lock forward reached a node without the token");
@@ -272,7 +286,7 @@ void Node::send_grant_locked(uint32_t lock_id, int32_t to, uint32_t /*acq_epoch*
 void Node::on_lock_grant(net::Message&& m) {
   net::Reader r(m.payload);
   const uint32_t lock_id = r.u32();
-  std::unique_lock lk(mu_);
+  std::unique_lock lk(sync_mu_);
   auto it = lock_waits_.find(lock_id);
   LOTS_CHECK(it != lock_waits_.end(), "unsolicited lock grant");
   it->second.grant = std::move(m);

@@ -1,4 +1,4 @@
-// ObjectDirectory and ObjectMeta are header-only today; this TU anchors
-// the library target and is the designated home for future out-of-line
-// directory logic.
+// The striped ObjectDirectory and ObjectMeta are header-only (the shard
+// accessors are small and hot); this TU anchors the library target and
+// is the designated home for future out-of-line directory logic.
 #include "core/object.hpp"

@@ -11,13 +11,23 @@
 // address space"): share/mapping state, current home, DMM offset while
 // mapped, pinning timestamp, and the interval-local write records that
 // feed the coherence protocol.
+//
+// The directory is *striped*: object metas live in N independently
+// lockable shards keyed by ObjectId, so the paper's per-object
+// operations (the §3.3 access check, §3.4-3.5 protocol handlers) on
+// disjoint objects never serialize against each other. The app thread
+// and the service thread contend only when they touch the same shard.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/stats.hpp"
 
 namespace lots::core {
 
@@ -77,7 +87,10 @@ struct ObjectMeta {
   uint64_t access_stamp = 0;  ///< pinning / LRU recency (paper §3.3)
   uint32_t valid_epoch = 0;   ///< copy is complete up to this sync epoch
 
-  /// Local writes since the last barrier (pruned there), newest last.
+  /// Local writes since the last barrier (pruned there). Kept coalesced:
+  /// flush merges each interval's record into the existing one (newest
+  /// per-word stamp wins), so a long lock-heavy interval sequence costs
+  /// O(object words), not O(intervals).
   std::vector<DiffRecord> local_writes;
   /// Updates received while unmapped; applied on the next map-in.
   std::vector<DiffRecord> pending;
@@ -85,42 +98,133 @@ struct ObjectMeta {
   [[nodiscard]] uint32_t words() const { return (size_bytes + 3) / 4; }
 };
 
-/// Per-node table of all declared objects. IDs start at 1 (0 = null).
+/// Word-aligned byte count of an object's data/timestamp/twin images.
+inline size_t word_bytes(const ObjectMeta& m) { return static_cast<size_t>(m.words()) * 4; }
+
+/// Per-node table of all declared objects, striped into independently
+/// lockable shards. IDs start at 1 (0 = null).
+///
+/// Locking contract:
+///  * `get`/`find` require the caller to hold the owning shard's lock
+///    (via `lock_shard`) whenever another thread may touch the table;
+///    purely single-threaded code (unit tests) may call them bare.
+///  * `create`/`remove`/`for_each`/`count` take the shard locks
+///    internally and must be called with NO shard lock held.
+///  * At most one shard lock may be held at a time, and no thread may
+///    block on a network request while holding one (the service thread
+///    routes replies and needs the shards to drain its handler queue).
 class ObjectDirectory {
  public:
+  static constexpr size_t kDefaultShards = 16;
+
+  explicit ObjectDirectory(size_t nshards = kDefaultShards) {
+    LOTS_CHECK(nshards >= 1, "ObjectDirectory: need at least one shard");
+    shards_.reserve(nshards);
+    for (size_t s = 0; s < nshards; ++s) shards_.push_back(std::make_unique<Shard>());
+  }
+
+  /// Counter sink for shard-lock acquisitions (optional; benches use it
+  /// to compare striped vs single-lock contention).
+  void set_stats(NodeStats* stats) { stats_ = stats; }
+
+  [[nodiscard]] size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] size_t shard_of(ObjectId id) const {
+    return static_cast<size_t>(id) % shards_.size();
+  }
+
+  /// Locks the shard owning `id`. The returned lock may be released and
+  /// re-acquired around blocking requests (the meta reference stays
+  /// valid: only the app thread erases, and only collectively).
+  [[nodiscard]] std::unique_lock<std::mutex> lock_shard(ObjectId id) {
+    return lock_index(shard_of(id));
+  }
+
   /// Registers the next object in program order (SPMD-deterministic).
+  /// `home` may be computed from `peek_next_id()`; the assignment is
+  /// published under the shard lock.
   ObjectMeta& create(uint32_t size_bytes, int32_t home) {
-    const ObjectId id = next_id_++;
-    ObjectMeta& m = objects_[id];
+    const ObjectId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    auto lk = lock_shard(id);
+    ObjectMeta& m = shards_[shard_of(id)]->objects[id];
     m.id = id;
     m.size_bytes = size_bytes;
     m.home = home;
     return m;
   }
 
+  /// Lookup; caller holds the owning shard's lock (see class comment).
   [[nodiscard]] ObjectMeta& get(ObjectId id) {
-    auto it = objects_.find(id);
-    LOTS_CHECK(it != objects_.end(), "unknown object id " + std::to_string(id));
+    Shard& sh = *shards_[shard_of(id)];
+    auto it = sh.objects.find(id);
+    LOTS_CHECK(it != sh.objects.end(), "unknown object id " + std::to_string(id));
     return it->second;
   }
   [[nodiscard]] ObjectMeta* find(ObjectId id) {
-    auto it = objects_.find(id);
-    return it == objects_.end() ? nullptr : &it->second;
+    Shard& sh = *shards_[shard_of(id)];
+    auto it = sh.objects.find(id);
+    return it == sh.objects.end() ? nullptr : &it->second;
   }
 
-  void remove(ObjectId id) { objects_.erase(id); }
+  /// Erases `id`. Takes the shard lock internally: call WITHOUT it held.
+  void remove(ObjectId id) {
+    auto lk = lock_shard(id);
+    shards_[shard_of(id)]->objects.erase(id);
+  }
 
-  [[nodiscard]] size_t count() const { return objects_.size(); }
-  [[nodiscard]] ObjectId peek_next_id() const { return next_id_; }
+  /// Erases `id` while the caller already holds the owning shard's lock
+  /// — lets teardown paths stay atomic from last-state check to erase.
+  void remove_locked(ObjectId id) { shards_[shard_of(id)]->objects.erase(id); }
 
+  [[nodiscard]] size_t count() const {
+    size_t n = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      auto lk = const_cast<ObjectDirectory*>(this)->lock_index(s);
+      n += shards_[s]->objects.size();
+    }
+    return n;
+  }
+  [[nodiscard]] ObjectId peek_next_id() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+
+  // ---- LRU / pin clock (paper §3.3 pinning) ------------------------------
+  /// Next access stamp; callers store it into meta.access_stamp under the
+  /// shard lock.
+  uint64_t stamp() { return pin_clock_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  [[nodiscard]] uint64_t newest_stamp() const {
+    return pin_clock_.load(std::memory_order_relaxed);
+  }
+
+  /// Visits every meta, one shard at a time, holding that shard's lock
+  /// for the duration of its visits — barrier summaries and eviction
+  /// scans use this instead of a global lock. `fn` must not call back
+  /// into locking directory methods.
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (auto& [id, meta] : objects_) fn(meta);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      auto lk = lock_index(s);
+      for (auto& [id, meta] : shards_[s]->objects) fn(meta);
+    }
   }
 
  private:
-  ObjectId next_id_ = 1;
-  std::unordered_map<ObjectId, ObjectMeta> objects_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<ObjectId, ObjectMeta> objects;
+  };
+
+  /// Every stripe-lock acquisition in the directory funnels through
+  /// here, so shard_lock_acquires counts scans (for_each/count) and
+  /// table maintenance as well as lock_shard callers.
+  [[nodiscard]] std::unique_lock<std::mutex> lock_index(size_t s) {
+    if (stats_) stats_->shard_lock_acquires.fetch_add(1, std::memory_order_relaxed);
+    return std::unique_lock(shards_[s]->mu);
+  }
+
+  std::atomic<ObjectId> next_id_{1};
+  std::atomic<uint64_t> pin_clock_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  NodeStats* stats_ = nullptr;
 };
 
 }  // namespace lots::core

@@ -1,6 +1,11 @@
 // Node lifecycle, the access check, the dynamic memory mapper
 // (map-in / swap-out / eviction) and the object fetch protocol.
-// Lock and barrier protocols live in locks.cpp / barrier.cpp.
+// Lock and barrier protocols live in locks.cpp / barrier.cpp; twin /
+// flush / diff-application mechanics live in coherence.cpp.
+//
+// Locking discipline (see runtime.hpp): per-object work holds only the
+// object's directory-shard lock; nothing here ever holds two shard
+// locks at once or blocks on a network request with one held.
 #include "core/runtime.hpp"
 
 #include <cstring>
@@ -11,9 +16,6 @@ namespace lots::core {
 namespace {
 
 thread_local Node* tls_node = nullptr;
-
-/// Word-aligned byte count used for data/timestamp images.
-size_t word_bytes(const ObjectMeta& m) { return static_cast<size_t>(m.words()) * 4; }
 
 }  // namespace
 
@@ -77,9 +79,12 @@ Node::Node(Runtime& rt, int rank, std::unique_ptr<net::Transport> transport)
       rank_(rank),
       ep_((transport->set_stats(&stats_), std::move(transport))),
       space_(rt.config().dmm_bytes),
-      dmm_(rt.config().dmm_bytes, rt.config().page_bytes) {
-  disk_ = std::make_unique<storage::DiskStore>(rt.config().disk_dir, rank, rt.config().disk,
-                                               &stats_);
+      dmm_(rt.config().dmm_bytes, rt.config().page_bytes),
+      disk_(std::make_unique<storage::DiskStore>(rt.config().disk_dir, rank, rt.config().disk,
+                                                 &stats_)),
+      dir_(rt.config().dir_shards),
+      coherence_(dir_, space_, *disk_, stats_) {
+  dir_.set_stats(&stats_);
   ep_.start([this](net::Message&& m) { dispatch(std::move(m)); });
 }
 
@@ -94,7 +99,7 @@ void Node::dispatch(net::Message&& m) {
     case MsgType::kSwapPut: on_swap_put(std::move(m)); break;
     case MsgType::kSwapGet: on_swap_get(std::move(m)); break;
     case MsgType::kSwapDrop: on_swap_drop(std::move(m)); break;
-    case MsgType::kDiffToHome: on_diff_to_home(std::move(m)); break;
+    case MsgType::kDiffBatch: on_diff_batch(std::move(m)); break;
     case MsgType::kLockAcquire: on_lock_acquire(std::move(m)); break;
     case MsgType::kLockForward: on_lock_forward(std::move(m)); break;
     case MsgType::kLockGrant: on_lock_grant(std::move(m)); break;
@@ -119,56 +124,66 @@ ObjectId Node::alloc_object(size_t bytes) {
     throw UsageError("single object of " + std::to_string(bytes) +
                      " bytes exceeds the DMM area capacity");
   }
-  std::unique_lock lk(mu_);
-  ObjectMeta& m = dir_.create(static_cast<uint32_t>(bytes), /*home=*/0);
   // Round-robin initial homes, as in JIAJIA's page allocation; the mixed
-  // protocol migrates them at barriers anyway.
-  m.home = static_cast<int32_t>(m.id % static_cast<uint32_t>(nprocs()));
+  // protocol migrates them at barriers anyway. The home is computed
+  // before create() so it is published under the shard lock: a remote
+  // node running ahead in the SPMD sequence may already address this id.
+  const int32_t home =
+      static_cast<int32_t>(dir_.peek_next_id() % static_cast<uint32_t>(nprocs()));
+  ObjectMeta& m = dir_.create(static_cast<uint32_t>(bytes), home);
+  const ObjectId id = m.id;
   if (!rt_.config().large_object_space) {
     // LOTS-x: eager, permanent mapping; the app must fit in the process
     // space — which is the very limitation the paper removes.
+    auto lk = dir_.lock_shard(id);
     map_in(m, lk);
   }
-  return m.id;
+  return id;
 }
 
 void Node::free_object(ObjectId id) {
-  std::unique_lock lk(mu_);
+  auto lk = dir_.lock_shard(id);
   ObjectMeta* m = dir_.find(id);
   if (!m) return;
-  if (m->map == MapState::kMapped) {
-    space_.discard(m->dmm_offset, word_bytes(*m));
-    dmm_.free(m->dmm_offset);
-  }
-  if (m->on_disk) disk_->free_object(id);
-  dir_.remove(id);
+  // drop_mapping covers every copy the object may hold: the DMM block,
+  // the local disk image, AND a remotely parked image (the kSwapDrop
+  // would otherwise leak the buddy's disk space forever). The erase
+  // happens under the same lock hold — an unlock window here would let
+  // an in-flight diff re-materialize a home disk image that the erase
+  // then orphans.
+  drop_mapping(*m, /*keep_disk_image=*/false);
+  dir_.remove_locked(id);
 }
 
 size_t Node::object_size(ObjectId id) {
-  std::unique_lock lk(mu_);
+  auto lk = dir_.lock_shard(id);
   return dir_.get(id).size_bytes;
 }
 
 // ---------------------------------------------------------------------------
-// The access check (paper §3.3): fast path is a table lookup.
+// The access check (paper §3.3): fast path is a table lookup under the
+// object's shard lock — disjoint objects never contend.
 // ---------------------------------------------------------------------------
 
 void* Node::access(ObjectId id) {
   stats_.access_checks.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock lk(mu_);
+  auto lk = dir_.lock_shard(id);
   ObjectMeta& m = dir_.get(id);
-  if (rt_.config().large_object_space) m.access_stamp = ++pin_clock_;
+  if (rt_.config().large_object_space) m.access_stamp = dir_.stamp();
   if (m.map == MapState::kMapped && m.share == ShareState::kValid && m.pending.empty() &&
       m.twinned) {
     return space_.dmm(m.dmm_offset);
   }
 
-  // Slow path: bring the object in from disk and/or the network.
+  // Slow path: bring the object in from disk and/or the network. The
+  // helpers may drop `lk` around blocking requests; each subsequent step
+  // re-examines the flag it owns, so a state change while unlocked is
+  // picked up here.
   stats_.slow_path_checks.fetch_add(1, std::memory_order_relaxed);
   if (m.map != MapState::kMapped) map_in(m, lk);
   if (m.share == ShareState::kInvalid) fetch_clean_copy(m, lk);
-  if (!m.pending.empty()) apply_pending(m);
-  if (!m.twinned) ensure_twin(m);
+  if (!m.pending.empty()) coherence_.apply_pending(m);
+  if (!m.twinned) coherence_.ensure_twin(m);
   return space_.dmm(m.dmm_offset);
 }
 
@@ -176,33 +191,35 @@ void* Node::access(ObjectId id) {
 // Dynamic memory mapper
 // ---------------------------------------------------------------------------
 
+void Node::rehydrate_remote(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
+  // §5 remote swapping: pull the parked image back from the buddy's
+  // disk and continue as if it were local.
+  net::Message req;
+  req.type = net::MsgType::kSwapGet;
+  req.dst = swap_buddy();
+  net::Writer w(req.payload);
+  w.u64(remote_key(rank_, m.id));
+  lk.unlock();
+  net::Message reply = ep_.request(std::move(req));
+  net::Message drop;
+  drop.type = net::MsgType::kSwapDrop;
+  drop.dst = swap_buddy();
+  net::Writer dw(drop.payload);
+  dw.u64(remote_key(rank_, m.id));
+  ep_.send(std::move(drop));
+  lk.lock();
+  net::Reader r(reply.payload);
+  auto image = r.bytes_view();
+  disk_->write_object(m.id, image);
+  m.on_remote = false;
+  m.on_disk = true;
+  stats_.remote_swap_gets.fetch_add(1, std::memory_order_relaxed);
+}
+
 uint8_t* Node::map_in(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
   LOTS_CHECK(m.map == MapState::kUnmapped, "map_in: already mapped");
   const size_t bytes = word_bytes(m);
-  if (m.on_remote) {
-    // §5 remote swapping: pull the parked image back from the buddy's
-    // disk and continue as if it were local.
-    net::Message req;
-    req.type = net::MsgType::kSwapGet;
-    req.dst = swap_buddy();
-    net::Writer w(req.payload);
-    w.u64(remote_key(rank_, m.id));
-    lk.unlock();
-    net::Message reply = ep_.request(std::move(req));
-    net::Message drop;
-    drop.type = net::MsgType::kSwapDrop;
-    drop.dst = swap_buddy();
-    net::Writer dw(drop.payload);
-    dw.u64(remote_key(rank_, m.id));
-    ep_.send(std::move(drop));
-    lk.lock();
-    net::Reader r(reply.payload);
-    auto image = r.bytes_view();
-    disk_->write_object(m.id, image);  // rehydrate locally, then map in
-    m.on_remote = false;
-    m.on_disk = true;
-    stats_.remote_swap_gets.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (m.on_remote) rehydrate_remote(m, lk);
   m.dmm_offset = alloc_dmm_or_evict(m, lk);
   m.map = MapState::kMapped;
   uint8_t* data = space_.dmm(m.dmm_offset);
@@ -234,26 +251,34 @@ size_t Node::alloc_dmm_or_evict(ObjectMeta& target, std::unique_lock<std::mutex>
     }
     // Collect eviction candidates: every mapped object except the one
     // being brought in; the pin window (recent access stamps) protects
-    // the current statement's operands.
+    // the current statement's operands. The target's shard lock is
+    // released first so the scan (which takes each shard lock in turn)
+    // never nests two shard locks; mapping state cannot change under us
+    // because only this app thread maps and unmaps.
+    lk.unlock();
     std::vector<mem::VictimCandidate> cands;
     dir_.for_each([&](ObjectMeta& m) {
       if (m.map == MapState::kMapped && m.id != target.id) {
         cands.push_back({m.id, word_bytes(m), m.access_stamp});
       }
     });
-    auto victim = mem::choose_victim(cands, need, pin_clock_);
+    auto victim = mem::choose_victim(cands, need, dir_.newest_stamp());
     if (!victim) {
       throw UsageError(
           "cannot evict: every mapped object is pinned by the current statement "
           "(paper §5 limitation — enlarge the DMM area)");
     }
-    ObjectMeta& v = dir_.get(*victim);
-    if (v.share == ShareState::kValid || v.twinned) {
-      swap_out(v, lk);  // dirty objects keep their twin inside the disk image
-    } else {
-      drop_mapping(v, /*keep_disk_image=*/false);  // stale diff base: cheaper to refetch
+    {
+      auto vlk = dir_.lock_shard(static_cast<ObjectId>(*victim));
+      ObjectMeta& v = dir_.get(static_cast<ObjectId>(*victim));
+      if (v.share == ShareState::kValid || v.twinned) {
+        swap_out(v, vlk);  // dirty objects keep their twin inside the disk image
+      } else {
+        drop_mapping(v, /*keep_disk_image=*/false);  // stale diff base: cheaper to refetch
+      }
     }
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    lk.lock();
   }
 }
 
@@ -333,7 +358,7 @@ void Node::drop_mapping(ObjectMeta& m, bool keep_disk_image) {
 }
 
 void Node::force_swap_out(ObjectId id) {
-  std::unique_lock lk(mu_);
+  auto lk = dir_.lock_shard(id);
   ObjectMeta& m = dir_.get(id);
   if (m.map != MapState::kMapped) return;
   if (m.share == ShareState::kValid || m.twinned) {
@@ -344,87 +369,18 @@ void Node::force_swap_out(ObjectId id) {
 }
 
 bool Node::is_mapped(ObjectId id) {
-  std::unique_lock lk(mu_);
+  auto lk = dir_.lock_shard(id);
   return dir_.get(id).map == MapState::kMapped;
 }
 
 bool Node::is_valid(ObjectId id) {
-  std::unique_lock lk(mu_);
+  auto lk = dir_.lock_shard(id);
   return dir_.get(id).share == ShareState::kValid;
 }
 
 int32_t Node::home_of(ObjectId id) {
-  std::unique_lock lk(mu_);
+  auto lk = dir_.lock_shard(id);
   return dir_.get(id).home;
-}
-
-void Node::ensure_twin(ObjectMeta& m) {
-  LOTS_CHECK(m.map == MapState::kMapped, "ensure_twin: not mapped");
-  std::memcpy(space_.twin(m.dmm_offset), space_.dmm(m.dmm_offset), word_bytes(m));
-  m.twinned = true;
-  interval_twins_.push_back(m.id);
-}
-
-void Node::apply_pending(ObjectMeta& m) {
-  LOTS_CHECK(m.map == MapState::kMapped, "apply_pending: not mapped");
-  for (const DiffRecord& rec : m.pending) apply_incoming(m, rec);
-  m.pending.clear();
-}
-
-void Node::apply_incoming(ObjectMeta& m, const DiffRecord& rec) {
-  LOTS_CHECK(m.map == MapState::kMapped, "apply_incoming: not mapped");
-  uint8_t* data = space_.dmm(m.dmm_offset);
-  uint32_t* ts = space_.ctrl_words(m.dmm_offset);
-  const size_t applied = apply_record(rec, data, ts);
-  stats_.diff_words_redundant.fetch_add(rec.words() - applied, std::memory_order_relaxed);
-  if (m.twinned && applied) {
-    // Mirror the accepted words into the twin so the next flush diffs
-    // only this node's own writes. A word was accepted exactly when its
-    // stamp now equals the record's epoch.
-    uint8_t* twin = space_.twin(m.dmm_offset);
-    for (size_t i = 0; i < rec.word_idx.size(); ++i) {
-      const uint32_t wi = rec.word_idx[i];
-      if (ts[wi] == rec.ts_of(i)) {
-        std::memcpy(twin + static_cast<size_t>(wi) * 4, &rec.word_val[i], 4);
-      }
-    }
-  }
-}
-
-std::vector<DiffRecord> Node::flush_interval(uint32_t flush_epoch) {
-  std::vector<DiffRecord> out;
-  for (ObjectId id : interval_twins_) {
-    ObjectMeta* m = dir_.find(id);
-    if (!m || !m->twinned) continue;
-    const size_t bytes = word_bytes(*m);
-    DiffRecord rec;
-    if (m->map == MapState::kMapped) {
-      rec = compute_twin_diff(id, flush_epoch, {space_.dmm(m->dmm_offset), bytes},
-                              {space_.twin(m->dmm_offset), bytes});
-      m->twinned = false;
-      if (rec.word_idx.empty()) continue;  // read-only access: nothing to do
-      uint32_t* ts = space_.ctrl_words(m->dmm_offset);
-      for (uint32_t wi : rec.word_idx) ts[wi] = flush_epoch;
-    } else {
-      // The dirty object was swapped out mid-interval: diff the disk
-      // image in place, without disturbing the DMM.
-      LOTS_CHECK(m->on_disk, "twinned unmapped object lost its disk image");
-      std::vector<uint8_t> image(3 * bytes);
-      LOTS_CHECK(disk_->read_object(id, image), "flush: disk image vanished");
-      rec = compute_twin_diff(id, flush_epoch, {image.data(), bytes},
-                              {image.data() + 2 * bytes, bytes});
-      m->twinned = false;
-      auto* ts = reinterpret_cast<uint32_t*>(image.data() + bytes);
-      for (uint32_t wi : rec.word_idx) ts[wi] = flush_epoch;
-      disk_->write_object(id, std::span<const uint8_t>(image.data(), 2 * bytes));
-      if (rec.word_idx.empty()) continue;
-    }
-    stats_.diffs_created.fetch_add(1, std::memory_order_relaxed);
-    m->local_writes.push_back(rec);
-    out.push_back(std::move(rec));
-  }
-  interval_twins_.clear();
-  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -450,7 +406,7 @@ void Node::fetch_clean_copy(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
     w.u32(base_epoch);
     w.u8(has_base ? 1 : 0);
 
-    lk.unlock();  // never hold node state across a blocking request
+    lk.unlock();  // never hold a shard lock across a blocking request
     net::Message reply = ep_.request(std::move(req));
     lk.lock();
 
@@ -488,7 +444,8 @@ void Node::fetch_clean_copy(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
 }
 
 // ---------------------------------------------------------------------------
-// Object fetch (home side, service thread — never blocks on the network)
+// Object fetch (home side, service thread — never blocks on the network,
+// and takes only the requested object's shard lock)
 // ---------------------------------------------------------------------------
 
 void Node::on_obj_fetch(net::Message&& m) {
@@ -497,7 +454,7 @@ void Node::on_obj_fetch(net::Message&& m) {
   const uint32_t req_base = r.u32();
   const bool has_base = r.u8() != 0;
 
-  std::unique_lock lk(mu_);
+  auto lk = dir_.lock_shard(id);
   ObjectMeta& obj = dir_.get(id);
   net::Message resp;
   resp.type = net::MsgType::kObjData;
@@ -555,58 +512,38 @@ void Node::on_obj_fetch(net::Message&& m) {
 }
 
 // ---------------------------------------------------------------------------
-// Diff delivery (home side or write-update broadcast receiver)
+// Batched diff delivery (home side or write-update broadcast receiver):
+// one message carries every record the sender owed this node for one
+// sync operation. Records are applied under their own shard locks, one
+// at a time — a batch touching many objects still never blocks an
+// unrelated access check for long.
 // ---------------------------------------------------------------------------
 
-void Node::on_diff_to_home(net::Message&& m) {
+void Node::on_diff_batch(net::Message&& m) {
   net::Reader r(m.payload);
   const uint32_t nrecs = r.u32();
-  std::unique_lock lk(mu_);
   for (uint32_t i = 0; i < nrecs; ++i) {
     DiffRecord rec = decode_record(r);
+    auto lk = dir_.lock_shard(rec.object);
     ObjectMeta* obj = dir_.find(rec.object);
     if (!obj) continue;
-    const uint32_t rec_epoch = rec.epoch;
-    const size_t bytes = word_bytes(*obj);
-    if (obj->map == MapState::kMapped) {
-      apply_incoming(*obj, rec);
-    } else if (obj->on_disk) {
-      std::vector<uint8_t> image((obj->twinned ? 3 : 2) * bytes);
-      LOTS_CHECK(disk_->read_object(rec.object, image), "diff target image vanished");
-      apply_record(rec, image.data(), reinterpret_cast<uint32_t*>(image.data() + bytes));
-      disk_->write_object(rec.object, image);
-    } else if (obj->home == rank_) {
-      // The home must materialize the master copy even if it never
-      // touched the object itself.
-      std::vector<uint8_t> image(2 * bytes, 0);
-      apply_record(rec, image.data(), reinterpret_cast<uint32_t*>(image.data() + bytes));
-      disk_->write_object(rec.object, image);
-      obj->on_disk = true;
-    } else {
-      obj->pending.push_back(std::move(rec));
-    }
-    if (obj->home == rank_) {
-      obj->valid_epoch = std::max(obj->valid_epoch, rec_epoch);
-    }
+    coherence_.apply_delivery(*obj, std::move(rec), rank_);
   }
-  lk.unlock();
   net::Message ack;
   ack.type = net::MsgType::kReply;
   ep_.reply(m, std::move(ack));
 }
 
 // ---------------------------------------------------------------------------
-// §5 remote swapping (buddy side, service thread — purely local work)
+// §5 remote swapping (buddy side, service thread — purely local disk
+// work; the store is internally synchronized, no node state involved)
 // ---------------------------------------------------------------------------
 
 void Node::on_swap_put(net::Message&& m) {
   net::Reader r(m.payload);
   const uint64_t key = r.u64();
   auto image = r.bytes_view();
-  {
-    std::lock_guard lk(mu_);
-    disk_->write_object(key, image);
-  }
+  disk_->write_object(key, image);
   net::Message ack;
   ack.type = net::MsgType::kReply;
   ep_.reply(m, std::move(ack));
@@ -618,7 +555,6 @@ void Node::on_swap_get(net::Message&& m) {
   net::Message resp;
   resp.type = net::MsgType::kReply;
   {
-    std::lock_guard lk(mu_);
     const auto size = disk_->size_of(key);
     LOTS_CHECK(size.has_value(), "remote swap image vanished");
     std::vector<uint8_t> image(*size);
@@ -632,7 +568,6 @@ void Node::on_swap_get(net::Message&& m) {
 void Node::on_swap_drop(net::Message&& m) {
   net::Reader r(m.payload);
   const uint64_t key = r.u64();
-  std::lock_guard lk(mu_);
   disk_->free_object(key);
 }
 

@@ -9,6 +9,18 @@
 // disk store and object directory; all cross-node traffic flows through
 // the message layer.
 //
+// Concurrency model (post-sharding): there is no whole-node data lock.
+//  * Per-object state lives in the striped ObjectDirectory; the app and
+//    service threads take only the owning shard's lock for per-object
+//    work, so traffic on object A never blocks an access check on B.
+//  * Lock/barrier protocol state (tokens, managed locks, the master's
+//    rendezvous bookkeeping) sits under the small node-level sync_mu_.
+//  * The DMM allocator, the space arena bookkeeping, and the interval
+//    epoch are touched only by the node's single application thread.
+//  * No thread holds more than one shard lock, never acquires a shard
+//    lock while holding sync_mu_, and never blocks on a network request
+//    while holding either (the service thread routes replies).
+//
 // The application-facing API is Pointer<T> (pointer.hpp) plus the free
 // functions in api.hpp (lots::acquire/release/barrier/...). Node members
 // below are the underlying operations.
@@ -24,6 +36,7 @@
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/tempdir.hpp"
+#include "core/coherence.hpp"
 #include "core/diff.hpp"
 #include "core/object.hpp"
 #include "mem/dmm_allocator.hpp"
@@ -55,7 +68,9 @@ class Node {
   // ---- the access check (paper §3.3) ----
   /// Resolves an object ID to its mapped data address, bringing the
   /// object in from disk and/or the network as needed, creating the twin
-  /// on first access of an interval, and stamping the pin clock.
+  /// on first access of an interval, and stamping the pin clock. Takes
+  /// only the object's shard lock: concurrent service-thread work on
+  /// other shards proceeds in parallel.
   void* access(ObjectId id);
   /// Object size as declared.
   size_t object_size(ObjectId id);
@@ -73,6 +88,7 @@ class Node {
   [[nodiscard]] uint32_t epoch() const { return epoch_; }
   storage::DiskStore& disk() { return *disk_; }
   mem::DmmAllocator& dmm() { return dmm_; }
+  ObjectDirectory& directory() { return dir_; }
 
   /// Test/bench hook: drop the object's DMM mapping (swap-out) so the
   /// next access exercises the disk path.
@@ -85,9 +101,16 @@ class Node {
  private:
   friend class Runtime;
 
-  // -- mapper internals (called with mu_ held; `lk` is released around
-  // remote-swap requests, never around local work) --
+  // -- mapper internals (called with the object's shard lock held via
+  // `lk`; `lk` is released around remote-swap requests and eviction
+  // scans, never around local work). Mapping-state transitions (map,
+  // dmm_offset, on_disk, on_remote) happen only on the app thread, so a
+  // dropped-and-reacquired lock cannot observe a vanished mapping. --
   uint8_t* map_in(ObjectMeta& m, std::unique_lock<std::mutex>& lk);
+  /// Pulls a remotely parked image back onto the local disk (kSwapGet +
+  /// kSwapDrop). On return m.on_disk is set. Releases `lk` around the
+  /// blocking request.
+  void rehydrate_remote(ObjectMeta& m, std::unique_lock<std::mutex>& lk);
   void swap_out(ObjectMeta& m, std::unique_lock<std::mutex>& lk);
   void drop_mapping(ObjectMeta& m, bool keep_disk_image);
   size_t alloc_dmm_or_evict(ObjectMeta& target, std::unique_lock<std::mutex>& lk);
@@ -97,17 +120,6 @@ class Node {
     return (static_cast<uint64_t>(owner) + 1) << 32 | id;
   }
   void fetch_clean_copy(ObjectMeta& m, std::unique_lock<std::mutex>& lk);
-  void ensure_twin(ObjectMeta& m);
-  void apply_pending(ObjectMeta& m);
-  /// Applies an incoming update to a MAPPED object's data + word stamps
-  /// AND, crucially, to its twin when one exists: otherwise the next
-  /// flush would mistake the foreign words for local writes and re-stamp
-  /// them with this node's (possibly inflated) epoch — which can bury a
-  /// genuinely newer write at the barrier merge (lost update).
-  void apply_incoming(ObjectMeta& m, const DiffRecord& rec);
-  /// Flushes every twinned object into DiffRecords at a new epoch;
-  /// returns the records (also appended to each meta's local_writes).
-  std::vector<DiffRecord> flush_interval(uint32_t flush_epoch);
 
   // -- lock protocol (locks.cpp) --
   struct LockToken {
@@ -128,8 +140,7 @@ class Node {
   void on_lock_release(net::Message&& m);   // manager side
   void on_lock_grant(net::Message&& m);     // acquirer side
   void send_grant_locked(uint32_t lock_id, int32_t to, uint32_t acq_epoch);
-  void push_release_updates_home_based(LockToken& tok, std::vector<DiffRecord>&& recs,
-                                       std::unique_lock<std::mutex>& lk);
+  void push_release_updates_home_based(LockToken& tok, std::vector<DiffRecord>&& recs);
 
   // -- barrier protocol (barrier.cpp) --
   struct BarrierPlanEntry {
@@ -157,7 +168,7 @@ class Node {
   void on_barrier_enter(net::Message&& m);  // master side
   void on_barrier_done(net::Message&& m);   // master side
   void on_run_barrier_enter(net::Message&& m);
-  void on_diff_to_home(net::Message&& m);
+  void on_diff_batch(net::Message&& m);
   void apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan, uint32_t new_epoch);
 
   // -- fetch protocol (runtime.cpp) --
@@ -172,17 +183,21 @@ class Node {
   NodeStats stats_;
   net::Endpoint ep_;
   mem::SpaceLayout space_;
-  mem::DmmAllocator dmm_;
-  std::unique_ptr<storage::DiskStore> disk_;
-  ObjectDirectory dir_;
+  mem::DmmAllocator dmm_;  ///< app-thread-only (see concurrency model)
+  std::unique_ptr<storage::DiskStore> disk_;  ///< internally synchronized
+  ObjectDirectory dir_;    ///< striped: per-shard locks
+  CoherenceEngine coherence_;
 
-  /// Guards all node state shared between the app and service threads.
-  std::mutex mu_;
+  /// Guards the synchronization-protocol state below (lock tokens,
+  /// manager queues, barrier master bookkeeping) — the only node-level
+  /// mutex left after sharding. Never held while taking a shard lock or
+  /// blocking on a request.
+  std::mutex sync_mu_;
 
+  // Interval state: advanced only by this node's application thread.
   uint32_t epoch_ = 1;
   uint32_t last_barrier_epoch_ = 0;
-  uint64_t pin_clock_ = 0;
-  std::vector<ObjectId> interval_twins_;  ///< twinned this interval
+
   std::unordered_map<uint32_t, LockToken> tokens_;
   std::unordered_map<uint32_t, ManagerState> managed_locks_;
   std::unordered_map<uint32_t, LockWait> lock_waits_;

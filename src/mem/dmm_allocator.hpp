@@ -14,7 +14,10 @@
 //
 // Offsets are relative to the DMM base (SpaceLayout translates them to
 // addresses). The allocator is single-owner (one per node) and not
-// thread-safe by itself; the runtime serializes access.
+// thread-safe by itself; under the sharded-node concurrency model
+// (runtime.hpp) only the node's application thread allocates, frees, or
+// evicts, so no lock is needed — the service thread never maps or
+// unmaps objects.
 #pragma once
 
 #include <bitset>

@@ -30,7 +30,9 @@ enum class MsgType : uint16_t {
   // --- LOTS core coherence (paper §3.3-3.5) ---
   kObjFetch,      ///< request clean copy of an object (carries known epoch)
   kObjData,       ///< reply: whole object or per-word diff
-  kDiffToHome,    ///< barrier phase 2: writer pushes diffs to (new) home
+  kDiffBatch,     ///< coalesced diff delivery: ALL records a sync operation
+                  ///< (release or barrier phase 2) owes one peer ride in a
+                  ///< single message — O(peers), not O(objects), per sync
   kLockAcquire,   ///< acquirer -> static lock manager
   kLockForward,   ///< manager -> current holder: forward token on release
   kLockGrant,     ///< holder/manager -> next acquirer (+ scope update chain)
