@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 #include <type_traits>
 
+#include "cluster/env.hpp"
 #include "workloads/apps.hpp"
 
 namespace lots::bench {
@@ -102,6 +105,37 @@ inline void print_row(size_t n, int p, const work::AppResult& jia, const work::A
   std::printf("%-10zu %6d %10.3f %10.3f %10.3f %13.2fx %s\n", n, p, jia.time_s(), l.time_s(),
               lx.time_s(), jia.time_s() / (l.time_s() > 0 ? l.time_s() : 1e-9),
               (jia.ok && l.ok && lx.ok) ? "" : "  !! VERIFY FAILED");
+}
+
+/// Multi-process entry for a fig8 bench. When the process is a
+/// lots_launch worker this runs the LOTS variant once over loopback UDP
+/// (problem size via LOTS_BENCH_N, default `default_n`) and returns the
+/// process exit code: rank 0 prints the MULTIPROC_OK smoke line plus a
+/// BENCH_JSON row and fails the process if verification fails. Returns
+/// -1 when not under the launcher — the caller falls through to the
+/// normal in-proc sweep, so one binary serves both fabrics.
+inline int maybe_multiproc_main(const char* app,
+                                const std::function<work::AppResult(const Config&, size_t)>& run,
+                                size_t default_n) {
+  Config cfg = fig8_config(4);
+  if (!cluster::configure_from_env(cfg)) return -1;
+  size_t n = default_n;
+  if (const char* s = std::getenv("LOTS_BENCH_N")) n = std::strtoull(s, nullptr, 10);
+  const work::AppResult r = run(cfg, n);
+  if (r.rank != 0) return 0;  // only rank 0 verifies and reports
+  std::printf("MULTIPROC_%s app=%s n=%zu p=%d wall_s=%.3f msgs=%llu fetches=%llu\n",
+              r.ok ? "OK" : "FAIL", app, n, cfg.nprocs, r.wall_s,
+              static_cast<unsigned long long>(r.msgs), static_cast<unsigned long long>(r.fetches));
+  JsonLine("multiproc")
+      .str("app", app)
+      .num("n", static_cast<uint64_t>(n))
+      .num("p", static_cast<uint64_t>(cfg.nprocs))
+      .num("wall_s", r.wall_s)
+      .num("msgs", r.msgs)
+      .num("fetches", r.fetches)
+      .boolean("ok", r.ok)
+      .emit();
+  return r.ok ? 0 : 1;
 }
 
 /// JSON twin of print_row: emitted alongside the table so the result

@@ -9,6 +9,13 @@
 int main() {
   using namespace lots;
   using namespace lots::bench;
+  // Under lots_launch this process is one rank of a real multi-process
+  // cluster: run LU once over loopback UDP instead of the in-proc sweep.
+  if (const int rc = maybe_multiproc_main(
+          "LU", [](const Config& cfg, size_t n) { return work::lots_lu(cfg, n, 7); }, 96);
+      rc >= 0) {
+    return rc;
+  }
   print_header("Figure 8b", "LU factorization (row objects vs paged matrix)", "matrix n");
   for (const size_t n : {size_t{96}, size_t{144}, size_t{208}}) {
     for (const int p : {2, 4, 8}) {

@@ -9,6 +9,13 @@
 int main() {
   using namespace lots;
   using namespace lots::bench;
+  // Under lots_launch this process is one rank of a real multi-process
+  // cluster: run SOR once over loopback UDP instead of the in-proc sweep.
+  if (const int rc = maybe_multiproc_main(
+          "SOR", [](const Config& cfg, size_t n) { return work::lots_sor(cfg, n, 24, 3); }, 128);
+      rc >= 0) {
+    return rc;
+  }
   print_header("Figure 8c", "SOR, red-black, 24 iterations", "grid n");
   for (const size_t n : {size_t{128}, size_t{192}, size_t{256}}) {
     for (const int p : {2, 4, 8}) {

@@ -7,17 +7,26 @@
 //   * lock-guarded updates (Scope Consistency)
 //   * barriers (migrating-home write-invalidate)
 //
-// Build & run:  ./examples/quickstart
+// The same program runs on either fabric — the only multi-process
+// concession is the configure_from_env call:
+//
+//   Build & run in one process:   ./example_quickstart
+//   Run as 4 real processes over loopback UDP:
+//                                 ./lots_launch -n 4 ./example_quickstart
 #include <cstdio>
 
+#include "cluster/env.hpp"
 #include "core/api.hpp"
 
 int main() {
   lots::Config cfg;
   cfg.nprocs = 4;
+  // Under lots_launch: join the rendezvous and host ONE rank over UDP.
+  lots::cluster::configure_from_env(cfg);
 
+  bool ok = true;
   lots::Runtime rt(cfg);
-  rt.run([](int rank) {
+  rt.run([&ok](int rank) {
     const int p = lots::num_procs();
 
     // A shared vector and a shared accumulator, visible to all nodes.
@@ -50,8 +59,11 @@ int main() {
     lots::barrier();
 
     if (rank == 0) {
-      std::printf("sum(0..999) computed by %d nodes = %ld (expected 499500)\n", p, total[0]);
+      const long sum = total[0];
+      ok = (sum == 499500) && (data[42] == 42);
+      std::printf("sum(0..999) computed by %d nodes = %ld (expected 499500)\n", p, sum);
+      std::printf("QUICKSTART_%s p=%d sum=%ld\n", ok ? "OK" : "FAIL", p, sum);
     }
   });
-  return 0;
+  return ok ? 0 : 1;
 }

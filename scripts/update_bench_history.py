@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Collect BENCH_JSON lines into a per-run snapshot and append it to the
+tracked bench trajectory (ROADMAP "bench trajectory" item).
+
+Benches emit one `BENCH_JSON {...}` line per result row (bench_util.hpp).
+This script filters those lines out of raw bench output, writes the
+run's snapshot (BENCH_ci.json in CI), and appends the same entry to a
+history file so the result trajectory is trackable across commits:
+
+    ./bench_abl_sharding | tee abl.out
+    ./lots_launch -n 4 ./bench_fig8_sor | tee sor.out
+    scripts/update_bench_history.py --sha "$GITHUB_SHA" \
+        --snapshot BENCH_ci.json --history BENCH_history.json abl.out sor.out
+
+The history file is a JSON list of {sha, date, rows} entries, newest
+last; corrupt or missing history is replaced rather than fatal (CI must
+not go red because an artifact rotted).
+"""
+import argparse
+import datetime
+import json
+import sys
+
+PREFIX = "BENCH_JSON "
+
+
+def parse_rows(paths):
+    rows, bad = [], 0
+    streams = [open(p, encoding="utf-8", errors="replace") for p in paths] or [sys.stdin]
+    for stream in streams:
+        with stream:
+            for line in stream:
+                line = line.strip()
+                if not line.startswith(PREFIX):
+                    continue
+                try:
+                    rows.append(json.loads(line[len(PREFIX):]))
+                except json.JSONDecodeError:
+                    bad += 1
+    if bad:
+        print(f"warning: skipped {bad} malformed BENCH_JSON line(s)", file=sys.stderr)
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("inputs", nargs="*", help="bench output files (default: stdin)")
+    ap.add_argument("--sha", default="local", help="commit id to stamp the entry with")
+    ap.add_argument("--snapshot", help="write this run's rows to FILE (e.g. BENCH_ci.json)")
+    ap.add_argument("--history", help="append the entry to this trajectory FILE")
+    args = ap.parse_args()
+
+    entry = {
+        "sha": args.sha,
+        "date": datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
+        "rows": parse_rows(args.inputs),
+    }
+    if not entry["rows"]:
+        print("error: no BENCH_JSON lines found in the input", file=sys.stderr)
+        return 1
+
+    if args.snapshot:
+        with open(args.snapshot, "w", encoding="utf-8") as f:
+            json.dump(entry, f, indent=1)
+            f.write("\n")
+
+    if args.history:
+        history = []
+        try:
+            with open(args.history, encoding="utf-8") as f:
+                history = json.load(f)
+            if not isinstance(history, list):
+                raise ValueError("history root is not a list")
+        except (OSError, ValueError) as e:
+            print(f"warning: starting a fresh history ({e})", file=sys.stderr)
+            history = []
+        history.append(entry)
+        with open(args.history, "w", encoding="utf-8") as f:
+            json.dump(history, f, indent=1)
+            f.write("\n")
+
+    print(f"collected {len(entry['rows'])} bench rows for {args.sha}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

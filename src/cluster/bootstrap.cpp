@@ -1,0 +1,297 @@
+#include "cluster/bootstrap.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "net/message.hpp"
+
+namespace lots::cluster {
+namespace {
+
+// Frame types of the rendezvous protocol (bootstrap.hpp header comment).
+constexpr uint8_t kHello = 1;
+constexpr uint8_t kWelcome = 2;
+constexpr uint8_t kReady = 3;
+constexpr uint8_t kStart = 4;
+constexpr uint8_t kDone = 5;
+constexpr uint8_t kAllDone = 6;
+
+uint64_t now_ms() { return now_us() / 1000; }
+
+sockaddr_in loopback_addr(uint16_t port) {
+  sockaddr_in a{};
+  a.sin_family = AF_INET;
+  a.sin_port = htons(port);
+  a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return a;
+}
+
+/// Blocks until `fd` is readable or `deadline_ms` passes.
+bool wait_readable(int fd, uint64_t deadline_ms) {
+  for (;;) {
+    const uint64_t now = now_ms();
+    if (now >= deadline_ms) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(deadline_ms - now));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+/// Reads exactly n bytes; false on EOF/timeout/error.
+bool read_exact(int fd, uint8_t* out, size_t n, uint64_t deadline_ms) {
+  size_t got = 0;
+  while (got < n) {
+    if (!wait_readable(fd, deadline_ms)) return false;
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+/// One length-prefixed frame; empty optional on EOF/timeout/garbage.
+std::optional<std::vector<uint8_t>> recv_frame(int fd, uint64_t deadline_ms) {
+  uint8_t lenbuf[4];
+  if (!read_exact(fd, lenbuf, 4, deadline_ms)) return std::nullopt;
+  uint32_t len = 0;
+  std::memcpy(&len, lenbuf, 4);
+  if (len == 0 || len > (1u << 20)) return std::nullopt;
+  std::vector<uint8_t> body(len);
+  if (!read_exact(fd, body.data(), len, deadline_ms)) return std::nullopt;
+  return body;
+}
+
+/// Sends one frame; false on a dead peer (MSG_NOSIGNAL: no SIGPIPE).
+bool send_frame(int fd, const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> wire;
+  wire.reserve(4 + body.size());
+  net::Writer w(wire);
+  w.u32(static_cast<uint32_t>(body.size()));
+  w.raw(body.data(), body.size());
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t r = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+Coordinator::Coordinator(int nprocs) : nprocs_(nprocs) {
+  LOTS_CHECK(nprocs_ >= 1 && nprocs_ <= 256, "Coordinator: nprocs out of range");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw SystemError("Coordinator: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in me = loopback_addr(0);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&me), sizeof(me)) != 0 ||
+      ::listen(listen_fd_, nprocs_) != 0) {
+    ::close(listen_fd_);
+    throw SystemError("Coordinator: bind/listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t bl = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bl);
+  port_ = ntohs(bound.sin_port);
+}
+
+Coordinator::~Coordinator() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::vector<Coordinator::WorkerReport> Coordinator::serve(uint64_t timeout_ms) {
+  const uint64_t deadline = now_ms() + timeout_ms;
+  struct Conn {
+    int fd = -1;
+    WorkerReport rep;
+  };
+  std::vector<Conn> conns;
+  conns.reserve(static_cast<size_t>(nprocs_));
+  // Close whatever we accepted so far if cluster formation throws.
+  struct Closer {
+    std::vector<Conn>* c;
+    ~Closer() {
+      for (auto& conn : *c) {
+        if (conn.fd >= 0) ::close(conn.fd);
+      }
+    }
+  } closer{&conns};
+
+  // Phase 1: accept N workers, read HELLO, assign ranks in arrival order.
+  for (int i = 0; i < nprocs_; ++i) {
+    if (!wait_readable(listen_fd_, deadline)) {
+      throw SystemError("cluster bootstrap: only " + std::to_string(i) + "/" +
+                        std::to_string(nprocs_) + " workers arrived before the deadline");
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) throw SystemError("cluster bootstrap: accept() failed");
+    auto frame = recv_frame(fd, deadline);
+    if (!frame) {
+      ::close(fd);
+      throw SystemError("cluster bootstrap: worker hung up before HELLO");
+    }
+    net::Reader r(*frame);
+    if (r.u8() != kHello) {
+      ::close(fd);
+      throw SystemError("cluster bootstrap: expected HELLO");
+    }
+    Conn c;
+    c.fd = fd;
+    c.rep.rank = i;
+    c.rep.udp_port = r.u16();
+    c.rep.pid = r.i64();
+    conns.push_back(std::move(c));
+  }
+
+  // Phase 2: endpoint exchange — everyone learns the full port table.
+  std::vector<uint16_t> ports;
+  ports.reserve(conns.size());
+  for (const auto& c : conns) ports.push_back(c.rep.udp_port);
+  for (auto& c : conns) {
+    std::vector<uint8_t> body;
+    net::Writer w(body);
+    w.u8(kWelcome);
+    w.i32(c.rep.rank);
+    w.i32(nprocs_);
+    for (const uint16_t p : ports) w.u16(p);
+    if (!send_frame(c.fd, body)) {
+      throw SystemError("cluster bootstrap: worker " + std::to_string(c.rep.rank) +
+                        " died during WELCOME");
+    }
+  }
+
+  // Phase 3+4: start barrier — all transports live, then a simultaneous go.
+  for (auto& c : conns) {
+    auto frame = recv_frame(c.fd, deadline);
+    if (!frame || net::Reader(*frame).u8() != kReady) {
+      throw SystemError("cluster bootstrap: worker " + std::to_string(c.rep.rank) +
+                        " never reported READY");
+    }
+  }
+  for (auto& c : conns) {
+    std::vector<uint8_t> body;
+    net::Writer w(body);
+    w.u8(kStart);
+    if (!send_frame(c.fd, body)) {
+      throw SystemError("cluster bootstrap: worker " + std::to_string(c.rep.rank) +
+                        " died during START");
+    }
+  }
+
+  // Phase 5: completion. A worker is clean iff it sent DONE; EOF or a
+  // deadline here is a crash/hang report, not a coordinator failure.
+  for (auto& c : conns) {
+    auto frame = recv_frame(c.fd, deadline);
+    if (frame) {
+      net::Reader r(*frame);
+      if (r.u8() == kDone) {
+        c.rep.clean = true;
+        c.rep.status = r.i32();
+      }
+    }
+  }
+  // Shutdown barrier: release everyone (even after a crash, so the
+  // survivors stop serving and exit instead of hanging).
+  for (auto& c : conns) {
+    std::vector<uint8_t> body;
+    net::Writer w(body);
+    w.u8(kAllDone);
+    send_frame(c.fd, body);  // best-effort
+  }
+
+  std::vector<WorkerReport> reports;
+  reports.reserve(conns.size());
+  for (auto& c : conns) reports.push_back(c.rep);
+  return reports;
+}
+
+// ---------------------------------------------------------------------------
+// WorkerBootstrap
+// ---------------------------------------------------------------------------
+
+WorkerBootstrap::WorkerBootstrap(uint16_t coord_port, uint16_t udp_port, uint64_t timeout_ms)
+    : timeout_ms_(timeout_ms) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw SystemError("WorkerBootstrap: socket() failed");
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in coord = loopback_addr(coord_port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&coord), sizeof(coord)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw SystemError("WorkerBootstrap: cannot reach the coordinator on port " +
+                      std::to_string(coord_port));
+  }
+  std::vector<uint8_t> hello;
+  net::Writer w(hello);
+  w.u8(kHello);
+  w.u16(udp_port);
+  w.i64(static_cast<int64_t>(::getpid()));
+  if (!send_frame(fd_, hello)) throw SystemError("WorkerBootstrap: HELLO failed");
+
+  auto frame = recv_frame(fd_, now_ms() + timeout_ms_);
+  if (!frame) throw SystemError("WorkerBootstrap: no WELCOME from the coordinator");
+  net::Reader r(*frame);
+  LOTS_CHECK(r.u8() == kWelcome, "WorkerBootstrap: expected WELCOME");
+  rank_ = r.i32();
+  nprocs_ = r.i32();
+  LOTS_CHECK(nprocs_ >= 1 && rank_ >= 0 && rank_ < nprocs_, "WorkerBootstrap: bad rank/nprocs");
+  ports_.resize(static_cast<size_t>(nprocs_));
+  for (auto& p : ports_) p = r.u16();
+}
+
+WorkerBootstrap::~WorkerBootstrap() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WorkerBootstrap::barrier_start() {
+  std::vector<uint8_t> ready;
+  net::Writer w(ready);
+  w.u8(kReady);
+  if (!send_frame(fd_, ready)) throw SystemError("WorkerBootstrap: READY failed");
+  auto frame = recv_frame(fd_, now_ms() + timeout_ms_);
+  if (!frame || net::Reader(*frame).u8() != kStart) {
+    throw SystemError("WorkerBootstrap: the cluster never started");
+  }
+}
+
+void WorkerBootstrap::report_done(int status) {
+  if (fd_ < 0) return;
+  std::vector<uint8_t> done;
+  net::Writer w(done);
+  w.u8(kDone);
+  w.i32(status);
+  if (send_frame(fd_, done)) {
+    // Wait (bounded) for the shutdown barrier so our transport outlives
+    // every peer's last read; a dead coordinator just means "go ahead".
+    recv_frame(fd_, now_ms() + timeout_ms_);
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace lots::cluster

@@ -1,0 +1,107 @@
+// Multi-process cluster bootstrap: the rendezvous protocol between the
+// lots_launch driver and its worker processes.
+//
+// The paper's LOTS runs as real processes on a switched-Ethernet cluster
+// (§3.6); this layer is the piece that turns the repository's
+// single-process harness into that shape on one machine. The driver
+// (Coordinator) listens on a loopback TCP socket; each forked worker
+// (WorkerBootstrap) connects and the two sides run a fixed five-phase
+// handshake:
+//
+//   worker -> HELLO    {udp_port, pid}      the worker's ephemeral UDP
+//                                           endpoint, bound before hello
+//   coord  -> WELCOME  {rank, nprocs,       ranks assigned in arrival
+//                       udp_ports[nprocs]}  order; full endpoint table
+//   worker -> READY                         transport constructed, pump
+//                                           thread live
+//   coord  -> START                         barrier-synchronized start:
+//                                           sent only when all N ready
+//   worker -> DONE     {status}             DSM work finished, node
+//                                           still serving peers
+//   coord  -> ALL_DONE                      every worker done: safe to
+//                                           tear down the transport
+//
+// The trailing DONE/ALL_DONE exchange is the clean-shutdown half: a
+// worker keeps its service thread and UDP socket alive until EVERY
+// worker has finished, so late reads (e.g. rank 0 fetching results for
+// verification) never race a peer's teardown. A worker that crashes
+// instead of sending DONE is detected as an EOF on its TCP connection
+// and reported unclean; the coordinator then releases the survivors so
+// nobody hangs on a corpse.
+//
+// Everything here is plain blocking socket code with per-step deadlines
+// — no threads, so it is safe to run between fork() and exec().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lots::cluster {
+
+/// Driver side of the rendezvous. Construction binds + listens (no
+/// threads, no blocking); serve() drives the whole protocol.
+class Coordinator {
+ public:
+  explicit Coordinator(int nprocs);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Loopback TCP port workers must connect to (LOTS_COORD_PORT).
+  [[nodiscard]] uint16_t port() const { return port_; }
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+
+  struct WorkerReport {
+    int rank = -1;
+    int64_t pid = -1;    ///< worker-reported pid (maps ranks to waitpid)
+    uint16_t udp_port = 0;
+    bool clean = false;  ///< sent DONE before its connection closed
+    int status = -1;     ///< DONE status (valid when clean)
+  };
+
+  /// Runs rendezvous + completion: accepts nprocs workers, assigns
+  /// ranks, broadcasts the endpoint table, releases the start barrier,
+  /// then collects DONE reports and releases the shutdown barrier.
+  /// Throws SystemError if the cluster fails to FORM within the
+  /// deadline; workers that vanish after START are reported unclean
+  /// rather than thrown.
+  std::vector<WorkerReport> serve(uint64_t timeout_ms);
+
+ private:
+  int nprocs_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Worker side of the rendezvous. The constructor performs HELLO/WELCOME
+/// (so rank, nprocs and the peer UDP port table are available once it
+/// returns); the runtime then builds its transport and calls
+/// barrier_start(), and reports through report_done() at teardown.
+class WorkerBootstrap {
+ public:
+  WorkerBootstrap(uint16_t coord_port, uint16_t udp_port, uint64_t timeout_ms = 30'000);
+  ~WorkerBootstrap();
+  WorkerBootstrap(const WorkerBootstrap&) = delete;
+  WorkerBootstrap& operator=(const WorkerBootstrap&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] const std::vector<uint16_t>& peer_udp_ports() const { return ports_; }
+
+  /// READY -> wait for START. Call once the transport is live.
+  void barrier_start();
+  /// DONE {status} -> wait for ALL_DONE. Tolerates a vanished
+  /// coordinator (EOF/timeout) — this runs in destructor context, so it
+  /// degrades to "tear down now" instead of throwing.
+  void report_done(int status);
+
+ private:
+  int fd_ = -1;
+  int rank_ = -1;
+  int nprocs_ = 0;
+  uint64_t timeout_ms_;
+  std::vector<uint16_t> ports_;
+};
+
+}  // namespace lots::cluster

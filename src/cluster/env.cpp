@@ -1,0 +1,42 @@
+#include "cluster/env.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace lots::cluster {
+namespace {
+
+double env_prob(const char* name) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return 0.0;
+  const double v = std::strtod(s, nullptr);
+  if (v < 0.0 || v > 0.9) {
+    throw UsageError(std::string(name) + " must be a probability in [0, 0.9]");
+  }
+  return v;
+}
+
+}  // namespace
+
+bool under_launcher() { return std::getenv(kEnvCoordPort) != nullptr; }
+
+bool configure_from_env(Config& cfg) {
+  const char* port_s = std::getenv(kEnvCoordPort);
+  if (!port_s) return false;
+  const char* nprocs_s = std::getenv(kEnvNprocs);
+  if (!nprocs_s) throw UsageError("LOTS_COORD_PORT is set but LOTS_NPROCS is not");
+
+  cfg.nprocs = static_cast<int>(std::strtol(nprocs_s, nullptr, 10));
+  cfg.cluster.fabric = FabricKind::kUdp;
+  cfg.cluster.coord_port = static_cast<uint16_t>(std::strtoul(port_s, nullptr, 10));
+  cfg.cluster.drop_prob = env_prob(kEnvDrop);
+  cfg.cluster.reorder_prob = env_prob(kEnvReorder);
+  cfg.cluster.dup_prob = env_prob(kEnvDup);
+  if (const char* seed_s = std::getenv(kEnvFaultSeed)) {
+    cfg.cluster.fault_seed = std::strtoull(seed_s, nullptr, 10);
+  }
+  return true;
+}
+
+}  // namespace lots::cluster

@@ -1,0 +1,29 @@
+// The lots_launch worker environment: how a forked worker process
+// discovers that it is part of a multi-process cluster and rewrites its
+// Config for the UDP fabric. This is the whole porting surface for a
+// workload — call configure_from_env(cfg) before constructing the
+// Runtime and the same binary runs unchanged on either fabric.
+#pragma once
+
+#include "common/config.hpp"
+
+namespace lots::cluster {
+
+// Environment variables set by the lots_launch driver for its workers.
+inline constexpr const char* kEnvNprocs = "LOTS_NPROCS";
+inline constexpr const char* kEnvCoordPort = "LOTS_COORD_PORT";
+inline constexpr const char* kEnvDrop = "LOTS_NET_DROP";
+inline constexpr const char* kEnvReorder = "LOTS_NET_REORDER";
+inline constexpr const char* kEnvDup = "LOTS_NET_DUP";
+inline constexpr const char* kEnvFaultSeed = "LOTS_NET_FAULT_SEED";
+
+/// True when this process was spawned by lots_launch.
+bool under_launcher();
+
+/// Rewrites `cfg` for the multi-process UDP fabric from the launcher's
+/// environment (nprocs, rendezvous port, fault-injection knobs).
+/// Returns false — and leaves `cfg` untouched — when the process is not
+/// running under lots_launch.
+bool configure_from_env(Config& cfg);
+
+}  // namespace lots::cluster

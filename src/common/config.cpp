@@ -26,6 +26,19 @@ void Config::validate() const {
   if (dir_shards < 1 || dir_shards > 4096) {
     throw UsageError("Config.dir_shards must be in [1,4096]");
   }
+  if (cluster.fabric == FabricKind::kUdp) {
+    if (cluster.coord_port == 0) {
+      throw UsageError("Config.cluster: kUdp needs the coordinator's rendezvous port");
+    }
+    for (const double p : {cluster.drop_prob, cluster.reorder_prob, cluster.dup_prob}) {
+      if (p < 0.0 || p > 0.9) {
+        throw UsageError("Config.cluster fault probabilities must be in [0, 0.9]");
+      }
+    }
+    if (cluster.udp_window == 0) {
+      throw UsageError("Config.cluster.udp_window must be positive");
+    }
+  }
 }
 
 }  // namespace lots

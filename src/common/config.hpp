@@ -50,6 +50,38 @@ struct NetModel {
   }
 };
 
+/// Which interconnect a Runtime builds its node(s) on. `kInProc` is the
+/// historical mode: every rank lives in one process on the modeled
+/// fabric. `kUdp` makes the constructing process host exactly ONE rank
+/// over real loopback UDP sockets; rank assignment and peer endpoint
+/// exchange happen through the lots_launch rendezvous (src/cluster/).
+enum class FabricKind : uint8_t {
+  kInProc = 0,
+  kUdp,
+};
+
+/// Multi-process cluster settings, consulted only when
+/// `fabric == FabricKind::kUdp`. The fault knobs inject loss into the
+/// process's *outgoing* datagrams so the sliding-window retransmission
+/// path is exercised by the real coherence protocol, not just unit
+/// tests. cluster::configure_from_env fills this from the lots_launch
+/// environment.
+struct ClusterConfig {
+  FabricKind fabric = FabricKind::kInProc;
+  /// TCP rendezvous port of the launching coordinator (required, kUdp).
+  uint16_t coord_port = 0;
+  /// Bootstrap + peer-exchange deadline.
+  uint64_t boot_timeout_ms = 30'000;
+  // -- UDP reliability layer ---------------------------------------------
+  size_t udp_window = 32;
+  uint64_t udp_rto_us = 20'000;
+  // -- fault injection (outgoing datagrams) ------------------------------
+  double drop_prob = 0.0;
+  double reorder_prob = 0.0;
+  double dup_prob = 0.0;
+  uint64_t fault_seed = 1;
+};
+
 /// Disk cost model for the Table 1 platform rows. Time for an I/O of
 /// `bytes` = `seek_us` + bytes / `throughput_MBps`.
 struct DiskModel {
@@ -102,6 +134,10 @@ struct Config {
   // -- Cost models ---------------------------------------------------------
   NetModel net;
   DiskModel disk;
+
+  // -- Transport selection -------------------------------------------------
+  /// In-proc fabric (default) vs. one-rank-per-process loopback UDP.
+  ClusterConfig cluster;
 
   // -- JIAJIA baseline -----------------------------------------------------
   /// Shared heap size for the page-based baseline (must hold the app's

@@ -8,9 +8,13 @@
 // locks at once or blocks on a network request with one held.
 #include "core/runtime.hpp"
 
+#include <unistd.h>
+
 #include <cstring>
 
+#include "cluster/bootstrap.hpp"
 #include "common/threading.hpp"
+#include "net/udp.hpp"
 
 namespace lots::core {
 namespace {
@@ -23,20 +27,69 @@ thread_local Node* tls_node = nullptr;
 // Runtime
 // ---------------------------------------------------------------------------
 
-Runtime::Runtime(Config cfg) : cfg_(std::move(cfg)), fabric_((cfg_.validate(), cfg_.nprocs), cfg_.net) {
+Runtime::Runtime(Config cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
   if (cfg_.disk_dir.empty()) {
     scratch_ = std::make_unique<TempDir>();
     cfg_.disk_dir = scratch_->path();
   }
+  if (cfg_.cluster.fabric == FabricKind::kUdp) {
+    // Multi-process worker: bind an ephemeral loopback UDP socket first
+    // so the rendezvous can publish it, then learn rank + peer endpoints
+    // from the coordinator and host exactly one node on them. The fd is
+    // guarded until the transport adopts it: a failed rendezvous must
+    // not leak a socket per construction attempt.
+    uint16_t udp_port = 0;
+    struct FdGuard {
+      int fd;
+      ~FdGuard() {
+        if (fd >= 0) ::close(fd);
+      }
+    } guard{net::UdpTransport::bind_ephemeral(udp_port)};
+    boot_ = std::make_unique<cluster::WorkerBootstrap>(cfg_.cluster.coord_port, udp_port,
+                                                       cfg_.cluster.boot_timeout_ms);
+    LOTS_CHECK(boot_->nprocs() == cfg_.nprocs,
+               "cluster bootstrap assigned nprocs=" + std::to_string(boot_->nprocs()) +
+                   " but Config.nprocs=" + std::to_string(cfg_.nprocs));
+    auto transport = std::make_unique<net::UdpTransport>(
+        boot_->rank(), boot_->peer_udp_ports(), guard.fd, cfg_.cluster.udp_window,
+        cfg_.cluster.udp_rto_us);
+    guard.fd = -1;  // adopted
+    transport->set_fault(net::FaultSpec{
+        .drop_prob = cfg_.cluster.drop_prob,
+        .dup_prob = cfg_.cluster.dup_prob,
+        .reorder_prob = cfg_.cluster.reorder_prob,
+        // Per-rank streams: otherwise every worker would fault the same
+        // positions in its send sequence.
+        .seed = cfg_.cluster.fault_seed + static_cast<uint64_t>(boot_->rank()),
+    });
+    nodes_.push_back(std::make_unique<Node>(*this, boot_->rank(), std::move(transport)));
+    boot_->barrier_start();
+    return;
+  }
+  fabric_ = std::make_unique<net::InProcFabric>(cfg_.nprocs, cfg_.net);
   nodes_.reserve(static_cast<size_t>(cfg_.nprocs));
   for (int r = 0; r < cfg_.nprocs; ++r) {
-    nodes_.push_back(std::make_unique<Node>(*this, r, fabric_.open(r)));
+    nodes_.push_back(std::make_unique<Node>(*this, r, fabric_->open(r)));
   }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  // Shutdown barrier BEFORE the nodes (and their transports) die: every
+  // worker keeps serving fetches until the whole cluster reported done.
+  if (boot_) boot_->report_done(0);
+}
 
 void Runtime::run(const std::function<void(int)>& fn) {
+  if (!single_process()) {
+    Node* n = nodes_.front().get();
+    tls_node = n;
+    struct Reset {
+      ~Reset() { tls_node = nullptr; }
+    } reset;
+    fn(n->rank());
+    return;
+  }
   run_spmd(cfg_.nprocs, [&](int rank) {
     tls_node = nodes_[static_cast<size_t>(rank)].get();
     struct Reset {
@@ -52,6 +105,27 @@ Node& Runtime::self() {
 }
 
 bool Runtime::in_node() { return tls_node != nullptr; }
+
+std::vector<Node*> Runtime::local_nodes() const {
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+Node* Runtime::find_node(int rank) const {
+  for (const auto& n : nodes_) {
+    if (n->rank() == rank) return n.get();
+  }
+  return nullptr;
+}
+
+Node& Runtime::node(int rank) {
+  Node* n = find_node(rank);
+  LOTS_CHECK(n != nullptr, "Runtime::node(" + std::to_string(rank) +
+                               "): rank is hosted by another process");
+  return *n;
+}
 
 void Runtime::aggregate_stats(NodeStats& out) const {
   for (const auto& n : nodes_) out.accumulate(n->stats_);

@@ -46,6 +46,10 @@
 #include "net/inproc.hpp"
 #include "storage/disk_store.hpp"
 
+namespace lots::cluster {
+class WorkerBootstrap;
+}
+
 namespace lots::core {
 
 class Runtime;
@@ -206,6 +210,17 @@ class Node {
 };
 
 /// The cluster. Construct with a Config, then run() SPMD functions.
+///
+/// Transport seam (Config::cluster.fabric): with the default kInProc
+/// fabric this process hosts every rank on the modeled in-process
+/// interconnect, exactly as before. With kUdp the constructor joins the
+/// lots_launch rendezvous (src/cluster/bootstrap.hpp), binds an
+/// ephemeral loopback UDP socket, learns its rank and every peer's
+/// endpoint from the coordinator, and hosts that ONE rank; run(fn) then
+/// executes fn(rank) for the single local rank on the calling thread.
+/// The destructor holds the transport open until every worker in the
+/// cluster reported done (the bootstrap's shutdown barrier), so a peer's
+/// late reads never race this node's teardown.
 class Runtime {
  public:
   explicit Runtime(Config cfg);
@@ -213,8 +228,9 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Runs fn(rank) on every node's application thread and joins.
-  /// Callable repeatedly; objects persist across calls.
+  /// Runs fn(rank) on every locally hosted rank and joins: all ranks on
+  /// separate threads in-proc, the single bootstrap-assigned rank under
+  /// kUdp. Callable repeatedly; objects persist across calls.
   void run(const std::function<void(int)>& fn);
 
   /// The node bound to the calling application thread.
@@ -223,20 +239,32 @@ class Runtime {
   static bool in_node();
 
   [[nodiscard]] const Config& config() const { return cfg_; }
-  Node& node(int rank) { return *nodes_[static_cast<size_t>(rank)]; }
+  /// True when this process hosts every rank (the in-proc fabric).
+  [[nodiscard]] bool single_process() const {
+    return cfg_.cluster.fabric == FabricKind::kInProc;
+  }
+  /// The nodes hosted by this process, ascending rank order.
+  [[nodiscard]] std::vector<Node*> local_nodes() const;
+  /// The locally hosted node for `rank`, or nullptr if that rank lives
+  /// in another process.
+  [[nodiscard]] Node* find_node(int rank) const;
+  /// Locally hosted node for `rank`; throws if the rank is remote.
+  Node& node(int rank);
   [[nodiscard]] int nprocs() const { return cfg_.nprocs; }
 
-  /// Sum of all nodes' counters into `out` (benchmark reporting).
+  /// Sum of the locally hosted nodes' counters into `out` (benchmark
+  /// reporting; under kUdp that is this process's single rank).
   void aggregate_stats(NodeStats& out) const;
-  /// Max over nodes of modeled (net + disk) microseconds — the modeled
-  /// critical-path overlay reported by the benches.
+  /// Max over local nodes of modeled (net + disk) microseconds — the
+  /// modeled critical-path overlay reported by the benches.
   uint64_t max_modeled_wait_us() const;
   void reset_stats();
 
  private:
   Config cfg_;
   std::unique_ptr<TempDir> scratch_;  ///< when cfg.disk_dir is empty
-  net::InProcFabric fabric_;
+  std::unique_ptr<net::InProcFabric> fabric_;         ///< kInProc only
+  std::unique_ptr<cluster::WorkerBootstrap> boot_;    ///< kUdp only
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -18,37 +18,69 @@ constexpr uint8_t kData = 0;
 constexpr uint8_t kAck = 1;
 constexpr size_t kCtrlBytes = 1 + 8 + 8;  // kind + seq + cum_ack
 
-sockaddr_in addr_of(uint16_t base_port, int rank) {
+sockaddr_in loopback_addr(uint16_t port) {
   sockaddr_in a{};
   a.sin_family = AF_INET;
-  a.sin_port = htons(static_cast<uint16_t>(base_port + rank));
+  a.sin_port = htons(port);
   a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   return a;
 }
 
+/// Creates + binds a loopback datagram socket (port 0 = ephemeral);
+/// fills `actual` with the bound port.
+int bind_udp(uint16_t port, uint16_t& actual) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw SystemError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // Generous buffers: a whole window of max datagrams per peer.
+  int buf = 4 << 20;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+  sockaddr_in me = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&me), sizeof(me)) != 0) {
+    ::close(fd);
+    throw SystemError("bind() failed for UDP port " + std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t bl = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bl) != 0) {
+    ::close(fd);
+    throw SystemError("getsockname() failed");
+  }
+  actual = ntohs(bound.sin_port);
+  return fd;
+}
+
+std::vector<uint16_t> base_port_table(uint16_t base_port, int nprocs) {
+  std::vector<uint16_t> ports(static_cast<size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) ports[static_cast<size_t>(r)] = static_cast<uint16_t>(base_port + r);
+  return ports;
+}
+
 }  // namespace
+
+int UdpTransport::bind_ephemeral(uint16_t& port_out) { return bind_udp(0, port_out); }
 
 UdpTransport::UdpTransport(int rank, int nprocs, uint16_t base_port, size_t window,
                            uint64_t rto_us)
+    : UdpTransport(rank, base_port_table(base_port, nprocs), -1, window, rto_us) {}
+
+UdpTransport::UdpTransport(int rank, std::vector<uint16_t> peer_ports, int fd, size_t window,
+                           uint64_t rto_us)
     : rank_(rank),
-      nprocs_(nprocs),
-      base_port_(base_port),
+      nprocs_(static_cast<int>(peer_ports.size())),
+      ports_(std::move(peer_ports)),
+      fd_(fd),
       window_(window),
       rto_us_(rto_us),
       fault_rng_(0xF001) {
-  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd_ < 0) throw SystemError("socket() failed");
-  int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  // Generous buffers: a whole window of max datagrams per peer.
-  int buf = 4 << 20;
-  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
-  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
-  sockaddr_in me = addr_of(base_port_, rank_);
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&me), sizeof(me)) != 0) {
-    ::close(fd_);
-    throw SystemError("bind() failed for UDP rank " + std::to_string(rank_));
+  LOTS_CHECK(rank_ >= 0 && rank_ < nprocs_, "UdpTransport: rank outside the port table");
+  if (fd_ < 0) {
+    uint16_t actual = 0;
+    fd_ = bind_udp(ports_[static_cast<size_t>(rank_)], actual);
   }
+  for (int r = 0; r < nprocs_; ++r) port_to_rank_[ports_[static_cast<size_t>(r)]] = r;
   peers_.reserve(static_cast<size_t>(nprocs_));
   for (int i = 0; i < nprocs_; ++i) peers_.push_back(std::make_unique<Peer>(window_));
   pump_ = std::thread([this] { pump_loop(); });
@@ -60,16 +92,37 @@ UdpTransport::~UdpTransport() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void UdpTransport::wire_send_locked(int dst, std::span<const uint8_t> dgram) {
+  sockaddr_in to = loopback_addr(ports_[static_cast<size_t>(dst)]);
+  ::sendto(fd_, dgram.data(), dgram.size(), 0, reinterpret_cast<sockaddr*>(&to), sizeof(to));
+  if (stats_) stats_->fragments_sent.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UdpTransport::flush_held_locked() {
+  if (held_dst_ < 0) return;
+  const int dst = held_dst_;
+  held_dst_ = -1;
+  std::vector<uint8_t> dgram;
+  dgram.swap(held_);
+  wire_send_locked(dst, dgram);
+}
+
 void UdpTransport::raw_send_locked(int dst, std::span<const uint8_t> dgram, bool allow_fault) {
   if (allow_fault) {
     if (fault_.drop_prob > 0 && fault_rng_.unit() < fault_.drop_prob) return;
     if (fault_.dup_prob > 0 && fault_rng_.unit() < fault_.dup_prob) {
       raw_send_locked(dst, dgram, false);
     }
+    if (fault_.reorder_prob > 0 && held_dst_ < 0 && fault_rng_.unit() < fault_.reorder_prob) {
+      // Hold this datagram back; it departs behind the next one (or at
+      // the next pump tick), arriving out of order at the receiver.
+      held_dst_ = dst;
+      held_.assign(dgram.begin(), dgram.end());
+      return;
+    }
   }
-  sockaddr_in to = addr_of(base_port_, dst);
-  ::sendto(fd_, dgram.data(), dgram.size(), 0, reinterpret_cast<sockaddr*>(&to), sizeof(to));
-  if (stats_) stats_->fragments_sent.fetch_add(1, std::memory_order_relaxed);
+  wire_send_locked(dst, dgram);
+  flush_held_locked();
 }
 
 void UdpTransport::send(Message m) {
@@ -127,6 +180,7 @@ void UdpTransport::pump_loop() {
     pump_socket_once(2'000);
     std::lock_guard lk(mu_);
     retransmit_expired_locked();
+    flush_held_locked();  // bound the delay of a reorder-held datagram
   }
 }
 
@@ -142,8 +196,10 @@ void UdpTransport::pump_socket_once(uint64_t timeout_us) {
     const ssize_t n =
         ::recvfrom(fd_, buf, sizeof(buf), MSG_DONTWAIT, reinterpret_cast<sockaddr*>(&from), &fl);
     if (n <= 0) break;
-    const int src = static_cast<int>(ntohs(from.sin_port)) - static_cast<int>(base_port_);
-    if (src < 0 || src >= nprocs_ || src == rank_) continue;
+    const auto src_it = port_to_rank_.find(ntohs(from.sin_port));
+    if (src_it == port_to_rank_.end()) continue;  // stray datagram
+    const int src = src_it->second;
+    if (src == rank_) continue;
 
     Reader r(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
     const uint8_t kind = r.u8();

@@ -1,19 +1,28 @@
 // Real UDP/IP transport (paper §3.6): dedicated point-to-point datagram
 // sockets, 64 KB datagram ceiling with fragmentation/reassembly, and the
 // simple sliding-window flow control of flow.hpp with timeout
-// retransmission. A fault-injection hook drops/duplicates outgoing
-// datagrams to exercise the reliability path in tests.
+// retransmission. A fault-injection hook drops/duplicates/reorders
+// outgoing datagrams to exercise the reliability path — in unit tests
+// and, via Config::cluster, under the real coherence protocol in
+// multi-process runs.
 //
 // An internal housekeeping thread pumps the socket continuously (ACK
 // processing, reassembly, retransmission timers) — the moral equivalent
 // of the paper's SIGIO-driven receive path. recv() therefore only waits
 // on the queue of fully reassembled messages; send() blocks on the
 // per-peer window when it is full.
+//
+// Peer addressing comes in two forms: the classic fixed layout
+// (127.0.0.1:base_port+rank, used by tests that control both ends) and
+// an explicit per-rank port table produced by the cluster bootstrap's
+// endpoint exchange, where every worker binds an *ephemeral* port and
+// learns its peers from the coordinator — no port-collision flakiness.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "net/flow.hpp"
@@ -22,20 +31,32 @@
 
 namespace lots::net {
 
-/// Outgoing-datagram fault injection for reliability tests.
+/// Outgoing-datagram fault injection for reliability tests. Reordering
+/// holds one datagram back so it departs behind a younger one (the
+/// go-back-N receive window then forces a retransmission round trip).
 struct FaultSpec {
   double drop_prob = 0.0;
   double dup_prob = 0.0;
+  double reorder_prob = 0.0;
   uint64_t seed = 1;
 };
 
 class UdpTransport final : public Transport {
  public:
-  /// Binds 127.0.0.1:(base_port + rank). All nodes of one cluster must
-  /// share base_port and nprocs.
+  /// Fixed port layout: binds 127.0.0.1:(base_port + rank). All nodes of
+  /// one cluster must share base_port and nprocs.
   UdpTransport(int rank, int nprocs, uint16_t base_port, size_t window = 32,
                uint64_t rto_us = 20'000);
+  /// Cluster-bootstrap form: adopts the already-bound datagram socket
+  /// `fd` (see bind_ephemeral) and reaches peer r at
+  /// 127.0.0.1:peer_ports[r]; nprocs == peer_ports.size().
+  UdpTransport(int rank, std::vector<uint16_t> peer_ports, int fd, size_t window = 32,
+               uint64_t rto_us = 20'000);
   ~UdpTransport() override;
+
+  /// Binds a loopback datagram socket on an ephemeral port (for the
+  /// bootstrap's endpoint exchange). Returns the fd, stores the port.
+  static int bind_ephemeral(uint16_t& port_out);
 
   void send(Message m) override;
   std::optional<Message> recv(uint64_t timeout_us) override;
@@ -46,6 +67,7 @@ class UdpTransport final : public Transport {
   void set_fault(const FaultSpec& f) {
     std::lock_guard lk(mu_);
     fault_ = f;
+    fault_rng_ = Rng(f.seed * 0x9E3779B97F4A7C15ull + 0xF001);
   }
   [[nodiscard]] uint64_t retransmissions() const;
 
@@ -57,6 +79,8 @@ class UdpTransport final : public Transport {
   };
 
   void raw_send_locked(int dst, std::span<const uint8_t> dgram, bool allow_fault);
+  void wire_send_locked(int dst, std::span<const uint8_t> dgram);
+  void flush_held_locked();
   void pump_loop();
   void pump_socket_once(uint64_t timeout_us);
   void retransmit_expired_locked();
@@ -64,16 +88,20 @@ class UdpTransport final : public Transport {
 
   int rank_;
   int nprocs_;
-  uint16_t base_port_;
+  std::vector<uint16_t> ports_;  ///< per-rank UDP port (immutable)
+  std::unordered_map<uint16_t, int> port_to_rank_;  ///< receive-path src lookup
   int fd_ = -1;
   size_t window_;
   uint64_t rto_us_;
 
-  std::mutex mu_;  ///< guards peers_, ready_, reasm_, msg_id_, fault_
+  std::mutex mu_;  ///< guards peers_, ready_, reasm_, msg_id_, fault_, held_
   std::condition_variable window_cv_;
   std::condition_variable ready_cv_;
   FaultSpec fault_;
   Rng fault_rng_;
+  // Reorder-injection slot: at most one datagram held back at a time.
+  int held_dst_ = -1;
+  std::vector<uint8_t> held_;
   std::vector<std::unique_ptr<Peer>> peers_;
   Reassembler reasm_;
   std::deque<Message> ready_;

@@ -13,6 +13,10 @@ namespace lots::work {
 
 struct AppResult {
   bool ok = false;          ///< output verified against the reference
+                            ///< (set by rank 0 only — in multi-process
+                            ///< runs other ranks report ok == false)
+  int rank = 0;             ///< reporting rank: 0 in-proc; this
+                            ///< process's bootstrap rank under lots_launch
   double wall_s = 0.0;      ///< measured wall time of the timed phase
   uint64_t modeled_net_us = 0;   ///< max-over-nodes modeled network wait
   uint64_t modeled_disk_us = 0;  ///< max-over-nodes modeled disk wait

@@ -26,7 +26,9 @@ namespace {
 using core::Pointer;
 using core::Runtime;
 
-/// Snapshot the run's counters into an AppResult.
+/// Snapshot the run's counters into an AppResult. Only the ranks hosted
+/// by this process contribute (all of them in-proc; one per process
+/// under lots_launch).
 void collect(Runtime& rt, AppResult& r) {
   NodeStats total;
   rt.aggregate_stats(total);
@@ -39,19 +41,21 @@ void collect(Runtime& rt, AppResult& r) {
   r.swap_outs = total.swap_outs.load();
   r.access_checks = total.access_checks.load();
   uint64_t net = 0, disk = 0;
-  for (int i = 0; i < rt.nprocs(); ++i) {
-    net = std::max(net, rt.node(i).stats().net_wait_us.load());
-    disk = std::max(disk, rt.node(i).stats().disk_wait_us.load());
+  for (core::Node* n : rt.local_nodes()) {
+    net = std::max(net, n->stats().net_wait_us.load());
+    disk = std::max(disk, n->stats().disk_wait_us.load());
   }
   r.modeled_net_us = net;
   r.modeled_disk_us = disk;
+  r.rank = rt.local_nodes().front()->rank();
 }
 
-/// Rank-0 resets counters; the run_barrier orders it before anyone
-/// starts the timed phase.
+/// Reset counters before the timed phase: rank 0 owns all nodes
+/// in-proc; each process resets its own node in multi-process runs. The
+/// run_barrier orders the reset before anyone starts timing.
 void phase_start(int rank, Runtime& rt) {
   lots::barrier();
-  if (rank == 0) rt.reset_stats();
+  if (rank == 0 || !rt.single_process()) rt.reset_stats();
   lots::run_barrier();
 }
 

@@ -1,0 +1,127 @@
+// Rendezvous protocol tests: rank assignment, endpoint exchange, the
+// start barrier, and clean/unclean shutdown reporting. Workers run on
+// threads of this process — the protocol is plain TCP, so it does not
+// care whether its ends are threads or processes (the fork-based
+// end-to-end path is covered by multiproc_test.cpp).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cluster/bootstrap.hpp"
+#include "common/error.hpp"
+
+namespace lots::cluster {
+namespace {
+
+TEST(Bootstrap, AssignsRanksExchangesEndpointsAndPropagatesStatus) {
+  constexpr int kN = 3;
+  Coordinator coord(kN);
+  ASSERT_NE(coord.port(), 0);
+
+  struct Seen {
+    int rank = -1;
+    int nprocs = 0;
+    std::vector<uint16_t> ports;
+  };
+  std::vector<Seen> seen(kN);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kN; ++i) {
+    workers.emplace_back([&, i] {
+      // Fake (but distinct) UDP ports: the coordinator only relays them.
+      WorkerBootstrap wb(coord.port(), static_cast<uint16_t>(40'000 + i), 10'000);
+      seen[static_cast<size_t>(i)] = {wb.rank(), wb.nprocs(), wb.peer_udp_ports()};
+      wb.barrier_start();
+      wb.report_done(wb.rank() * 10);
+    });
+  }
+  auto reports = coord.serve(10'000);
+  for (auto& w : workers) w.join();
+
+  ASSERT_EQ(reports.size(), static_cast<size_t>(kN));
+  std::vector<bool> rank_seen(kN, false);
+  for (int i = 0; i < kN; ++i) {
+    const auto& s = seen[static_cast<size_t>(i)];
+    // My slot of the table holds the port I registered in HELLO.
+    ASSERT_EQ(s.ports.size(), static_cast<size_t>(kN));
+    EXPECT_EQ(s.ports[static_cast<size_t>(s.rank)], static_cast<uint16_t>(40'000 + i));
+  }
+  for (const auto& s : seen) {
+    ASSERT_GE(s.rank, 0);
+    ASSERT_LT(s.rank, kN);
+    EXPECT_FALSE(rank_seen[static_cast<size_t>(s.rank)]) << "duplicate rank assigned";
+    rank_seen[static_cast<size_t>(s.rank)] = true;
+    EXPECT_EQ(s.nprocs, kN);
+    // Endpoint exchange: every worker sees the same full table, and its
+    // own slot holds the port it registered.
+    ASSERT_EQ(s.ports.size(), static_cast<size_t>(kN));
+    EXPECT_EQ(s.ports, seen[0].ports);
+  }
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.clean);
+    EXPECT_EQ(r.status, r.rank * 10);
+    EXPECT_EQ(r.pid, static_cast<int64_t>(getpid()));
+  }
+}
+
+TEST(Bootstrap, StartBarrierHoldsUntilAllWorkersReady) {
+  constexpr int kN = 4;
+  Coordinator coord(kN);
+  std::atomic<int> started{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kN; ++i) {
+    workers.emplace_back([&] {
+      WorkerBootstrap wb(coord.port(), 1, 10'000);
+      wb.barrier_start();
+      started.fetch_add(1);
+      wb.report_done(0);
+    });
+  }
+  auto reports = coord.serve(10'000);
+  for (auto& w : workers) w.join();
+  // Nobody can observe a partial start: once serve() returned, either
+  // all workers passed the barrier or the cluster failed to form.
+  EXPECT_EQ(started.load(), kN);
+  for (const auto& r : reports) EXPECT_TRUE(r.clean);
+}
+
+TEST(Bootstrap, WorkerVanishingWithoutDoneIsReportedUnclean) {
+  constexpr int kN = 2;
+  Coordinator coord(kN);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kN; ++i) {
+    workers.emplace_back([&] {
+      WorkerBootstrap wb(coord.port(), 1, 10'000);
+      wb.barrier_start();
+      if (wb.rank() == 0) {
+        wb.report_done(0);
+      }
+      // rank 1: destructor closes the connection with no DONE — a crash
+      // as the coordinator sees it.
+    });
+  }
+  auto reports = coord.serve(10'000);
+  for (auto& w : workers) w.join();
+  int clean = 0, unclean = 0;
+  for (const auto& r : reports) (r.clean ? clean : unclean)++;
+  EXPECT_EQ(clean, 1);
+  EXPECT_EQ(unclean, 1);
+}
+
+TEST(Bootstrap, FormationTimesOutWhenWorkersAreMissing) {
+  Coordinator coord(2);
+  std::thread lone([&] {
+    try {
+      WorkerBootstrap wb(coord.port(), 1, 5'000);
+      wb.barrier_start();
+    } catch (const SystemError&) {
+      // Expected: the cluster never forms, the coordinator hangs up.
+    }
+  });
+  EXPECT_THROW(coord.serve(200), SystemError);
+  lone.join();
+}
+
+}  // namespace
+}  // namespace lots::cluster

@@ -1,0 +1,142 @@
+// End-to-end multi-process coverage: a lock+barrier workload runs as
+// TWO real processes over loopback UDP with injected datagram drop +
+// reorder, and its final shared state must be bit-identical to the same
+// workload on the in-proc fabric. This is the test the unit suites
+// cannot provide: real process isolation, real sockets, and message
+// loss underneath the actual coherence protocol (fetch, lock token,
+// barrier, diff delivery) rather than underneath hand-built frames.
+//
+// Fork discipline: the parent holds no threads when it forks (the
+// Coordinator is bound but not serving), children never touch gtest and
+// leave via _exit(), and results come back through per-rank files.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "cluster/bootstrap.hpp"
+#include "common/tempdir.hpp"
+#include "core/api.hpp"
+
+namespace lots {
+namespace {
+
+constexpr int kProcs = 2;
+constexpr size_t kCells = 512;
+constexpr int kIters = 6;
+
+/// The workload: strided slice writes published at barriers, a
+/// lock-guarded accumulator, and cross-slice reads each iteration to
+/// force fetch traffic. Returns (rank, rank-0 digest of final state).
+std::pair<int, uint64_t> run_workload(const Config& cfg) {
+  uint64_t digest = 0;
+  core::Runtime rt(cfg);
+  rt.run([&](int rank) {
+    const int p = lots::num_procs();
+    core::Pointer<int64_t> counter;
+    core::Pointer<int32_t> cells;
+    counter.alloc(1);
+    cells.alloc(kCells);
+
+    int64_t cross_sum = 0;
+    for (int it = 0; it < kIters; ++it) {
+      // My slice, rotated each iteration so homes migrate.
+      const size_t lo = kCells * static_cast<size_t>((rank + it) % p) / static_cast<size_t>(p);
+      const size_t hi =
+          kCells * (static_cast<size_t>((rank + it) % p) + 1) / static_cast<size_t>(p);
+      for (size_t i = lo; i < hi; ++i) {
+        cells[i] = static_cast<int32_t>(i * 31 + static_cast<size_t>(it) * 7 + 1);
+      }
+      lots::acquire(0);
+      counter[0] = counter[0] + rank + it + 1;
+      lots::release(0);
+      lots::barrier();
+      // Read everyone's slice (remote fetches under loss).
+      for (size_t i = 0; i < kCells; ++i) cross_sum += cells[i];
+      lots::barrier();
+    }
+    if (rank == 0) {
+      // FNV-1a over the final shared state + the deterministic read sum.
+      uint64_t h = 1469598103934665603ull;
+      auto mix = [&h](uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+          h ^= (v >> (8 * b)) & 0xFF;
+          h *= 1099511628211ull;
+        }
+      };
+      for (size_t i = 0; i < kCells; ++i) mix(static_cast<uint64_t>(static_cast<int64_t>(cells[i])));
+      mix(static_cast<uint64_t>(counter[0]));
+      mix(static_cast<uint64_t>(cross_sum));
+      digest = h;
+    }
+    lots::barrier();
+  });
+  // In-proc the digest belongs to the rank-0 thread; under kUdp the
+  // process hosts exactly one rank.
+  const int rank = rt.single_process() ? 0 : rt.local_nodes().front()->rank();
+  return {rank, digest};
+}
+
+TEST(MultiProc, LossyUdpClusterMatchesInProcResults) {
+  // Reference: the historical single-process fabric.
+  Config ref_cfg;
+  ref_cfg.nprocs = kProcs;
+  const uint64_t want = run_workload(ref_cfg).second;
+  ASSERT_NE(want, 0u);
+
+  TempDir scratch;
+  const std::string digest_path = scratch.path() + "/digest";
+
+  // No threads exist in this process at fork time: the Coordinator only
+  // binds + listens here; serve() runs after both children are forked.
+  cluster::Coordinator coord(kProcs);
+  std::vector<pid_t> pids;
+  for (int i = 0; i < kProcs; ++i) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      int code = 3;
+      try {
+        Config cfg;
+        cfg.nprocs = kProcs;
+        cfg.cluster.fabric = FabricKind::kUdp;
+        cfg.cluster.coord_port = coord.port();
+        cfg.cluster.drop_prob = 0.05;
+        cfg.cluster.reorder_prob = 0.05;
+        cfg.cluster.dup_prob = 0.02;
+        cfg.cluster.fault_seed = 42;
+        const auto [rank, digest] = run_workload(cfg);
+        if (rank == 0) {
+          std::ofstream(digest_path) << digest;
+        }
+        code = 0;
+      } catch (...) {
+        code = 3;
+      }
+      _exit(code);
+    }
+    pids.push_back(pid);
+  }
+
+  auto reports = coord.serve(60'000);
+  for (const pid_t pid : pids) {
+    int st = 0;
+    ASSERT_EQ(waitpid(pid, &st, 0), pid);
+    ASSERT_TRUE(WIFEXITED(st)) << "worker killed by signal";
+    EXPECT_EQ(WEXITSTATUS(st), 0);
+  }
+  ASSERT_EQ(reports.size(), static_cast<size_t>(kProcs));
+  for (const auto& r : reports) EXPECT_TRUE(r.clean) << "rank " << r.rank << " died unclean";
+
+  uint64_t got = 0;
+  std::ifstream in(digest_path);
+  ASSERT_TRUE(in.good()) << "rank 0 never wrote its digest";
+  in >> got;
+  EXPECT_EQ(got, want) << "multi-process result diverged from the in-proc run";
+}
+
+}  // namespace
+}  // namespace lots

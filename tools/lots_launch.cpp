@@ -1,0 +1,192 @@
+// lots_launch — the multi-process cluster driver.
+//
+// Forks N worker processes, each exec'ing the given program with the
+// rendezvous environment set (cluster/env.hpp); the workers join the
+// TCP bootstrap (cluster/bootstrap.hpp), run full DSM nodes over
+// loopback UDP, and the driver propagates the worst exit status. Fault
+// flags inject datagram loss/reordering/duplication into every worker's
+// transport so the sliding-window reliability layer is exercised by the
+// real coherence protocol.
+//
+// Usage:
+//   lots_launch [-n N] [--drop P] [--reorder P] [--dup P] [--seed S]
+//               [--timeout SECONDS] [--] prog [args...]
+//
+// Examples:
+//   lots_launch -n 4 ./example_quickstart
+//   lots_launch -n 4 --drop 0.01 ./bench_fig8_sor
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/bootstrap.hpp"
+#include "cluster/env.hpp"
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+using lots::cluster::Coordinator;
+
+uint64_t now_ms() { return lots::now_us() / 1000; }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-n N] [--drop P] [--reorder P] [--dup P] [--seed S]\n"
+               "          [--timeout SECONDS] [--] prog [args...]\n",
+               argv0);
+  std::exit(2);
+}
+
+struct Options {
+  int nprocs = 4;
+  double drop = 0.0, reorder = 0.0, dup = 0.0;
+  uint64_t seed = 1;
+  uint64_t timeout_s = 120;
+  std::vector<char*> child_argv;  // prog + args, null-terminated later
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "-n" || a == "--nprocs") {
+      o.nprocs = std::atoi(next());
+    } else if (a == "--drop") {
+      o.drop = std::atof(next());
+    } else if (a == "--reorder") {
+      o.reorder = std::atof(next());
+    } else if (a == "--dup") {
+      o.dup = std::atof(next());
+    } else if (a == "--seed") {
+      o.seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--timeout") {
+      o.timeout_s = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--") {
+      ++i;
+      break;
+    } else if (!a.empty() && a[0] == '-') {
+      usage(argv[0]);
+    } else {
+      break;  // first non-option = the program
+    }
+  }
+  for (; i < argc; ++i) o.child_argv.push_back(argv[i]);
+  if (o.child_argv.empty() || o.nprocs < 1 || o.nprocs > 256) usage(argv[0]);
+  return o;
+}
+
+void set_worker_env(const Options& o, uint16_t coord_port) {
+  using namespace lots::cluster;
+  setenv(kEnvNprocs, std::to_string(o.nprocs).c_str(), 1);
+  setenv(kEnvCoordPort, std::to_string(coord_port).c_str(), 1);
+  setenv(kEnvDrop, std::to_string(o.drop).c_str(), 1);
+  setenv(kEnvReorder, std::to_string(o.reorder).c_str(), 1);
+  setenv(kEnvDup, std::to_string(o.dup).c_str(), 1);
+  setenv(kEnvFaultSeed, std::to_string(o.seed).c_str(), 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+  const uint64_t deadline = now_ms() + opt.timeout_s * 1000;
+
+  std::unique_ptr<Coordinator> coord;
+  try {
+    coord = std::make_unique<Coordinator>(opt.nprocs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lots_launch: %s\n", e.what());
+    return 1;
+  }
+
+  std::vector<pid_t> pids;
+  pids.reserve(static_cast<size_t>(opt.nprocs));
+  std::vector<char*> child_argv = opt.child_argv;
+  child_argv.push_back(nullptr);
+  for (int i = 0; i < opt.nprocs; ++i) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("lots_launch: fork");
+      for (const pid_t p : pids) kill(p, SIGKILL);
+      return 1;
+    }
+    if (pid == 0) {
+      set_worker_env(opt, coord->port());
+      execvp(child_argv[0], child_argv.data());
+      std::perror("lots_launch: execvp");
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  // Drive the rendezvous + completion protocol on this thread. A
+  // formation failure (missing worker, hang) is fatal for the launch.
+  std::vector<Coordinator::WorkerReport> reports;
+  bool formed = true;
+  try {
+    const uint64_t now = now_ms();
+    reports = coord->serve(deadline > now ? deadline - now : 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lots_launch: %s\n", e.what());
+    formed = false;
+  }
+
+  // Reap the children, killing whatever outlives the deadline.
+  int worst = formed ? 0 : 1;
+  std::vector<std::pair<pid_t, int>> statuses;
+  for (const pid_t pid : pids) {
+    int st = 0;
+    pid_t got = 0;
+    for (;;) {
+      got = waitpid(pid, &st, WNOHANG);
+      if (got != 0) break;
+      if (now_ms() >= deadline || !formed) {
+        kill(pid, SIGKILL);
+        got = waitpid(pid, &st, 0);
+        break;
+      }
+      usleep(20'000);
+    }
+    int code;
+    if (got < 0) {
+      code = 1;
+    } else if (WIFEXITED(st)) {
+      code = WEXITSTATUS(st);
+    } else {
+      code = 128 + (WIFSIGNALED(st) ? WTERMSIG(st) : 0);
+    }
+    statuses.emplace_back(pid, code);
+    worst = std::max(worst, code);
+  }
+
+  for (const auto& r : reports) {
+    int exit_code = -1;
+    for (const auto& [pid, code] : statuses) {
+      if (pid == static_cast<pid_t>(r.pid)) exit_code = code;
+    }
+    std::printf("lots_launch: rank %d pid %lld udp_port %u %s exit %d\n", r.rank,
+                static_cast<long long>(r.pid), r.udp_port, r.clean ? "clean" : "UNCLEAN",
+                exit_code);
+    if (!r.clean) worst = std::max(worst, 1);
+  }
+  if (worst == 0) {
+    std::printf("LOTS_LAUNCH_OK n=%d drop=%g reorder=%g dup=%g prog=%s\n", opt.nprocs, opt.drop,
+                opt.reorder, opt.dup, opt.child_argv[0]);
+  } else {
+    std::printf("LOTS_LAUNCH_FAIL n=%d exit=%d prog=%s\n", opt.nprocs, worst, opt.child_argv[0]);
+  }
+  return worst;
+}
