@@ -8,11 +8,16 @@
 //   * barriers (migrating-home write-invalidate)
 //
 // The same program runs on either fabric — the only multi-process
-// concession is the configure_from_env call:
+// concession is the configure_from_env call — and in hybrid
+// N-process × M-thread mode: work is split over the flat worker space
+// (lots::my_worker() of lots::num_workers()), so every split of the
+// same worker count computes the identical sum.
 //
 //   Build & run in one process:   ./example_quickstart
+//   4 app threads in one process: LOTS_THREADS=4 ./example_quickstart
 //   Run as 4 real processes over loopback UDP:
 //                                 ./lots_launch -n 4 ./example_quickstart
+//   2 processes × 2 app threads:  ./lots_launch -n 2 --threads 2 ./example_quickstart
 #include <cstdio>
 
 #include "cluster/env.hpp"
@@ -22,35 +27,45 @@ int main() {
   lots::Config cfg;
   cfg.nprocs = 4;
   // Under lots_launch: join the rendezvous and host ONE rank over UDP.
-  lots::cluster::configure_from_env(cfg);
+  // Applies LOTS_THREADS on either fabric; standalone runs default to
+  // 4 ranks × 1 thread.
+  if (!lots::cluster::configure_from_env(cfg) && cfg.threads_per_node > 1) {
+    cfg.nprocs = 1;  // standalone hybrid demo: one node, M threads
+  }
 
   bool ok = true;
   lots::Runtime rt(cfg);
   rt.run([&ok](int rank) {
-    const int p = lots::num_procs();
+    // Flat SPMD identity: W workers cover every app thread of every
+    // node. With threads_per_node == 1 this is exactly rank/nprocs.
+    const int w = lots::my_worker();
+    const int W = lots::num_workers();
 
-    // A shared vector and a shared accumulator, visible to all nodes.
+    // A shared vector and a shared accumulator, visible to all nodes
+    // (and to all app threads of a node — alloc is collective in both
+    // dimensions).
     lots::Pointer<int> data;
     lots::Pointer<long> total;
     data.alloc(1000);
     total.alloc(1);
 
-    // Each node fills its strided share (single-writer per element).
-    for (size_t i = static_cast<size_t>(rank); i < 1000; i += static_cast<size_t>(p)) {
+    // Each worker fills its strided share (single-writer per element).
+    for (size_t i = static_cast<size_t>(w); i < 1000; i += static_cast<size_t>(W)) {
       data[i] = static_cast<int>(i);
     }
     lots::barrier();  // publish: homes migrate, stale copies invalidate
 
     // Pointer arithmetic works like C++ (paper §3.3): *(data+42) reads
     // element 42 wherever its current home is.
-    if (rank == 0) {
+    if (w == 0) {
       std::printf("node 0 sees data[42] = %d via *(data+42) = %d\n", data[42], *(data + 42));
     }
 
     // Lock-guarded reduction: updates propagate with the lock token
-    // (homeless write-update).
+    // (homeless write-update); sibling threads of one node serialize on
+    // the node-local lock mutex before entering the manager protocol.
     long local = 0;
-    for (size_t i = static_cast<size_t>(rank); i < 1000; i += static_cast<size_t>(p)) {
+    for (size_t i = static_cast<size_t>(w); i < 1000; i += static_cast<size_t>(W)) {
       local += data[i];
     }
     lots::acquire(0);
@@ -58,12 +73,15 @@ int main() {
     lots::release(0);
     lots::barrier();
 
-    if (rank == 0) {
+    if (w == 0) {
       const long sum = total[0];
       ok = (sum == 499500) && (data[42] == 42);
-      std::printf("sum(0..999) computed by %d nodes = %ld (expected 499500)\n", p, sum);
-      std::printf("QUICKSTART_%s p=%d sum=%ld\n", ok ? "OK" : "FAIL", p, sum);
+      std::printf("sum(0..999) computed by %d nodes x %d threads = %ld (expected 499500)\n",
+                  lots::num_procs(), lots::num_threads(), sum);
+      std::printf("QUICKSTART_%s p=%d threads=%d sum=%ld\n", ok ? "OK" : "FAIL",
+                  lots::num_procs(), lots::num_threads(), sum);
     }
+    (void)rank;
   });
   return ok ? 0 : 1;
 }

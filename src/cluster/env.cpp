@@ -21,7 +21,19 @@ double env_prob(const char* name) {
 
 bool under_launcher() { return std::getenv(kEnvCoordPort) != nullptr; }
 
+bool configure_threads_from_env(Config& cfg) {
+  const char* s = std::getenv(kEnvThreads);
+  if (!s || !*s) return false;
+  const long v = std::strtol(s, nullptr, 10);
+  if (v < 1 || v > 256) {
+    throw UsageError(std::string(kEnvThreads) + " must be in [1,256]");
+  }
+  cfg.threads_per_node = static_cast<int>(v);
+  return true;
+}
+
 bool configure_from_env(Config& cfg) {
+  configure_threads_from_env(cfg);  // fabric-independent hybrid knob
   const char* port_s = std::getenv(kEnvCoordPort);
   if (!port_s) return false;
   const char* nprocs_s = std::getenv(kEnvNprocs);

@@ -16,14 +16,23 @@ inline constexpr const char* kEnvDrop = "LOTS_NET_DROP";
 inline constexpr const char* kEnvReorder = "LOTS_NET_REORDER";
 inline constexpr const char* kEnvDup = "LOTS_NET_DUP";
 inline constexpr const char* kEnvFaultSeed = "LOTS_NET_FAULT_SEED";
+/// App threads per node (hybrid N-process × M-thread mode). Also honored
+/// OUTSIDE the launcher by configure_threads_from_env, so the same
+/// binary runs hybrid in-proc: `LOTS_THREADS=4 ./example_quickstart`.
+inline constexpr const char* kEnvThreads = "LOTS_THREADS";
 
 /// True when this process was spawned by lots_launch.
 bool under_launcher();
 
 /// Rewrites `cfg` for the multi-process UDP fabric from the launcher's
-/// environment (nprocs, rendezvous port, fault-injection knobs).
-/// Returns false — and leaves `cfg` untouched — when the process is not
+/// environment (nprocs, rendezvous port, fault-injection knobs, app
+/// threads per node). Returns false — and applies only the
+/// fabric-independent LOTS_THREADS knob — when the process is not
 /// running under lots_launch.
 bool configure_from_env(Config& cfg);
+
+/// Applies LOTS_THREADS to cfg.threads_per_node (any fabric). Returns
+/// true when the variable was present.
+bool configure_threads_from_env(Config& cfg);
 
 }  // namespace lots::cluster

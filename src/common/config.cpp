@@ -26,6 +26,9 @@ void Config::validate() const {
   if (dir_shards < 1 || dir_shards > 4096) {
     throw UsageError("Config.dir_shards must be in [1,4096]");
   }
+  if (threads_per_node < 1 || threads_per_node > 256) {
+    throw UsageError("Config.threads_per_node must be in [1,256]");
+  }
   if (cluster.fabric == FabricKind::kUdp) {
     if (cluster.coord_port == 0) {
       throw UsageError("Config.cluster: kUdp needs the coordinator's rendezvous port");

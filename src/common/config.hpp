@@ -130,6 +130,14 @@ struct Config {
   /// disjoint objects. 1 reproduces the old single-lock node (ablation
   /// bench abl_sharding measures the difference).
   size_t dir_shards = 16;
+  /// Application threads per node. Runtime::run(fn) calls fn(rank) on
+  /// this many threads per locally hosted rank; alloc/free/barrier are
+  /// collective across ALL app threads of every node (each thread of a
+  /// node must execute the same alloc/free/barrier sequence), while
+  /// access() and acquire/release are per-thread. Worker identity inside
+  /// fn comes from lots::my_thread()/my_worker(). 1 reproduces the
+  /// historical one-app-thread node.
+  int threads_per_node = 1;
 
   // -- Cost models ---------------------------------------------------------
   NetModel net;

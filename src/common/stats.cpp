@@ -31,6 +31,8 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.evictions);
   fn(s.remote_swap_puts);
   fn(s.remote_swap_gets);
+  fn(s.inflight_waits);
+  fn(s.evict_races);
   fn(s.net_wait_us);
   fn(s.disk_wait_us);
 }

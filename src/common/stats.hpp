@@ -47,6 +47,11 @@ struct NodeStats {
   std::atomic<uint64_t> remote_swap_puts{0};  ///< §5 remote swapping
   std::atomic<uint64_t> remote_swap_gets{0};
 
+  // multi-app-thread mapper coordination
+  std::atomic<uint64_t> inflight_waits{0};  ///< access parked behind a peer
+                                            ///< thread mapping the same object
+  std::atomic<uint64_t> evict_races{0};     ///< victim vanished before eviction
+
   // modeled time (microseconds), accumulated from the cost models
   std::atomic<uint64_t> net_wait_us{0};
   std::atomic<uint64_t> disk_wait_us{0};

@@ -6,9 +6,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace lots {
@@ -42,5 +46,82 @@ class SpinBarrier {
 /// exception raised by any worker. This is the SPMD launcher used by the
 /// runtimes' spawn() entry points.
 void run_spmd(int n, const std::function<void(int)>& fn);
+
+/// Rendezvous for the M application threads of one DSM node: all parties
+/// call collective(fn); the LAST arriver runs fn exactly once while every
+/// other party is quiescent (blocked here), then fn's return value — or
+/// its exception — is delivered to all M parties. This is what makes the
+/// node-level collective operations (alloc_object, free_object, barrier)
+/// execute once per node no matter how many app threads the node hosts,
+/// and guarantees the leader sees no concurrent app-thread activity on
+/// its own node while it runs.
+///
+/// Reusable across rounds (generation counted). A round's result slot is
+/// safe to overwrite only once every party has returned from the round —
+/// which holds because the same M threads must all re-arrive before a
+/// new leader exists.
+class CollectiveGroup {
+ public:
+  explicit CollectiveGroup(int parties) : parties_(parties) {}
+
+  template <typename Fn>
+  auto collective(Fn&& fn) {
+    using R = std::invoke_result_t<Fn&>;
+    std::unique_lock lk(mu_);
+    const uint64_t gen = generation_;
+    if (++waiting_ < parties_) {
+      cv_.wait(lk, [&] { return generation_ != gen; });
+      if (error_) std::rethrow_exception(error_);
+      if constexpr (!std::is_void_v<R>) {
+        R out;
+        std::memcpy(&out, result_, sizeof(R));
+        return out;
+      } else {
+        return;
+      }
+    }
+    // Leader: everyone else is parked on cv_. Publish-and-release even
+    // when fn throws, otherwise the followers would wait forever.
+    waiting_ = 0;
+    error_ = nullptr;
+    struct Release {
+      CollectiveGroup* g;
+      ~Release() {
+        ++g->generation_;
+        g->cv_.notify_all();
+      }
+    } release{this};
+    if constexpr (std::is_void_v<R>) {
+      try {
+        fn();
+      } catch (...) {
+        error_ = std::current_exception();
+        std::rethrow_exception(error_);
+      }
+    } else {
+      static_assert(std::is_trivially_copyable_v<R> && sizeof(R) <= sizeof(result_),
+                    "collective results must be small trivially copyable values");
+      try {
+        R r = fn();
+        std::memcpy(result_, &r, sizeof(R));
+        return r;
+      } catch (...) {
+        error_ = std::current_exception();
+        std::rethrow_exception(error_);
+      }
+    }
+  }
+
+  [[nodiscard]] int parties() const { return parties_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_ = 0;
+  uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  alignas(8) unsigned char result_[16] = {};
+};
 
 }  // namespace lots

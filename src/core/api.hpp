@@ -10,6 +10,14 @@
 //   lots::release(0);
 //   lots::barrier();           // migrating-home write-invalidate point
 //   lots::run_barrier();       // event-only rendezvous (no memory effect)
+//
+// Hybrid N-process × M-thread runs (Config::threads_per_node > 1): fn
+// executes on M app threads per rank. alloc/free/barrier/run_barrier
+// are collective across a node's threads (every thread must execute the
+// same sequence); acquire/release and element access are per-thread.
+// Split work below the rank level with my_thread()/my_worker():
+//   const int w = lots::my_worker();   // rank * M + thread
+//   const int W = lots::num_workers(); // nprocs * M
 #pragma once
 
 #include "core/pointer.hpp"
@@ -39,5 +47,18 @@ inline void run_barrier() { core::Runtime::self().run_barrier(); }
 /// Rank of the calling node and the cluster size.
 inline int my_rank() { return core::Runtime::self().rank(); }
 inline int num_procs() { return core::Runtime::self().nprocs(); }
+
+/// App-thread index of the caller within its node, and the node's
+/// app-thread count (Config::threads_per_node).
+inline int my_thread() { return core::Runtime::thread_index(); }
+inline int num_threads() { return core::Runtime::self().app_threads(); }
+
+/// Flat SPMD worker identity for hybrid N-process × M-thread runs:
+/// workers 0 .. num_workers()-1 cover every app thread of the cluster,
+/// with a node's threads contiguous. Partitioning by worker makes a
+/// program's decomposition — and its results — independent of how the
+/// cluster is split between processes and threads.
+inline int my_worker() { return my_rank() * num_threads() + my_thread(); }
+inline int num_workers() { return num_procs() * num_threads(); }
 
 }  // namespace lots

@@ -31,14 +31,25 @@
 namespace lots::core {
 
 void Node::barrier() {
+  // Thread-collective: all of this node's app threads rendezvous and the
+  // last arriver runs the node's barrier once, with every sibling
+  // quiescent — so the flush below sees a stable view of the node's
+  // twins (every thread's interval writes), and the plan application
+  // cannot race an access check from this node. The network protocol is
+  // unchanged: one kBarrierEnter per NODE, whatever threads_per_node is.
+  group_.collective([&] { barrier_leader(); });
+}
+
+void Node::barrier_leader() {
   // ---- flush local writes of the ending interval ----
-  coherence_.flush_interval(epoch_ + 1);
-  epoch_ += 1;
+  const uint32_t flush_epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  coherence_.flush_interval(flush_epoch);
+  epoch_.store(flush_epoch, std::memory_order_relaxed);
   std::vector<ObjectId> mods;
   dir_.for_each([&](ObjectMeta& m) {
     if (!m.local_writes.empty()) mods.push_back(m.id);
   });
-  const uint32_t my_epoch = epoch_;
+  const uint32_t my_epoch = epoch_.load(std::memory_order_relaxed);
 
   // ---- phase 1: enter with the write summary, receive the plan ----
   net::Message enter;
@@ -160,16 +171,20 @@ void Node::apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan, uint32_
       tok.chain.clear();
     }
   }
-  epoch_ = new_epoch;
+  epoch_.store(new_epoch, std::memory_order_relaxed);
   last_barrier_epoch_ = new_epoch;
 }
 
 void Node::run_barrier() {
   // Event-only synchronization (paper §3.6): no flush, no invalidation.
-  net::Message enter;
-  enter.type = net::MsgType::kRunBarrierEnter;
-  enter.dst = 0;
-  ep_.request(std::move(enter));
+  // Still thread-collective: one kRunBarrierEnter per NODE, and every
+  // app thread of the node waits for the cluster-wide rendezvous.
+  group_.collective([&] {
+    net::Message enter;
+    enter.type = net::MsgType::kRunBarrierEnter;
+    enter.dst = 0;
+    ep_.request(std::move(enter));
+  });
 }
 
 // --- master side (service thread of node 0) --------------------------------

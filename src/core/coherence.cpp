@@ -4,10 +4,11 @@
 
 namespace lots::core {
 
-void CoherenceEngine::ensure_twin(ObjectMeta& m) {
+void CoherenceEngine::ensure_twin(ObjectMeta& m, int thread) {
   LOTS_CHECK(m.map == MapState::kMapped, "ensure_twin: not mapped");
   std::memcpy(space_.twin(m.dmm_offset), space_.dmm(m.dmm_offset), word_bytes(m));
   m.twinned = true;
+  m.twin_writers = twin_writer_bit(thread);
   std::lock_guard g(twins_mu_);
   interval_twins_.push_back(m.id);
 }
@@ -63,17 +64,28 @@ void CoherenceEngine::apply_delivery(ObjectMeta& m, DiffRecord&& rec, int32_t se
   }
 }
 
-std::vector<DiffRecord> CoherenceEngine::flush_interval(uint32_t flush_epoch) {
+std::vector<DiffRecord> CoherenceEngine::flush_interval(uint32_t flush_epoch, int thread) {
+  // Whole flushes serialize (see flush_mu_ comment), then the drained
+  // list is filtered per meta: a releasing thread flushes exactly the
+  // twins its access checks touched (twin_writers), keeping siblings'
+  // disjoint twins for their own releases; the barrier takes all.
+  std::lock_guard fg(flush_mu_);
   std::vector<ObjectId> twins;
   {
     std::lock_guard g(twins_mu_);
     twins.swap(interval_twins_);
   }
+  std::vector<ObjectId> keep;
   std::vector<DiffRecord> out;
   for (ObjectId id : twins) {
     auto lk = dir_.lock_shard(id);
     ObjectMeta* m = dir_.find(id);
     if (!m || !m->twinned) continue;
+    if (thread != kAllThreads && (m->twin_writers & twin_writer_bit(thread)) == 0) {
+      keep.push_back(id);  // untouched by this thread: not in this scope
+      continue;
+    }
+    m->twin_writers = 0;
     const size_t bytes = word_bytes(*m);
     DiffRecord rec;
     if (m->map == MapState::kMapped) {
@@ -107,6 +119,12 @@ std::vector<DiffRecord> CoherenceEngine::flush_interval(uint32_t flush_epoch) {
       m->local_writes.push_back(std::move(merged));
     }
     out.push_back(std::move(rec));
+  }
+  if (!keep.empty()) {
+    // Back onto the list for their owners' releases (appended after
+    // whatever ensure_twin added while we were flushing).
+    std::lock_guard g(twins_mu_);
+    interval_twins_.insert(interval_twins_.end(), keep.begin(), keep.end());
   }
   return out;
 }

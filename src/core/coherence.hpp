@@ -36,10 +36,16 @@ class CoherenceEngine {
   CoherenceEngine(const CoherenceEngine&) = delete;
   CoherenceEngine& operator=(const CoherenceEngine&) = delete;
 
+  /// Flush selector: every app thread's twins (the barrier, which runs
+  /// with all app threads quiescent).
+  static constexpr int kAllThreads = -1;
+
   /// Copies the object's current data into its twin slot and records it
-  /// as twinned this interval. Caller holds the shard lock; the object
-  /// must be mapped.
-  void ensure_twin(ObjectMeta& m);
+  /// as twinned this interval, seeding twin_writers with app thread
+  /// `thread` (the faulting thread; every later access check ORs its
+  /// own bit in). Caller holds the shard lock; the object must be
+  /// mapped.
+  void ensure_twin(ObjectMeta& m, int thread = 0);
 
   /// Applies all updates parked while the object was unmapped. Caller
   /// holds the shard lock; the object must be mapped.
@@ -60,13 +66,32 @@ class CoherenceEngine {
   /// shard lock.
   void apply_delivery(ObjectMeta& m, DiffRecord&& rec, int32_t self_rank);
 
-  /// Flushes every object twinned this interval into DiffRecords at
-  /// `flush_epoch`; returns the records. Each record is also coalesced
-  /// into its meta's `local_writes` (newest per-word stamp wins), so the
-  /// barrier merge reads one bounded record per object no matter how
-  /// many lock intervals preceded it. Call with NO shard lock held: the
-  /// engine locks each object's shard in turn.
-  std::vector<DiffRecord> flush_interval(uint32_t flush_epoch);
+  /// Flushes objects twinned this interval into DiffRecords at
+  /// `flush_epoch`; returns the records. `thread` selects WHICH twins:
+  /// a release passes the releasing thread's index and flushes exactly
+  /// the twins that thread's access checks touched (twin_writers bit) —
+  /// so a lock-guarded write always ships on that lock's token chain,
+  /// even into a twin a sibling created, while a sibling
+  /// mid-critical-section on another DISJOINT object keeps its twin
+  /// (its own release ships it on the right token; flushing node-wide
+  /// here would attach it to the wrong lock's scope). Twin-granularity
+  /// CONTRACT: sibling app threads writing the SAME object within one
+  /// interval must do so under the SAME lock (or separate the writes
+  /// with a barrier) — the intra-node per-lock mutex then serializes
+  /// their stores against this flush. An unsynchronized sibling store
+  /// can land between the diff snapshot and the object's re-twin,
+  /// where it would be absorbed into the new twin base and never
+  /// diffed (a silent cluster-wide lost update that per-word stamps
+  /// cannot see). Cross-NODE writers of one object need no such rule:
+  /// they work on separate copies, which the stamps reconcile.
+  /// kAllThreads (the barrier, all app threads quiescent)
+  /// drains everything. Each record is also coalesced into its meta's
+  /// `local_writes` (newest per-word stamp wins), so the barrier merge
+  /// reads one bounded record per object no matter how many lock
+  /// intervals preceded it. Call with NO shard lock held: the engine
+  /// serializes whole flushes on flush_mu_, then locks each object's
+  /// shard in turn.
+  std::vector<DiffRecord> flush_interval(uint32_t flush_epoch, int thread = kAllThreads);
 
   /// Packages per-peer record groups into ONE kDiffBatch message per
   /// peer — the release/barrier paths send O(peers) messages per sync
@@ -89,11 +114,17 @@ class CoherenceEngine {
   storage::DiskStore& disk_;
   NodeStats& stats_;
 
-  /// Objects twinned since the last flush. Guarded by its own (leaf)
-  /// mutex: ensure_twin appends under a shard lock, flush swaps the
-  /// whole list out before taking any shard lock.
+  /// Objects twinned since the last flush (selection happens per meta
+  /// via twin_writers). Guarded by its own (leaf) mutex: ensure_twin
+  /// appends under a shard lock; flush drains the list, and re-appends
+  /// the entries it did not select.
   std::mutex twins_mu_;
   std::vector<ObjectId> interval_twins_;
+  /// Serializes whole flush passes: two concurrent releases must not
+  /// race over the drained list, or the later one would find it empty
+  /// and ship a chain missing its own writes. Ordered BEFORE shard
+  /// locks; never held while blocking on the network.
+  std::mutex flush_mu_;
 };
 
 }  // namespace lots::core

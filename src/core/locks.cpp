@@ -28,6 +28,14 @@
 // directory-shard lock, never while sync_mu_ is held. A token being
 // released is mutated without sync_mu_: the manager cannot forward it
 // until our kLockRelease message lands, so no grant for it can race.
+//
+// N app threads per node: same-lock acquires from one node first
+// serialize on a node-local per-lock mutex (held from acquire through
+// release, giving intra-node mutual exclusion), so at most one thread
+// per node is inside the manager protocol for a given lock — the
+// single-slot lock_waits_/tokens_ bookkeeping is preserved. Different
+// locks proceed concurrently from different threads; the interval epoch
+// is atomic for exactly that reason.
 #include <map>
 
 #include "core/runtime.hpp"
@@ -50,9 +58,23 @@ std::vector<DiffRecord> compact_chain(std::vector<DiffRecord>& chain) {
 
 }  // namespace
 
+std::mutex& Node::local_lock_mutex(uint32_t lock_id) {
+  std::lock_guard sl(sync_mu_);
+  auto& slot = local_lock_mu_[lock_id];
+  if (!slot) slot = std::make_unique<std::mutex>();
+  return *slot;
+}
+
 void Node::acquire(uint32_t lock_id) {
+  // Intra-node mutual exclusion first: a sibling app thread holding the
+  // same DSM lock blocks us here, not inside the manager protocol. The
+  // guard unlocks if the protocol throws (request timeout, usage
+  // error) — a leaked mutex would hang every sibling behind a dead
+  // lock; on success it is released un-unlocked and stays held until
+  // release() (same thread).
+  std::unique_lock local(local_lock_mutex(lock_id));
   const int32_t manager = static_cast<int32_t>(lock_id % static_cast<uint32_t>(nprocs()));
-  const uint32_t my_epoch = epoch_;  // interval state: app-thread-owned
+  const uint32_t my_epoch = epoch_.load(std::memory_order_relaxed);
   {
     std::lock_guard sl(sync_mu_);
     lock_waits_[lock_id] = LockWait{};
@@ -117,8 +139,14 @@ void Node::acquire(uint32_t lock_id) {
     std::lock_guard sl(sync_mu_);
     tokens_[lock_id] = std::move(tok);
   }
-  epoch_ = std::max(epoch_, holder_epoch) + 1;
+  // epoch_ = max(epoch_, holder_epoch) + 1, racing only against sibling
+  // threads' own acquire/release epoch bumps.
+  uint32_t cur = epoch_.load(std::memory_order_relaxed);
+  while (!epoch_.compare_exchange_weak(cur, std::max(cur, holder_epoch) + 1,
+                                       std::memory_order_relaxed)) {
+  }
   stats_.lock_acquires.fetch_add(1, std::memory_order_relaxed);
+  local.release();  // held into the critical section; release() unlocks
 }
 
 void Node::release(uint32_t lock_id) {
@@ -127,12 +155,24 @@ void Node::release(uint32_t lock_id) {
   {
     std::lock_guard sl(sync_mu_);
     auto it = tokens_.find(lock_id);
+    // Checked BEFORE touching the local mutex: a release without a
+    // matching acquire never locked it, so there is nothing to unlock.
     LOTS_CHECK(it != tokens_.end(), "release of a lock this node does not hold");
     tok = &it->second;  // stable address; see file comment on release races
   }
-  std::vector<DiffRecord> recs = coherence_.flush_interval(epoch_ + 1);
-  epoch_ += 1;
-  tok->epoch = epoch_;
+  // From here the calling thread owns the local mutex (its acquire
+  // locked it); unlock on EVERY exit, including a throw mid-flush or
+  // mid-send.
+  std::unique_lock local(local_lock_mutex(lock_id), std::adopt_lock);
+  // Flush the twins this thread's access checks touched (twin_writers):
+  // its critical-section writes ship on THIS token even into twins a
+  // sibling created, while a sibling's disjoint mid-critical-section
+  // objects stay out of this lock's scope chain (the sibling's own
+  // release ships them on the right token).
+  const uint32_t flush_epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::vector<DiffRecord> recs =
+      coherence_.flush_interval(flush_epoch, Runtime::thread_index());
+  tok->epoch = flush_epoch;
 
   if (rt_.config().protocol == ProtocolMode::kWriteInvalidateOnly) {
     push_release_updates_home_based(*tok, std::move(recs));
@@ -150,7 +190,7 @@ void Node::release(uint32_t lock_id) {
   net::Writer w(rel.payload);
   w.u32(lock_id);
   ep_.send(std::move(rel));
-}
+}  // `local` unlocks, admitting the next sibling thread
 
 /// Write-invalidate ablation: merged release updates go to each object's
 /// home — batched into ONE kDiffBatch per peer, acked so a

@@ -15,11 +15,14 @@
 // The directory is *striped*: object metas live in N independently
 // lockable shards keyed by ObjectId, so the paper's per-object
 // operations (the §3.3 access check, §3.4-3.5 protocol handlers) on
-// disjoint objects never serialize against each other. The app thread
-// and the service thread contend only when they touch the same shard.
+// disjoint objects never serialize against each other. The node's app
+// threads and its service thread contend only when they touch the same
+// shard; threads faulting the SAME object coordinate through the
+// per-object in-flight guard (ObjectMeta::inflight + Shard::cv).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -84,6 +87,20 @@ struct ObjectMeta {
   bool on_disk = false;     ///< a [data|timestamps] image exists locally
   bool on_remote = false;   ///< image parked on a peer's disk (§5 remote swap)
   bool twinned = false;     ///< twin holds the pre-interval image
+  /// App threads that ran an access check on this object since it was
+  /// twinned (one bit per thread, bit 63 saturates for threads ≥ 63).
+  /// A release flushes exactly the twins its thread touched, so a
+  /// lock-guarded write lands on that lock's token chain even when a
+  /// sibling thread created the twin. Guarded by the shard lock.
+  uint64_t twin_writers = 0;
+  /// In-flight mapper guard (N-app-thread model): set — under the shard
+  /// lock — by the one thread currently running this object's slow path
+  /// (map-in, fetch, swap-out). Peers that need the object wait on the
+  /// shard's condition variable instead of double-mapping it; eviction
+  /// scans skip in-flight objects. A guard holder may drop and retake
+  /// the shard lock around blocking requests: the flag is what keeps the
+  /// mapping state coherent across those windows.
+  bool inflight = false;
   uint64_t access_stamp = 0;  ///< pinning / LRU recency (paper §3.3)
   uint32_t valid_epoch = 0;   ///< copy is complete up to this sync epoch
 
@@ -100,6 +117,10 @@ struct ObjectMeta {
 
 /// Word-aligned byte count of an object's data/timestamp/twin images.
 inline size_t word_bytes(const ObjectMeta& m) { return static_cast<size_t>(m.words()) * 4; }
+
+/// Bit for app thread `t` in ObjectMeta::twin_writers (saturating:
+/// threads ≥ 63 share the top bit, which at worst over-flushes).
+inline uint64_t twin_writer_bit(int t) { return 1ull << (t < 63 ? t : 63); }
 
 /// Per-node table of all declared objects, striped into independently
 /// lockable shards. IDs start at 1 (0 = null).
@@ -134,9 +155,17 @@ class ObjectDirectory {
 
   /// Locks the shard owning `id`. The returned lock may be released and
   /// re-acquired around blocking requests (the meta reference stays
-  /// valid: only the app thread erases, and only collectively).
+  /// valid: erases happen only in the app-thread collective free path).
   [[nodiscard]] std::unique_lock<std::mutex> lock_shard(ObjectId id) {
     return lock_index(shard_of(id));
+  }
+
+  /// The shard's condition variable, used with the shard lock to wait
+  /// out a peer thread's in-flight mapping transition on an object of
+  /// this shard (ObjectMeta::inflight). Notified whenever a guard
+  /// holder clears the flag.
+  [[nodiscard]] std::condition_variable& shard_cv(ObjectId id) {
+    return shards_[shard_of(id)]->cv;
   }
 
   /// Registers the next object in program order (SPMD-deterministic).
@@ -210,6 +239,7 @@ class ObjectDirectory {
  private:
   struct Shard {
     mutable std::mutex mu;
+    std::condition_variable cv;  ///< in-flight mapper hand-off (see shard_cv)
     std::unordered_map<ObjectId, ObjectMeta> objects;
   };
 

@@ -38,7 +38,10 @@ class Pointer {
   explicit Pointer(ObjectId id) : id_(id) {}
 
   /// Collective allocation of `count` elements (paper: analogous to
-  /// malloc/new; a 1-D array is a single object).
+  /// malloc/new; a 1-D array is a single object). Collective in BOTH
+  /// dimensions: every node executes the same alloc sequence, and every
+  /// app thread of a node must call it (they rendezvous and all receive
+  /// the same object ID).
   void alloc(size_t count) {
     LOTS_CHECK(id_ == kNullObject, "Pointer::alloc: already allocated");
     id_ = Runtime::self().alloc_object(count * sizeof(T));

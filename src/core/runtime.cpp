@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <thread>
 
 #include "cluster/bootstrap.hpp"
 #include "common/threading.hpp"
@@ -20,6 +21,7 @@ namespace lots::core {
 namespace {
 
 thread_local Node* tls_node = nullptr;
+thread_local int tls_thread = 0;  ///< app-thread index within its node
 
 }  // namespace
 
@@ -81,21 +83,34 @@ Runtime::~Runtime() {
 }
 
 void Runtime::run(const std::function<void(int)>& fn) {
+  struct Bind {
+    Bind(Node* n, int t) {
+      tls_node = n;
+      tls_thread = t;
+    }
+    ~Bind() {
+      tls_node = nullptr;
+      tls_thread = 0;
+    }
+  };
+  const int threads = cfg_.threads_per_node;
   if (!single_process()) {
     Node* n = nodes_.front().get();
-    tls_node = n;
-    struct Reset {
-      ~Reset() { tls_node = nullptr; }
-    } reset;
-    fn(n->rank());
+    if (threads == 1) {  // historical path: the single rank runs inline
+      Bind bind(n, 0);
+      fn(n->rank());
+      return;
+    }
+    run_spmd(threads, [&](int t) {
+      Bind bind(n, t);
+      fn(n->rank());
+    });
     return;
   }
-  run_spmd(cfg_.nprocs, [&](int rank) {
-    tls_node = nodes_[static_cast<size_t>(rank)].get();
-    struct Reset {
-      ~Reset() { tls_node = nullptr; }
-    } reset;
-    fn(rank);
+  // In-proc: worker w is app thread w % threads of rank w / threads.
+  run_spmd(cfg_.nprocs * threads, [&](int w) {
+    Bind bind(nodes_[static_cast<size_t>(w / threads)].get(), w % threads);
+    fn(w / threads);
   });
 }
 
@@ -105,6 +120,8 @@ Node& Runtime::self() {
 }
 
 bool Runtime::in_node() { return tls_node != nullptr; }
+
+int Runtime::thread_index() { return tls_thread; }
 
 std::vector<Node*> Runtime::local_nodes() const {
   std::vector<Node*> out;
@@ -157,9 +174,25 @@ Node::Node(Runtime& rt, int rank, std::unique_ptr<net::Transport> transport)
       disk_(std::make_unique<storage::DiskStore>(rt.config().disk_dir, rank, rt.config().disk,
                                                  &stats_)),
       dir_(rt.config().dir_shards),
-      coherence_(dir_, space_, *disk_, stats_) {
+      coherence_(dir_, space_, *disk_, stats_),
+      group_(rt.config().threads_per_node),
+      stmt_pins_(static_cast<size_t>(rt.config().threads_per_node)) {
   dir_.set_stats(&stats_);
   ep_.start([this](net::Message&& m) { dispatch(std::move(m)); });
+}
+
+void Node::stmt_pin(ObjectId id) {
+  StmtPins& p = stmt_pins_[static_cast<size_t>(Runtime::thread_index())];
+  p.ids[p.cursor++ % kStmtPinSlots].store(id, std::memory_order_relaxed);
+}
+
+bool Node::stmt_pinned(ObjectId id) const {
+  for (const StmtPins& p : stmt_pins_) {
+    for (const auto& slot : p.ids) {
+      if (slot.load(std::memory_order_relaxed) == id) return true;
+    }
+  }
+  return false;
 }
 
 Node::~Node() { ep_.stop(); }
@@ -191,42 +224,55 @@ void Node::dispatch(net::Message&& m) {
 // ---------------------------------------------------------------------------
 
 ObjectId Node::alloc_object(size_t bytes) {
-  if (bytes == 0) throw UsageError("alloc_object: zero size");
-  if (bytes > rt_.config().dmm_bytes / 2) {
-    // Paper §4.3: "the single object size is only limited by the size of
-    // the DMM area". We cap at half so a twin-able working set always fits.
-    throw UsageError("single object of " + std::to_string(bytes) +
-                     " bytes exceeds the DMM area capacity");
-  }
-  // Round-robin initial homes, as in JIAJIA's page allocation; the mixed
-  // protocol migrates them at barriers anyway. The home is computed
-  // before create() so it is published under the shard lock: a remote
-  // node running ahead in the SPMD sequence may already address this id.
-  const int32_t home =
-      static_cast<int32_t>(dir_.peek_next_id() % static_cast<uint32_t>(nprocs()));
-  ObjectMeta& m = dir_.create(static_cast<uint32_t>(bytes), home);
-  const ObjectId id = m.id;
-  if (!rt_.config().large_object_space) {
-    // LOTS-x: eager, permanent mapping; the app must fit in the process
-    // space — which is the very limitation the paper removes.
-    auto lk = dir_.lock_shard(id);
-    map_in(m, lk);
-  }
-  return id;
+  // Thread-collective: every app thread of this node executes the same
+  // SPMD declaration sequence; they rendezvous here and the last arriver
+  // creates the object ONCE, so the per-node ID counter stays in step
+  // with every other node regardless of threads_per_node.
+  return group_.collective([&]() -> ObjectId {
+    if (bytes == 0) throw UsageError("alloc_object: zero size");
+    if (bytes > rt_.config().dmm_bytes / 2) {
+      // Paper §4.3: "the single object size is only limited by the size of
+      // the DMM area". We cap at half so a twin-able working set always fits.
+      throw UsageError("single object of " + std::to_string(bytes) +
+                       " bytes exceeds the DMM area capacity");
+    }
+    // Round-robin initial homes, as in JIAJIA's page allocation; the mixed
+    // protocol migrates them at barriers anyway. The home is computed
+    // before create() so it is published under the shard lock: a remote
+    // node running ahead in the SPMD sequence may already address this id.
+    const int32_t home =
+        static_cast<int32_t>(dir_.peek_next_id() % static_cast<uint32_t>(nprocs()));
+    ObjectMeta& m = dir_.create(static_cast<uint32_t>(bytes), home);
+    const ObjectId id = m.id;
+    if (!rt_.config().large_object_space) {
+      // LOTS-x: eager, permanent mapping; the app must fit in the process
+      // space — which is the very limitation the paper removes.
+      auto lk = dir_.lock_shard(id);
+      m.inflight = true;
+      InflightGuard guard{dir_, m, lk};
+      map_in(m, lk);
+    }
+    return id;
+  });
 }
 
 void Node::free_object(ObjectId id) {
-  auto lk = dir_.lock_shard(id);
-  ObjectMeta* m = dir_.find(id);
-  if (!m) return;
-  // drop_mapping covers every copy the object may hold: the DMM block,
-  // the local disk image, AND a remotely parked image (the kSwapDrop
-  // would otherwise leak the buddy's disk space forever). The erase
-  // happens under the same lock hold — an unlock window here would let
-  // an in-flight diff re-materialize a home disk image that the erase
-  // then orphans.
-  drop_mapping(*m, /*keep_disk_image=*/false);
-  dir_.remove_locked(id);
+  // Thread-collective, like alloc_object: the erase must not race a
+  // sibling thread's access check, and the rendezvous guarantees no
+  // sibling is inside one.
+  group_.collective([&] {
+    auto lk = dir_.lock_shard(id);
+    ObjectMeta* m = dir_.find(id);
+    if (!m) return;
+    // drop_mapping covers every copy the object may hold: the DMM block,
+    // the local disk image, AND a remotely parked image (the kSwapDrop
+    // would otherwise leak the buddy's disk space forever). The erase
+    // happens under the same lock hold — an unlock window here would let
+    // an in-flight diff re-materialize a home disk image that the erase
+    // then orphans.
+    drop_mapping(*m, /*keep_disk_image=*/false);
+    dir_.remove_locked(id);
+  });
 }
 
 size_t Node::object_size(ObjectId id) {
@@ -236,28 +282,48 @@ size_t Node::object_size(ObjectId id) {
 
 // ---------------------------------------------------------------------------
 // The access check (paper §3.3): fast path is a table lookup under the
-// object's shard lock — disjoint objects never contend.
+// object's shard lock — disjoint objects never contend. Sibling app
+// threads faulting the SAME object coordinate through the in-flight
+// guard: exactly one runs the slow path, the rest park on the shard's
+// condition variable and re-check when it settles.
 // ---------------------------------------------------------------------------
 
 void* Node::access(ObjectId id) {
   stats_.access_checks.fetch_add(1, std::memory_order_relaxed);
+  // Scope attribution: every access check stamps its thread into the
+  // object's twin_writers, so this thread's release flushes this twin —
+  // a lock-guarded write ships with its own lock's token even when a
+  // sibling created the twin.
+  const uint64_t tbit = twin_writer_bit(Runtime::thread_index());
+  stmt_pin(id);  // hard-pin: no sibling eviction may unmap this object
+                 // while our statement still holds its reference
   auto lk = dir_.lock_shard(id);
   ObjectMeta& m = dir_.get(id);
-  if (rt_.config().large_object_space) m.access_stamp = dir_.stamp();
-  if (m.map == MapState::kMapped && m.share == ShareState::kValid && m.pending.empty() &&
-      m.twinned) {
-    return space_.dmm(m.dmm_offset);
+  for (;;) {
+    if (rt_.config().large_object_space) m.access_stamp = dir_.stamp();
+    if (!m.inflight && m.map == MapState::kMapped && m.share == ShareState::kValid &&
+        m.pending.empty() && m.twinned) {
+      m.twin_writers |= tbit;
+      return space_.dmm(m.dmm_offset);
+    }
+    if (!m.inflight) break;
+    stats_.inflight_waits.fetch_add(1, std::memory_order_relaxed);
+    dir_.shard_cv(id).wait(lk);
   }
 
-  // Slow path: bring the object in from disk and/or the network. The
-  // helpers may drop `lk` around blocking requests; each subsequent step
-  // re-examines the flag it owns, so a state change while unlocked is
-  // picked up here.
+  // Slow path: bring the object in from disk and/or the network, with
+  // the in-flight guard held. The helpers may drop `lk` around blocking
+  // requests; each subsequent step re-examines the flag it owns, and the
+  // guard keeps every other thread out of this object's mapping state
+  // while `lk` is down.
   stats_.slow_path_checks.fetch_add(1, std::memory_order_relaxed);
+  m.inflight = true;
+  InflightGuard guard{dir_, m, lk};
   if (m.map != MapState::kMapped) map_in(m, lk);
   if (m.share == ShareState::kInvalid) fetch_clean_copy(m, lk);
   if (!m.pending.empty()) coherence_.apply_pending(m);
-  if (!m.twinned) coherence_.ensure_twin(m);
+  if (!m.twinned) coherence_.ensure_twin(m, Runtime::thread_index());
+  m.twin_writers |= tbit;
   return space_.dmm(m.dmm_offset);
 }
 
@@ -323,21 +389,44 @@ size_t Node::alloc_dmm_or_evict(ObjectMeta& target, std::unique_lock<std::mutex>
           "DMM area exhausted in LOTS-x mode: the application does not fit in the "
           "process space (enable large_object_space)");
     }
-    // Collect eviction candidates: every mapped object except the one
-    // being brought in; the pin window (recent access stamps) protects
-    // the current statement's operands. The target's shard lock is
-    // released first so the scan (which takes each shard lock in turn)
-    // never nests two shard locks; mapping state cannot change under us
-    // because only this app thread maps and unmaps.
+    // Collect eviction candidates: every settled mapped object except
+    // the one being brought in; in-flight objects belong to a sibling
+    // thread's transition and are skipped. The pin window (recent access
+    // stamps) protects the current statements' operands — widened by the
+    // app-thread count, since N threads advance the pin clock N times
+    // faster. The target's shard lock is released first so the scan
+    // (which takes each shard lock in turn) never nests two shard locks;
+    // the target itself cannot change under us — we hold its in-flight
+    // guard.
     lk.unlock();
     std::vector<mem::VictimCandidate> cands;
+    bool saw_inflight = false;
     dir_.for_each([&](ObjectMeta& m) {
-      if (m.map == MapState::kMapped && m.id != target.id) {
-        cands.push_back({m.id, word_bytes(m), m.access_stamp});
+      if (m.map != MapState::kMapped || m.id == target.id) return;
+      if (m.inflight) {
+        saw_inflight = true;  // a sibling is mid-transition on it
+        return;
       }
+      // Statement pins are a hard exclusion (any thread's outstanding
+      // access reference); the recency window below stays as the
+      // paper's soft LRU protection on top.
+      if (stmt_pinned(m.id)) return;
+      cands.push_back({m.id, word_bytes(m), m.access_stamp});
     });
-    auto victim = mem::choose_victim(cands, need, dir_.newest_stamp());
+    mem::EvictionConfig ecfg;
+    ecfg.pin_window *= static_cast<uint64_t>(app_threads());
+    auto victim = mem::choose_victim(cands, need, dir_.newest_stamp(), ecfg);
     if (!victim) {
+      if (saw_inflight) {
+        // Every usable victim is transiently owned by a sibling's
+        // in-flight transition (likely an eviction about to free DMM
+        // space). That is a moment, not a dead end: yield and rescan.
+        stats_.evict_races.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+        lk.lock();
+        continue;
+      }
+      lk.lock();  // mapper helpers throw only while holding lk
       throw UsageError(
           "cannot evict: every mapped object is pinned by the current statement "
           "(paper §5 limitation — enlarge the DMM area)");
@@ -345,13 +434,21 @@ size_t Node::alloc_dmm_or_evict(ObjectMeta& target, std::unique_lock<std::mutex>
     {
       auto vlk = dir_.lock_shard(static_cast<ObjectId>(*victim));
       ObjectMeta& v = dir_.get(static_cast<ObjectId>(*victim));
-      if (v.share == ShareState::kValid || v.twinned) {
-        swap_out(v, vlk);  // dirty objects keep their twin inside the disk image
+      // Re-validate under the victim's shard lock: a sibling thread may
+      // have begun evicting or touching it since the unlocked scan.
+      if (v.inflight || v.map != MapState::kMapped) {
+        stats_.evict_races.fetch_add(1, std::memory_order_relaxed);
       } else {
-        drop_mapping(v, /*keep_disk_image=*/false);  // stale diff base: cheaper to refetch
+        v.inflight = true;
+        InflightGuard vguard{dir_, v, vlk};
+        if (v.share == ShareState::kValid || v.twinned) {
+          swap_out(v, vlk);  // dirty objects keep their twin inside the disk image
+        } else {
+          drop_mapping(v, /*keep_disk_image=*/false);  // stale diff base: cheaper to refetch
+        }
+        stats_.evictions.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     lk.lock();
   }
 }
@@ -434,7 +531,13 @@ void Node::drop_mapping(ObjectMeta& m, bool keep_disk_image) {
 void Node::force_swap_out(ObjectId id) {
   auto lk = dir_.lock_shard(id);
   ObjectMeta& m = dir_.get(id);
+  // Wait out a sibling thread's transition, then hold the guard
+  // ourselves: swap_out may drop the shard lock around a remote spill,
+  // and a concurrent access() must not observe the half-unmapped state.
+  while (m.inflight) dir_.shard_cv(id).wait(lk);
   if (m.map != MapState::kMapped) return;
+  m.inflight = true;
+  InflightGuard guard{dir_, m, lk};
   if (m.share == ShareState::kValid || m.twinned) {
     swap_out(m, lk);
   } else {
@@ -444,12 +547,16 @@ void Node::force_swap_out(ObjectId id) {
 
 bool Node::is_mapped(ObjectId id) {
   auto lk = dir_.lock_shard(id);
-  return dir_.get(id).map == MapState::kMapped;
+  ObjectMeta& m = dir_.get(id);
+  while (m.inflight) dir_.shard_cv(id).wait(lk);  // report settled state only
+  return m.map == MapState::kMapped;
 }
 
 bool Node::is_valid(ObjectId id) {
   auto lk = dir_.lock_shard(id);
-  return dir_.get(id).share == ShareState::kValid;
+  ObjectMeta& m = dir_.get(id);
+  while (m.inflight) dir_.shard_cv(id).wait(lk);
+  return m.share == ShareState::kValid;
 }
 
 int32_t Node::home_of(ObjectId id) {
@@ -494,11 +601,36 @@ void Node::fetch_clean_copy(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
     uint8_t* data = space_.dmm(m.dmm_offset);
     uint32_t* ts = space_.ctrl_words(m.dmm_offset);
     const uint32_t home_base = r.u32();
-    if (form == 0) {  // full copy
+    if (form == 0) {  // full copy at the home's cut
       auto body = r.bytes_view();
       LOTS_CHECK_EQ(body.size(), bytes, "fetch: full copy size mismatch");
-      std::memcpy(data, body.data(), bytes);
-      for (uint32_t wi = 0; wi < m.words(); ++wi) ts[wi] = home_base;
+      // Per-word stamp discipline, exactly like the diff form: the copy
+      // is the home's state as of home_base, so it must not regress a
+      // word whose local stamp exceeds that cut — e.g. a value just
+      // applied from a lock token's scope chain that the home has not
+      // merged yet. Blindly memcpy-ing here loses such updates (the
+      // next flush then publishes the regressed value at a newer epoch
+      // and buries the real one — observable as lost lock-guarded
+      // increments on sub-diff-threshold objects with 3+ nodes).
+      // Common case first: no locally newer word -> one bulk copy.
+      bool has_newer = false;
+      for (uint32_t wi = 0; wi < m.words(); ++wi) {
+        if (ts[wi] > home_base) {
+          has_newer = true;
+          break;
+        }
+      }
+      if (!has_newer) {
+        std::memcpy(data, body.data(), bytes);
+        for (uint32_t wi = 0; wi < m.words(); ++wi) ts[wi] = home_base;
+      } else {
+        for (uint32_t wi = 0; wi < m.words(); ++wi) {
+          if (ts[wi] > home_base) continue;  // locally newer than the home's cut
+          std::memcpy(data + static_cast<size_t>(wi) * 4,
+                      body.data() + static_cast<size_t>(wi) * 4, 4);
+          ts[wi] = home_base;
+        }
+      }
     } else {  // per-word diff against our stale base
       std::vector<uint32_t> idx, val, wts;
       decode_word_diff(r, idx, val, wts);

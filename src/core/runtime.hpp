@@ -2,30 +2,52 @@
 // (paper §3.1-3.3), and the scope-consistency engine with the mixed
 // coherence protocol (§3.4-3.5).
 //
-// A Runtime owns one in-process "cluster": `nprocs` nodes, each an
-// application thread (runs the user's SPMD function) plus a service
-// thread (answers remote requests — the paper's SIGIO role). Every node
-// has a private process-space partition (SpaceLayout), DMM allocator,
-// disk store and object directory; all cross-node traffic flows through
-// the message layer.
+// A Runtime owns one in-process "cluster": `nprocs` nodes, each hosting
+// `Config::threads_per_node` application threads (all running the
+// user's SPMD function) plus a service thread (answers remote requests —
+// the paper's SIGIO role). Every node has a private process-space
+// partition (SpaceLayout), DMM allocator, disk store and object
+// directory shared by its app threads; all cross-node traffic flows
+// through the message layer.
 //
-// Concurrency model (post-sharding): there is no whole-node data lock.
-//  * Per-object state lives in the striped ObjectDirectory; the app and
+// Concurrency model (N app threads per node): there is no whole-node
+// data lock and no app-thread-only state.
+//  * Per-object state lives in the striped ObjectDirectory; app and
 //    service threads take only the owning shard's lock for per-object
 //    work, so traffic on object A never blocks an access check on B.
+//  * Mapping transitions (map-in, fetch, swap-out, eviction) are
+//    serialized PER OBJECT by the in-flight guard (ObjectMeta::inflight
+//    + the shard's condition variable): two threads faulting the same
+//    object coordinate — one maps, the other waits — while threads
+//    faulting different objects map in parallel. The guard holder may
+//    drop the shard lock around blocking requests; the flag keeps the
+//    object's mapping state single-writer across those windows.
+//  * The DMM allocator is internally synchronized (its own leaf mutex);
+//    the interval epoch is an atomic counter. Eviction scans skip
+//    in-flight objects and re-validate the victim under its shard lock,
+//    so concurrent evictors race benignly (NodeStats::evict_races).
+//  * Node-level collectives — alloc_object, free_object, barrier,
+//    run_barrier — rendezvous ALL of the node's app threads
+//    (CollectiveGroup): the last arriver executes the operation once,
+//    with every sibling thread quiescent, and broadcasts the result.
+//    This keeps the SPMD object-ID sequence deterministic and gives the
+//    barrier flush a stable view of the node's twins.
+//  * acquire/release stay per-thread; same-lock acquires from one node
+//    serialize on a node-local per-lock mutex before entering the
+//    manager protocol, so the single-slot grant bookkeeping still holds.
 //  * Lock/barrier protocol state (tokens, managed locks, the master's
 //    rendezvous bookkeeping) sits under the small node-level sync_mu_.
-//  * The DMM allocator, the space arena bookkeeping, and the interval
-//    epoch are touched only by the node's single application thread.
 //  * No thread holds more than one shard lock, never acquires a shard
 //    lock while holding sync_mu_, and never blocks on a network request
 //    while holding either (the service thread routes replies).
 //
 // The application-facing API is Pointer<T> (pointer.hpp) plus the free
-// functions in api.hpp (lots::acquire/release/barrier/...). Node members
-// below are the underlying operations.
+// functions in api.hpp (lots::acquire/release/barrier/my_thread/...).
+// Node members below are the underlying operations.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -36,6 +58,7 @@
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/tempdir.hpp"
+#include "common/threading.hpp"
 #include "core/coherence.hpp"
 #include "core/diff.hpp"
 #include "core/object.hpp"
@@ -63,18 +86,20 @@ class Node {
 
   // ---- object lifecycle (paper §3.2) ----
   /// Declares + allocates the next shared object (collective: all nodes
-  /// execute the same sequence). Physical mapping is lazy unless the
-  /// runtime is in LOTS-x mode.
+  /// execute the same sequence, and every app thread of this node must
+  /// call it — the threads rendezvous and share one ObjectId). Physical
+  /// mapping is lazy unless the runtime is in LOTS-x mode.
   ObjectId alloc_object(size_t bytes);
-  /// Collective free.
+  /// Collective free (across nodes AND across this node's app threads).
   void free_object(ObjectId id);
 
   // ---- the access check (paper §3.3) ----
   /// Resolves an object ID to its mapped data address, bringing the
   /// object in from disk and/or the network as needed, creating the twin
   /// on first access of an interval, and stamping the pin clock. Takes
-  /// only the object's shard lock: concurrent service-thread work on
-  /// other shards proceeds in parallel.
+  /// only the object's shard lock: concurrent work on other shards
+  /// proceeds in parallel, and a sibling app thread faulting the SAME
+  /// object parks on the in-flight guard until the mapping settles.
   void* access(ObjectId id);
   /// Object size as declared.
   size_t object_size(ObjectId id);
@@ -89,15 +114,19 @@ class Node {
   [[nodiscard]] int nprocs() const { return ep_.nprocs(); }
   [[nodiscard]] const Config& config() const;
   NodeStats& stats() { return stats_; }
-  [[nodiscard]] uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] uint32_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  [[nodiscard]] int app_threads() const { return group_.parties(); }
   storage::DiskStore& disk() { return *disk_; }
   mem::DmmAllocator& dmm() { return dmm_; }
   ObjectDirectory& directory() { return dir_; }
 
   /// Test/bench hook: drop the object's DMM mapping (swap-out) so the
-  /// next access exercises the disk path.
+  /// next access exercises the disk path. Safe to race against sibling
+  /// app threads: takes the shard lock, waits out an in-flight mapping
+  /// and holds the in-flight guard itself for the swap-out.
   void force_swap_out(ObjectId id);
-  /// Test hook: current mapping state.
+  /// Test hook: current mapping state. Taken under the shard lock and
+  /// outside any in-flight transition, so the answer is a settled state.
   bool is_mapped(ObjectId id);
   bool is_valid(ObjectId id);
   int32_t home_of(ObjectId id);
@@ -106,10 +135,12 @@ class Node {
   friend class Runtime;
 
   // -- mapper internals (called with the object's shard lock held via
-  // `lk`; `lk` is released around remote-swap requests and eviction
-  // scans, never around local work). Mapping-state transitions (map,
-  // dmm_offset, on_disk, on_remote) happen only on the app thread, so a
-  // dropped-and-reacquired lock cannot observe a vanished mapping. --
+  // `lk` AND the object's in-flight guard owned by the calling thread;
+  // `lk` is released around remote-swap requests and eviction scans,
+  // never around local work). The guard makes the object's mapping
+  // state single-writer, so a dropped-and-reacquired lock cannot
+  // observe a vanished mapping. All of these throw only while holding
+  // `lk` (the guard release needs the lock). --
   uint8_t* map_in(ObjectMeta& m, std::unique_lock<std::mutex>& lk);
   /// Pulls a remotely parked image back onto the local disk (kSwapGet +
   /// kSwapDrop). On return m.on_disk is set. Releases `lk` around the
@@ -169,6 +200,9 @@ class Node {
     /// by the process that originally owns it" — so the master pins it.
     std::unordered_map<ObjectId, std::pair<int32_t, int32_t>> writer_hist;
   };
+  /// The node's barrier body, run once by the collective's last arriver
+  /// with every sibling app thread quiescent.
+  void barrier_leader();
   void on_barrier_enter(net::Message&& m);  // master side
   void on_barrier_done(net::Message&& m);   // master side
   void on_run_barrier_enter(net::Message&& m);
@@ -182,30 +216,84 @@ class Node {
   void on_swap_drop(net::Message&& m);
   void dispatch(net::Message&& m);
 
+  /// RAII ownership of an object's in-flight guard. Construct with the
+  /// shard lock (`lk`) held and ObjectMeta::inflight freshly set; the
+  /// destructor clears the flag under the shard lock — re-acquiring it
+  /// first when an exception unwinds through one of the windows where
+  /// a mapper helper had dropped `lk` around a blocking request (e.g. a
+  /// request timeout): the flag must never be cleared unsynchronized,
+  /// and the notify must not be missable by a parked sibling.
+  struct InflightGuard {
+    ObjectDirectory& dir;
+    ObjectMeta& m;
+    std::unique_lock<std::mutex>& lk;
+    ~InflightGuard() {
+      if (!lk.owns_lock()) lk.lock();
+      m.inflight = false;
+      dir.shard_cv(m.id).notify_all();
+    }
+  };
+
+  /// The node-local intra-node mutex for DSM lock `lock_id` (created on
+  /// first use, under sync_mu_). Serializes same-lock acquires from this
+  /// node's app threads ahead of the manager protocol.
+  std::mutex& local_lock_mutex(uint32_t lock_id);
+
+  /// Statement pins, the deterministic successor of the paper's
+  /// recency-window pinning for the N-app-thread node: every access
+  /// check records its object in the calling thread's ring, and the
+  /// eviction scan refuses any object present in ANY thread's ring. A
+  /// sibling's outstanding statement reference (pointer obtained from
+  /// access(), store not yet retired) therefore can never be unmapped
+  /// under it, no matter how far the other threads advance the pin
+  /// clock — as long as one statement dereferences at most
+  /// kStmtPinSlots distinct shared objects (the same bound the paper's
+  /// pin window assumes). Slots are atomics because evictors read other
+  /// threads' rings; the cursor is owner-thread-only.
+  static constexpr size_t kStmtPinSlots = 8;
+  struct StmtPins {
+    std::array<std::atomic<uint32_t>, kStmtPinSlots> ids{};
+    uint32_t cursor = 0;
+  };
+  void stmt_pin(ObjectId id);
+  [[nodiscard]] bool stmt_pinned(ObjectId id) const;
+
   Runtime& rt_;
   int rank_;
   NodeStats stats_;
   net::Endpoint ep_;
   mem::SpaceLayout space_;
-  mem::DmmAllocator dmm_;  ///< app-thread-only (see concurrency model)
+  mem::DmmAllocator dmm_;  ///< internally synchronized (leaf mutex)
   std::unique_ptr<storage::DiskStore> disk_;  ///< internally synchronized
   ObjectDirectory dir_;    ///< striped: per-shard locks
   CoherenceEngine coherence_;
 
+  /// Rendezvous of this node's app threads for the node-level
+  /// collectives (alloc/free/barrier/run_barrier).
+  CollectiveGroup group_;
+
+  /// One statement-pin ring per app thread (see stmt_pin above).
+  std::vector<StmtPins> stmt_pins_;
+
   /// Guards the synchronization-protocol state below (lock tokens,
-  /// manager queues, barrier master bookkeeping) — the only node-level
-  /// mutex left after sharding. Never held while taking a shard lock or
-  /// blocking on a request.
+  /// manager queues, barrier master bookkeeping, the local per-lock
+  /// mutex table). Never held while taking a shard lock or blocking on
+  /// a request.
   std::mutex sync_mu_;
 
-  // Interval state: advanced only by this node's application thread.
-  uint32_t epoch_ = 1;
-  uint32_t last_barrier_epoch_ = 0;
+  /// Interval clock. Atomic because any app thread may advance it at
+  /// its own acquire/release; the barrier's store runs with all app
+  /// threads quiescent in the collective.
+  std::atomic<uint32_t> epoch_{1};
+  uint32_t last_barrier_epoch_ = 0;  ///< barrier-leader only
 
   std::unordered_map<uint32_t, LockToken> tokens_;
   std::unordered_map<uint32_t, ManagerState> managed_locks_;
   std::unordered_map<uint32_t, LockWait> lock_waits_;
   std::condition_variable lock_cv_;
+  /// Intra-node serialization of same-lock acquires (see
+  /// local_lock_mutex). unique_ptr: mutexes must not move on rehash.
+  std::unordered_map<uint32_t, std::unique_ptr<std::mutex>> local_lock_mu_;
   MasterBarrier master_;  ///< used on rank 0 only
 };
 
@@ -228,15 +316,22 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Runs fn(rank) on every locally hosted rank and joins: all ranks on
-  /// separate threads in-proc, the single bootstrap-assigned rank under
-  /// kUdp. Callable repeatedly; objects persist across calls.
+  /// Runs fn(rank) on Config::threads_per_node app threads for every
+  /// locally hosted rank and joins: nprocs × threads_per_node threads
+  /// in-proc, threads_per_node threads for the single bootstrap-assigned
+  /// rank under kUdp (inline on the calling thread when that is 1, as
+  /// before). Threads of one rank share the node — use
+  /// lots::my_thread()/my_worker() to split work below the rank level.
+  /// Callable repeatedly; objects persist across calls.
   void run(const std::function<void(int)>& fn);
 
   /// The node bound to the calling application thread.
   static Node& self();
   /// True when called from inside run() on an app thread.
   static bool in_node();
+  /// Index of the calling app thread within its node,
+  /// [0, threads_per_node). 0 outside run().
+  static int thread_index();
 
   [[nodiscard]] const Config& config() const { return cfg_; }
   /// True when this process hosts every rank (the in-proc fabric).

@@ -30,6 +30,7 @@ void DmmAllocator::enqueue_free(size_t offset, size_t size) {
 
 std::optional<size_t> DmmAllocator::alloc(size_t size) {
   LOTS_CHECK(size > 0, "zero-size allocation");
+  std::lock_guard g(mu_);
   size = round_up(size);
   std::optional<size_t> off;
   bool is_small = false;
@@ -50,6 +51,7 @@ std::optional<size_t> DmmAllocator::alloc(size_t size) {
 }
 
 void DmmAllocator::free(size_t offset) {
+  std::lock_guard g(mu_);
   auto it = allocated_.find(offset);
   LOTS_CHECK(it != allocated_.end(), "DmmAllocator::free of unknown offset");
   const AllocInfo info = it->second;
@@ -62,12 +64,14 @@ void DmmAllocator::free(size_t offset) {
 }
 
 size_t DmmAllocator::size_of(size_t offset) const {
+  std::lock_guard g(mu_);
   auto it = allocated_.find(offset);
   LOTS_CHECK(it != allocated_.end(), "DmmAllocator::size_of unknown offset");
   return it->second.size;
 }
 
 size_t DmmAllocator::largest_free_block() const {
+  std::lock_guard g(mu_);
   size_t best = 0;
   for (const auto& [off, len] : free_blocks_) best = std::max(best, len);
   return best;
@@ -206,6 +210,7 @@ DmmAllocator::SmallPage* DmmAllocator::page_containing(size_t offset) {
 }
 
 size_t DmmAllocator::page_of(size_t offset) const {
+  std::lock_guard g(mu_);
   const SmallPage* pg = page_containing(offset);
   LOTS_CHECK(pg != nullptr, "page_of: offset is not a small allocation");
   return pg->offset;

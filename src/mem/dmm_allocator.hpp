@@ -13,17 +13,19 @@
 //     bottom of the lower half.
 //
 // Offsets are relative to the DMM base (SpaceLayout translates them to
-// addresses). The allocator is single-owner (one per node) and not
-// thread-safe by itself; under the sharded-node concurrency model
-// (runtime.hpp) only the node's application thread allocates, frees, or
-// evicts, so no lock is needed — the service thread never maps or
-// unmaps objects.
+// addresses). The allocator is single-owner (one per node) and
+// internally synchronized: under the N-app-thread node model
+// (runtime.hpp) any of the node's application threads may allocate,
+// free, or evict concurrently — each public entry point takes the
+// allocator's own leaf mutex, which is never held across a blocking
+// operation. The service thread still never maps or unmaps objects.
 #pragma once
 
 #include <bitset>
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -51,10 +53,16 @@ class DmmAllocator {
   /// Size recorded for the allocation at `offset`.
   [[nodiscard]] size_t size_of(size_t offset) const;
 
-  [[nodiscard]] size_t bytes_free() const { return bytes_free_; }
+  [[nodiscard]] size_t bytes_free() const {
+    std::lock_guard g(mu_);
+    return bytes_free_;
+  }
   [[nodiscard]] size_t bytes_capacity() const { return dmm_; }
   [[nodiscard]] size_t largest_free_block() const;
-  [[nodiscard]] size_t allocation_count() const { return allocated_.size(); }
+  [[nodiscard]] size_t allocation_count() const {
+    std::lock_guard g(mu_);
+    return allocated_.size();
+  }
 
   // ---- test introspection ----
   [[nodiscard]] bool in_upper_half(size_t offset) const { return offset >= dmm_ / 2; }
@@ -110,6 +118,10 @@ class DmmAllocator {
   const SmallPage* page_containing(size_t offset) const;
 
   size_t bytes_free_;
+
+  /// Leaf lock guarding every structure above; taken by the public entry
+  /// points, never held while calling out of the allocator.
+  mutable std::mutex mu_;
 };
 
 }  // namespace lots::mem

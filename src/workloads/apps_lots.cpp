@@ -51,11 +51,13 @@ void collect(Runtime& rt, AppResult& r) {
 }
 
 /// Reset counters before the timed phase: rank 0 owns all nodes
-/// in-proc; each process resets its own node in multi-process runs. The
-/// run_barrier orders the reset before anyone starts timing.
+/// in-proc; each process resets its own node in multi-process runs. One
+/// app thread per resetting process does the store (hybrid runs call
+/// this from every thread). The run_barrier orders the reset before
+/// anyone starts timing.
 void phase_start(int rank, Runtime& rt) {
   lots::barrier();
-  if (rank == 0 || !rt.single_process()) rt.reset_stats();
+  if ((rank == 0 || !rt.single_process()) && lots::my_thread() == 0) rt.reset_stats();
   lots::run_barrier();
 }
 
@@ -80,6 +82,11 @@ Config with_dmm_floor(const Config& cfg, size_t largest_object_bytes) {
 AppResult lots_me(const Config& cfg, size_t n, uint64_t seed) {
   AppResult result;
   const int p = cfg.nprocs;
+  // ME's merge tree is still rank-partitioned: refuse hybrid configs
+  // loudly rather than let M threads silently duplicate each rank's
+  // merges (SOR and LU are the hybrid-ported benches).
+  LOTS_CHECK(cfg.threads_per_node == 1,
+             "lots_me is not ported to threads_per_node > 1; use SOR or LU for hybrid runs");
   LOTS_CHECK((p & (p - 1)) == 0, "ME requires a power-of-two process count");
   n = n / static_cast<size_t>(p) * static_cast<size_t>(p);
   const auto input = gen_keys(n, seed);
@@ -156,15 +163,19 @@ AppResult lots_me(const Config& cfg, size_t n, uint64_t seed) {
 
 AppResult lots_lu(const Config& cfg, size_t n, uint64_t seed) {
   AppResult result;
-  const int p = cfg.nprocs;
   const auto a0 = gen_matrix(n, seed);
 
   Runtime rt(with_dmm_floor(cfg, n * 8));
   rt.run([&](int rank) {
+    // Hybrid decomposition like SOR: cyclic row ownership over the flat
+    // worker space, so any process/thread split of W workers factors
+    // the same rows in the same barrier-delimited steps.
+    const int W = lots::num_workers();
+    const int w = lots::my_worker();
     std::vector<Pointer<double>> rows(n);
     for (auto& r : rows) r.alloc(n);
     for (size_t i = 0; i < n; ++i) {
-      if (static_cast<int>(i % static_cast<size_t>(p)) == rank) {
+      if (static_cast<int>(i % static_cast<size_t>(W)) == w) {
         auto& row = rows[i];
         for (size_t j = 0; j < n; ++j) row[j] = a0[i * n + j];
       }
@@ -181,7 +192,7 @@ AppResult lots_lu(const Config& cfg, size_t n, uint64_t seed) {
       }
       const double pivot = pivot_row[k];
       for (size_t i = k + 1; i < n; ++i) {
-        if (static_cast<int>(i % static_cast<size_t>(p)) != rank) continue;
+        if (static_cast<int>(i % static_cast<size_t>(W)) != w) continue;
         auto& ri = rows[i];
         const double f = ri[k] / pivot;
         ri[k] = f;
@@ -189,7 +200,7 @@ AppResult lots_lu(const Config& cfg, size_t n, uint64_t seed) {
       }
       lots::barrier();
     }
-    if (rank == 0) {
+    if (w == 0) {
       result.wall_s = static_cast<double>(now_us() - t0) / 1e6;
       std::vector<double> mine(n * n);
       for (size_t i = 0; i < n; ++i) {
@@ -211,15 +222,22 @@ AppResult lots_lu(const Config& cfg, size_t n, uint64_t seed) {
 
 AppResult lots_sor(const Config& cfg, size_t n, int iterations, uint64_t seed) {
   AppResult result;
-  const int p = cfg.nprocs;
   const auto g0 = gen_grid(n, seed);
 
   Runtime rt(with_dmm_floor(cfg, n * 8));
   rt.run([&](int rank) {
+    // Hybrid N-process × M-thread decomposition: rows are sliced over
+    // the flat worker space (nprocs × threads_per_node), so any split of
+    // W workers into processes and threads computes the same rows in
+    // the same barrier-delimited phases — and therefore bit-identical
+    // grids. Threads of one rank share the node's objects; each row
+    // still has a single writer for the whole program.
+    const int W = lots::num_workers();
+    const int w = lots::my_worker();
     std::vector<Pointer<double>> rows(n);
     for (auto& r : rows) r.alloc(n);
-    const size_t lo = n * static_cast<size_t>(rank) / static_cast<size_t>(p);
-    const size_t hi = n * static_cast<size_t>(rank + 1) / static_cast<size_t>(p);
+    const size_t lo = n * static_cast<size_t>(w) / static_cast<size_t>(W);
+    const size_t hi = n * static_cast<size_t>(w + 1) / static_cast<size_t>(W);
     for (size_t i = lo; i < hi; ++i) {
       auto& row = rows[i];
       for (size_t j = 0; j < n; ++j) row[j] = g0[i * n + j];
@@ -242,7 +260,7 @@ AppResult lots_sor(const Config& cfg, size_t n, int iterations, uint64_t seed) {
       }
     }
     lots::barrier();
-    if (rank == 0) {
+    if (w == 0) {
       result.wall_s = static_cast<double>(now_us() - t0) / 1e6;
       std::vector<double> mine(n * n);
       for (size_t i = 0; i < n; ++i) {
@@ -266,6 +284,10 @@ AppResult lots_sor(const Config& cfg, size_t n, int iterations, uint64_t seed) {
 AppResult lots_rx(const Config& cfg, size_t n, int passes, uint64_t seed) {
   AppResult result;
   const int p = cfg.nprocs;
+  // RX's per-process histograms are still rank-partitioned: refuse
+  // hybrid configs loudly (SOR and LU are the hybrid-ported benches).
+  LOTS_CHECK(cfg.threads_per_node == 1,
+             "lots_rx is not ported to threads_per_node > 1; use SOR or LU for hybrid runs");
   n = n / static_cast<size_t>(p) * static_cast<size_t>(p);
   // Mask keys so `passes` 8-bit digits fully sort them.
   const uint32_t mask = passes >= 4 ? 0x7FFFFFFFu : ((1u << (8 * passes)) - 1);

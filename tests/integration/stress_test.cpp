@@ -1,8 +1,16 @@
 // Property-style stress sweeps: randomized schedules on the JIAJIA
-// baseline, swapping-pressure sweeps on LOTS, and lock contention.
+// baseline, swapping-pressure sweeps on LOTS, lock contention, and the
+// hybrid N-process × M-thread cluster under datagram loss.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <fstream>
+#include <string>
+
+#include "cluster/bootstrap.hpp"
 #include "common/rng.hpp"
+#include "common/tempdir.hpp"
 #include "core/api.hpp"
 #include "jiajia/jia_runtime.hpp"
 
@@ -132,6 +140,135 @@ TEST(LockStress, FifoFairnessUnderContention) {
     EXPECT_EQ(counter[0], 320);
     for (int r = 0; r < 8; ++r) EXPECT_EQ(per_node[static_cast<size_t>(r)], 40);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid cluster: 2 real processes × 4 app threads under 5% drop + 5%
+// reorder, vs the same 8-worker schedule as 8 single-threaded in-proc
+// nodes. The workload partitions by flat worker id, so both shapes must
+// produce bit-identical shared state.
+// ---------------------------------------------------------------------------
+
+constexpr int kHybridWorkers = 8;
+constexpr size_t kHybridCells = 512;
+constexpr int kHybridIters = 5;
+
+/// Lock+barrier workload over the flat worker space. Returns the digest
+/// computed by worker 0 (0 on every other rank's process).
+uint64_t run_hybrid_workload(const Config& cfg) {
+  uint64_t digest = 0;
+  core::Runtime rt(cfg);
+  rt.run([&](int) {
+    const int W = lots::num_workers();
+    const int w = lots::my_worker();
+    core::Pointer<int64_t> counter;
+    core::Pointer<int32_t> cells;
+    counter.alloc(1);
+    cells.alloc(kHybridCells);
+
+    int64_t cross_sum = 0;
+    for (int it = 0; it < kHybridIters; ++it) {
+      // My slice, rotated each iteration so homes migrate across nodes
+      // and threads trade rows with their siblings.
+      const auto me = static_cast<size_t>((w + it) % W);
+      const size_t lo = kHybridCells * me / static_cast<size_t>(W);
+      const size_t hi = kHybridCells * (me + 1) / static_cast<size_t>(W);
+      for (size_t i = lo; i < hi; ++i) {
+        cells[i] = static_cast<int32_t>(i * 31 + static_cast<size_t>(it) * 7 + 1);
+      }
+      lots::acquire(0);
+      counter[0] = counter[0] + w + it + 1;
+      lots::release(0);
+      lots::barrier();
+      for (size_t i = 0; i < kHybridCells; ++i) cross_sum += cells[i];
+      lots::barrier();
+    }
+    if (w == 0) {
+      uint64_t h = 1469598103934665603ull;
+      auto mix = [&h](uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+          h ^= (v >> (8 * b)) & 0xFF;
+          h *= 1099511628211ull;
+        }
+      };
+      for (size_t i = 0; i < kHybridCells; ++i) {
+        mix(static_cast<uint64_t>(static_cast<int64_t>(cells[i])));
+      }
+      mix(static_cast<uint64_t>(counter[0]));
+      mix(static_cast<uint64_t>(cross_sum));
+      digest = h;
+    }
+    lots::barrier();
+  });
+  return digest;
+}
+
+TEST(HybridCluster, TwoProcsFourThreadsLossyMatchesSingleThreadRun) {
+  // Reference: 8 single-threaded in-proc nodes — the historical model.
+  Config ref_cfg;
+  ref_cfg.nprocs = kHybridWorkers;
+  const uint64_t want = run_hybrid_workload(ref_cfg);
+  ASSERT_NE(want, 0u);
+
+  // And the same split in-proc as 2 nodes × 4 threads, no fork yet.
+  Config inproc_cfg;
+  inproc_cfg.nprocs = 2;
+  inproc_cfg.threads_per_node = 4;
+  EXPECT_EQ(run_hybrid_workload(inproc_cfg), want)
+      << "in-proc hybrid 2x4 diverged from 8x1";
+
+  TempDir scratch;
+  const std::string digest_path = scratch.path() + "/digest";
+
+  // Fork discipline (see tests/cluster/multiproc_test.cpp): every
+  // thread the reference runs spawned has been joined; the Coordinator
+  // only binds + listens before the forks, and serves afterwards.
+  constexpr int kProcs = 2;
+  cluster::Coordinator coord(kProcs);
+  std::vector<pid_t> pids;
+  for (int i = 0; i < kProcs; ++i) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      int code = 3;
+      try {
+        Config cfg;
+        cfg.nprocs = kProcs;
+        cfg.threads_per_node = 4;
+        cfg.cluster.fabric = FabricKind::kUdp;
+        cfg.cluster.coord_port = coord.port();
+        cfg.cluster.drop_prob = 0.05;
+        cfg.cluster.reorder_prob = 0.05;
+        cfg.cluster.fault_seed = 7;
+        const uint64_t digest = run_hybrid_workload(cfg);
+        if (digest != 0) {  // only worker 0's process computes it
+          std::ofstream(digest_path) << digest;
+        }
+        code = 0;
+      } catch (...) {
+        code = 3;
+      }
+      _exit(code);
+    }
+    pids.push_back(pid);
+  }
+
+  auto reports = coord.serve(120'000);
+  for (const pid_t pid : pids) {
+    int st = 0;
+    ASSERT_EQ(waitpid(pid, &st, 0), pid);
+    ASSERT_TRUE(WIFEXITED(st)) << "worker killed by signal";
+    EXPECT_EQ(WEXITSTATUS(st), 0);
+  }
+  ASSERT_EQ(reports.size(), static_cast<size_t>(kProcs));
+  for (const auto& r : reports) EXPECT_TRUE(r.clean) << "rank " << r.rank << " died unclean";
+
+  uint64_t got = 0;
+  std::ifstream in(digest_path);
+  ASSERT_TRUE(in.good()) << "worker 0's process never wrote its digest";
+  in >> got;
+  EXPECT_EQ(got, want)
+      << "hybrid 2-process x 4-thread lossy run diverged from the single-thread reference";
 }
 
 TEST(Sixteen, FullClusterSmoke) {

@@ -9,11 +9,16 @@
 // real coherence protocol.
 //
 // Usage:
-//   lots_launch [-n N] [--drop P] [--reorder P] [--dup P] [--seed S]
-//               [--timeout SECONDS] [--] prog [args...]
+//   lots_launch [-n N] [--threads M] [--drop P] [--reorder P] [--dup P]
+//               [--seed S] [--timeout SECONDS] [--] prog [args...]
+//
+// --threads M puts LOTS_THREADS=M in the worker environment: each of
+// the N processes hosts M application threads on its rank (hybrid
+// N-process × M-thread mode).
 //
 // Examples:
 //   lots_launch -n 4 ./example_quickstart
+//   lots_launch -n 2 --threads 2 ./example_quickstart
 //   lots_launch -n 4 --drop 0.01 ./bench_fig8_sor
 #include <signal.h>
 #include <sys/wait.h>
@@ -39,14 +44,15 @@ uint64_t now_ms() { return lots::now_us() / 1000; }
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [-n N] [--drop P] [--reorder P] [--dup P] [--seed S]\n"
-               "          [--timeout SECONDS] [--] prog [args...]\n",
+               "usage: %s [-n N] [--threads M] [--drop P] [--reorder P] [--dup P]\n"
+               "          [--seed S] [--timeout SECONDS] [--] prog [args...]\n",
                argv0);
   std::exit(2);
 }
 
 struct Options {
   int nprocs = 4;
+  int threads = 1;  // app threads per worker process (LOTS_THREADS)
   double drop = 0.0, reorder = 0.0, dup = 0.0;
   uint64_t seed = 1;
   uint64_t timeout_s = 120;
@@ -64,6 +70,8 @@ Options parse(int argc, char** argv) {
     };
     if (a == "-n" || a == "--nprocs") {
       o.nprocs = std::atoi(next());
+    } else if (a == "--threads") {
+      o.threads = std::atoi(next());
     } else if (a == "--drop") {
       o.drop = std::atof(next());
     } else if (a == "--reorder") {
@@ -84,13 +92,27 @@ Options parse(int argc, char** argv) {
     }
   }
   for (; i < argc; ++i) o.child_argv.push_back(argv[i]);
-  if (o.child_argv.empty() || o.nprocs < 1 || o.nprocs > 256) usage(argv[0]);
+  if (o.child_argv.empty() || o.nprocs < 1 || o.nprocs > 256 || o.threads < 1 ||
+      o.threads > 256) {
+    usage(argv[0]);
+  }
+  // Reject bad fault probabilities HERE: otherwise every forked worker
+  // dies in configure_from_env before reaching the rendezvous, and the
+  // launch only fails at the full --timeout with a misleading
+  // "workers never arrived".
+  for (const double p : {o.drop, o.reorder, o.dup}) {
+    if (p < 0.0 || p > 0.9) {
+      std::fprintf(stderr, "%s: fault probabilities must be in [0, 0.9]\n", argv[0]);
+      usage(argv[0]);
+    }
+  }
   return o;
 }
 
 void set_worker_env(const Options& o, uint16_t coord_port) {
   using namespace lots::cluster;
   setenv(kEnvNprocs, std::to_string(o.nprocs).c_str(), 1);
+  setenv(kEnvThreads, std::to_string(o.threads).c_str(), 1);
   setenv(kEnvCoordPort, std::to_string(coord_port).c_str(), 1);
   setenv(kEnvDrop, std::to_string(o.drop).c_str(), 1);
   setenv(kEnvReorder, std::to_string(o.reorder).c_str(), 1);
@@ -183,8 +205,8 @@ int main(int argc, char** argv) {
     if (!r.clean) worst = std::max(worst, 1);
   }
   if (worst == 0) {
-    std::printf("LOTS_LAUNCH_OK n=%d drop=%g reorder=%g dup=%g prog=%s\n", opt.nprocs, opt.drop,
-                opt.reorder, opt.dup, opt.child_argv[0]);
+    std::printf("LOTS_LAUNCH_OK n=%d threads=%d drop=%g reorder=%g dup=%g prog=%s\n", opt.nprocs,
+                opt.threads, opt.drop, opt.reorder, opt.dup, opt.child_argv[0]);
   } else {
     std::printf("LOTS_LAUNCH_FAIL n=%d exit=%d prog=%s\n", opt.nprocs, worst, opt.child_argv[0]);
   }
