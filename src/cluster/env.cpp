@@ -32,8 +32,37 @@ bool configure_threads_from_env(Config& cfg) {
   return true;
 }
 
+bool configure_fetch_from_env(Config& cfg) {
+  // Strict integer parse: a typo like LOTS_PREFETCH=four must fail
+  // loudly, not silently run the baseline configuration.
+  auto env_int = [](const char* name, const char* s, long lo, long hi) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < lo || v > hi) {
+      throw UsageError(std::string(name) + " must be an integer in [" + std::to_string(lo) +
+                       "," + std::to_string(hi) + "]");
+    }
+    return v;
+  };
+  bool any = false;
+  if (const char* s = std::getenv(kEnvFetchWindow); s && *s) {
+    cfg.fetch_window = static_cast<size_t>(env_int(kEnvFetchWindow, s, 1, 256));
+    any = true;
+  }
+  if (const char* s = std::getenv(kEnvPrefetch); s && *s) {
+    cfg.prefetch_degree = static_cast<size_t>(env_int(kEnvPrefetch, s, 0, 64));
+    any = true;
+  }
+  if (const char* s = std::getenv(kEnvBarrierReval); s && *s) {
+    cfg.barrier_revalidate = std::string(s) != "0";
+    any = true;
+  }
+  return any;
+}
+
 bool configure_from_env(Config& cfg) {
   configure_threads_from_env(cfg);  // fabric-independent hybrid knob
+  configure_fetch_from_env(cfg);    // fabric-independent fetch-engine knobs
   const char* port_s = std::getenv(kEnvCoordPort);
   if (!port_s) return false;
   const char* nprocs_s = std::getenv(kEnvNprocs);

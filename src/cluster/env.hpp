@@ -20,6 +20,15 @@ inline constexpr const char* kEnvFaultSeed = "LOTS_NET_FAULT_SEED";
 /// OUTSIDE the launcher by configure_threads_from_env, so the same
 /// binary runs hybrid in-proc: `LOTS_THREADS=4 ./example_quickstart`.
 inline constexpr const char* kEnvThreads = "LOTS_THREADS";
+/// Async fetch engine knobs (fabric-independent, like LOTS_THREADS):
+/// pipelined window size (Config::fetch_window) and sequential-prefetch
+/// degree (Config::prefetch_degree), e.g.
+/// `LOTS_FETCH_WINDOW=8 LOTS_PREFETCH=4 ./bench_fig8_sor`.
+inline constexpr const char* kEnvFetchWindow = "LOTS_FETCH_WINDOW";
+inline constexpr const char* kEnvPrefetch = "LOTS_PREFETCH";
+/// Barrier-exit bulk revalidation (Config::barrier_revalidate): any
+/// non-empty value other than "0" enables it.
+inline constexpr const char* kEnvBarrierReval = "LOTS_BARRIER_REVALIDATE";
 
 /// True when this process was spawned by lots_launch.
 bool under_launcher();
@@ -27,12 +36,17 @@ bool under_launcher();
 /// Rewrites `cfg` for the multi-process UDP fabric from the launcher's
 /// environment (nprocs, rendezvous port, fault-injection knobs, app
 /// threads per node). Returns false — and applies only the
-/// fabric-independent LOTS_THREADS knob — when the process is not
-/// running under lots_launch.
+/// fabric-independent LOTS_THREADS / fetch-engine knobs — when the
+/// process is not running under lots_launch.
 bool configure_from_env(Config& cfg);
 
 /// Applies LOTS_THREADS to cfg.threads_per_node (any fabric). Returns
 /// true when the variable was present.
 bool configure_threads_from_env(Config& cfg);
+
+/// Applies LOTS_FETCH_WINDOW / LOTS_PREFETCH / LOTS_BARRIER_REVALIDATE
+/// to the async fetch engine knobs (any fabric). Returns true when any
+/// of them was present.
+bool configure_fetch_from_env(Config& cfg);
 
 }  // namespace lots::cluster

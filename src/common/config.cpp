@@ -29,6 +29,12 @@ void Config::validate() const {
   if (threads_per_node < 1 || threads_per_node > 256) {
     throw UsageError("Config.threads_per_node must be in [1,256]");
   }
+  if (fetch_window < 1 || fetch_window > 256) {
+    throw UsageError("Config.fetch_window must be in [1,256]");
+  }
+  if (prefetch_degree > 64) {
+    throw UsageError("Config.prefetch_degree must be in [0,64]");
+  }
   if (cluster.fabric == FabricKind::kUdp) {
     if (cluster.coord_port == 0) {
       throw UsageError("Config.cluster: kUdp needs the coordinator's rendezvous port");

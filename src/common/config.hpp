@@ -123,6 +123,23 @@ struct Config {
   ProtocolMode protocol = ProtocolMode::kMixed;
   DiffMode diff_mode = DiffMode::kPerWordTimestamp;
 
+  // -- Async fetch engine (src/core/fetch.hpp) ----------------------------
+  /// Max outstanding kObjFetch requests in the pipelined paths
+  /// (lots::touch / lots::prefetch and the barrier-exit revalidation).
+  /// 1 degenerates to one blocking round trip at a time — the
+  /// historical behavior (abl_prefetch's baseline).
+  size_t fetch_window = 8;
+  /// Sequential prefetch: when the per-thread fault ring detects an
+  /// ascending/descending object-id stride, the requester asks the home
+  /// to piggyback up to this many neighbor-object diffs on the reply
+  /// (kObjDataN). 0 disables prefetching (default: demand fetches only,
+  /// exactly the pre-engine protocol).
+  size_t prefetch_degree = 0;
+  /// Barrier-exit bulk revalidation: refetch the objects the barrier
+  /// just invalidated that are still mapped (= recently hot), through
+  /// the pipelined window, before application threads resume.
+  bool barrier_revalidate = false;
+
   // -- Concurrency --------------------------------------------------------
   /// Stripe count of the per-node object directory. Per-object protocol
   /// work (access checks, fetch service, diff application) serializes

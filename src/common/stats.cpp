@@ -1,5 +1,7 @@
 #include "common/stats.hpp"
 
+#include "common/error.hpp"
+
 namespace lots {
 namespace {
 
@@ -33,6 +35,11 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.remote_swap_gets);
   fn(s.inflight_waits);
   fn(s.evict_races);
+  fn(s.fetch_pipelined);
+  fn(s.prefetch_issued);
+  fn(s.prefetch_hits);
+  fn(s.prefetch_wasted);
+  fn(s.fetch_stall_us);
   fn(s.net_wait_us);
   fn(s.disk_wait_us);
 }
@@ -46,13 +53,22 @@ void NodeStats::reset() {
 void NodeStats::accumulate(const NodeStats& other) {
   auto& o = const_cast<NodeStats&>(other);
   auto* dst = this;
-  // Walk both structs in lockstep by collecting pointers.
-  std::atomic<uint64_t>* mine[32];
-  std::atomic<uint64_t>* theirs[32];
-  int n = 0, m = 0;
-  for_each_counter(*dst, [&](std::atomic<uint64_t>& c) { mine[n++] = &c; });
-  for_each_counter(o, [&](std::atomic<uint64_t>& c) { theirs[m++] = &c; });
-  for (int i = 0; i < n; ++i) {
+  // Walk both structs in lockstep by collecting pointers. The capacity
+  // is checked on every write so outgrowing it when counters are added
+  // fails loudly instead of corrupting the stack.
+  constexpr size_t kMaxCounters = 64;
+  std::atomic<uint64_t>* mine[kMaxCounters];
+  std::atomic<uint64_t>* theirs[kMaxCounters];
+  size_t n = 0, m = 0;
+  for_each_counter(*dst, [&](std::atomic<uint64_t>& c) {
+    LOTS_CHECK(n < kMaxCounters, "NodeStats::accumulate: counter walk outgrew kMaxCounters");
+    mine[n++] = &c;
+  });
+  for_each_counter(o, [&](std::atomic<uint64_t>& c) {
+    LOTS_CHECK(m < kMaxCounters, "NodeStats::accumulate: counter walk outgrew kMaxCounters");
+    theirs[m++] = &c;
+  });
+  for (size_t i = 0; i < n; ++i) {
     mine[i]->fetch_add(theirs[i]->load(std::memory_order_relaxed), std::memory_order_relaxed);
   }
 }
@@ -64,6 +80,9 @@ void NodeStats::print(std::ostream& os, const std::string& label) const {
      << " diffs=" << diffs_created.load() << " diff_words=" << diff_words_sent.load()
      << " redundant_words=" << diff_words_redundant.load()
      << " inval=" << invalidations.load() << " homemig=" << home_migrations.load()
+     << " pipelined=" << fetch_pipelined.load() << " prefetch(iss/hit/waste)="
+     << prefetch_issued.load() << "/" << prefetch_hits.load() << "/"
+     << prefetch_wasted.load() << " fetch_stall_us=" << fetch_stall_us.load()
      << " checks=" << access_checks.load() << " swaps(in/out)=" << swap_ins.load() << "/"
      << swap_outs.load() << " net_wait_us=" << net_wait_us.load()
      << " disk_wait_us=" << disk_wait_us.load() << "\n";

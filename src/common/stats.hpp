@@ -52,6 +52,20 @@ struct NodeStats {
                                             ///< thread mapping the same object
   std::atomic<uint64_t> evict_races{0};     ///< victim vanished before eviction
 
+  // async fetch engine (src/core/fetch.hpp)
+  std::atomic<uint64_t> fetch_pipelined{0};  ///< fetches issued through the
+                                             ///< async window (touch/prefetch
+                                             ///< + barrier revalidation)
+  std::atomic<uint64_t> prefetch_issued{0};  ///< neighbor diffs requested on
+                                             ///< kObjFetch piggyback lists
+  std::atomic<uint64_t> prefetch_hits{0};    ///< accesses served warm from a
+                                             ///< prefetched/pipelined copy
+  std::atomic<uint64_t> prefetch_wasted{0};  ///< piggybacked neighbors dropped
+                                             ///< on arrival or invalidated
+                                             ///< before any access used them
+  std::atomic<uint64_t> fetch_stall_us{0};   ///< wall time app threads spent
+                                             ///< blocked on fetch replies
+
   // modeled time (microseconds), accumulated from the cost models
   std::atomic<uint64_t> net_wait_us{0};
   std::atomic<uint64_t> disk_wait_us{0};

@@ -20,6 +20,10 @@
 //   const int W = lots::num_workers(); // nprocs * M
 #pragma once
 
+#include <array>
+#include <span>
+#include <type_traits>
+
 #include "core/pointer.hpp"
 #include "core/runtime.hpp"
 
@@ -43,6 +47,30 @@ inline void barrier() { core::Runtime::self().barrier(); }
 
 /// Event-only barrier: no update propagation or invalidation (§3.6).
 inline void run_barrier() { core::Runtime::self().run_barrier(); }
+
+/// Asynchronous warm-up hint (the async fetch engine): brings the listed
+/// objects to mapped+valid with up to Config::fetch_window fetch round
+/// trips overlapped, instead of one blocking round trip per object at
+/// the next access check. Purely a performance hint — objects a sibling
+/// thread is working on are skipped, and anything not warmed is simply
+/// demand-fetched later. Returns the number of fetch requests issued.
+inline size_t prefetch(std::span<const ObjectId> ids) {
+  return core::Runtime::self().touch(ids);
+}
+
+/// Convenience form over Pointer<T>s (and/or raw ObjectIds):
+///   lots::touch(rows[i], rows[i + 1], rows[i + 2]);
+template <typename... Ps>
+size_t touch(const Ps&... ptrs) {
+  const std::array<ObjectId, sizeof...(Ps)> ids = {[](const auto& p) {
+    if constexpr (std::is_convertible_v<std::decay_t<decltype(p)>, ObjectId>) {
+      return static_cast<ObjectId>(p);
+    } else {
+      return p.id();
+    }
+  }(ptrs)...};
+  return prefetch(ids);
+}
 
 /// Rank of the calling node and the cluster size.
 inline int my_rank() { return core::Runtime::self().rank(); }

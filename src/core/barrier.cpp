@@ -111,7 +111,7 @@ void Node::barrier_leader() {
   // invalidations) took effect. Hence no fetch can ever reach a node
   // still holding pre-barrier home/validity state — the invariant that
   // the serving home always has a complete, current copy.
-  apply_barrier_plan(plan, new_epoch);
+  std::vector<ObjectId> invalidated_mapped = apply_barrier_plan(plan, new_epoch);
 
   // ---- phase 2 rendezvous: wait until everyone applied the plan ----
   net::Message done;
@@ -119,11 +119,24 @@ void Node::barrier_leader() {
   done.dst = 0;
   ep_.request(std::move(done));
   stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+
+  // ---- optional barrier-exit bulk revalidation ----
+  // Every node has applied its plan (the done rendezvous above), so the
+  // new homes answer fetches; the sibling app threads are still parked
+  // in the collective, so the pipelined window cannot race them. The
+  // invalidated-but-still-mapped set is exactly the node's recently hot
+  // objects — refetch them through the async window before the
+  // application resumes instead of paying one demand round trip each.
+  if (rt_.config().barrier_revalidate && !invalidated_mapped.empty()) {
+    fetch_.fetch_many(invalidated_mapped);
+  }
 }
 
-void Node::apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan, uint32_t new_epoch) {
+std::vector<ObjectId> Node::apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan,
+                                               uint32_t new_epoch) {
   const bool write_update_everywhere = rt_.config().protocol == ProtocolMode::kWriteUpdateOnly;
   std::vector<ObjectId> adopt_remote;
+  std::vector<ObjectId> invalidated_mapped;
   for (const auto& e : plan) {
     auto lk = dir_.lock_shard(e.object);
     ObjectMeta* m = dir_.find(e.object);
@@ -140,17 +153,23 @@ void Node::apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan, uint32_
       m->valid_epoch = new_epoch;
       // A home must answer fetches from local state. If our only copy
       // is parked on the swap buddy (spilled after the writing interval
-      // flushed), pull it back before reporting done — otherwise
-      // on_obj_fetch would serve zeros.
+      // flushed), pull it back before reporting done — otherwise the
+      // fetch service would serve zeros.
       if (m->on_remote) adopt_remote.push_back(e.object);
     } else {
       if (m->share == ShareState::kValid) {
         stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
       }
+      if (m->prefetched) {
+        // A warmed copy nobody accessed before it went stale again.
+        m->prefetched = false;
+        stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
+      }
       m->share = ShareState::kInvalid;
       // The stale copy (and its word stamps) is retained as a diff base
       // while it stays mapped; valid_epoch still names its global cut.
       m->pending.clear();
+      if (m->map == MapState::kMapped) invalidated_mapped.push_back(e.object);
     }
     m->local_writes.clear();
   }
@@ -173,6 +192,7 @@ void Node::apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan, uint32_
   }
   epoch_.store(new_epoch, std::memory_order_relaxed);
   last_barrier_epoch_ = new_epoch;
+  return invalidated_mapped;
 }
 
 void Node::run_barrier() {

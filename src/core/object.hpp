@@ -69,6 +69,15 @@ struct DiffRecord {
   /// epochs: a single object-level stamp would let an old value of one
   /// word ride a newer word's epoch and bury genuinely newer writes.
   std::vector<uint32_t> word_ts;
+  /// Local-only (never on the wire): applying this record makes the
+  /// copy COMPLETE up to `epoch` — it is a home diff-since-base or full
+  /// copy (a prefetch landing), not a partial update like a lock
+  /// chain's. apply_pending advances ObjectMeta::valid_epoch only off
+  /// such records, and only at application time: a record parked in
+  /// `pending` carries its completeness claim WITH it, so an
+  /// invalidation that clears pending also drops the claim and the
+  /// retained diff base stays truthful.
+  bool completes_to_epoch = false;
 
   [[nodiscard]] size_t words() const { return word_idx.size(); }
   [[nodiscard]] uint32_t ts_of(size_t i) const {
@@ -101,6 +110,12 @@ struct ObjectMeta {
   /// the shard lock around blocking requests: the flag is what keeps the
   /// mapping state coherent across those windows.
   bool inflight = false;
+  /// Copy was warmed by the async fetch engine (piggybacked neighbor
+  /// diff or pipelined touch) and no access has used it yet. The next
+  /// access counts NodeStats::prefetch_hits and clears it; a barrier
+  /// invalidation that finds it still set counts prefetch_wasted.
+  /// Guarded by the shard lock.
+  bool prefetched = false;
   uint64_t access_stamp = 0;  ///< pinning / LRU recency (paper §3.3)
   uint32_t valid_epoch = 0;   ///< copy is complete up to this sync epoch
 

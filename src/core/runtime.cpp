@@ -175,6 +175,7 @@ Node::Node(Runtime& rt, int rank, std::unique_ptr<net::Transport> transport)
                                                  &stats_)),
       dir_(rt.config().dir_shards),
       coherence_(dir_, space_, *disk_, stats_),
+      fetch_(*this),
       group_(rt.config().threads_per_node),
       stmt_pins_(static_cast<size_t>(rt.config().threads_per_node)) {
   dir_.set_stats(&stats_);
@@ -202,7 +203,7 @@ const Config& Node::config() const { return rt_.config(); }
 void Node::dispatch(net::Message&& m) {
   using net::MsgType;
   switch (m.type) {
-    case MsgType::kObjFetch: on_obj_fetch(std::move(m)); break;
+    case MsgType::kObjFetch: fetch_.serve(std::move(m)); break;
     case MsgType::kSwapPut: on_swap_put(std::move(m)); break;
     case MsgType::kSwapGet: on_swap_get(std::move(m)); break;
     case MsgType::kSwapDrop: on_swap_drop(std::move(m)); break;
@@ -280,6 +281,8 @@ size_t Node::object_size(ObjectId id) {
   return dir_.get(id).size_bytes;
 }
 
+size_t Node::touch(std::span<const ObjectId> ids) { return fetch_.fetch_many(ids); }
+
 // ---------------------------------------------------------------------------
 // The access check (paper §3.3): fast path is a table lookup under the
 // object's shard lock — disjoint objects never contend. Sibling app
@@ -303,6 +306,13 @@ void* Node::access(ObjectId id) {
     if (rt_.config().large_object_space) m.access_stamp = dir_.stamp();
     if (!m.inflight && m.map == MapState::kMapped && m.share == ShareState::kValid &&
         m.pending.empty() && m.twinned) {
+      if (m.prefetched) {
+        // A mid-interval revalidation can leave a warmed object fully
+        // fast-path eligible (still twinned, nothing pending): count
+        // the hit here too, or the next barrier would book it wasted.
+        m.prefetched = false;
+        stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+      }
       m.twin_writers |= tbit;
       return space_.dmm(m.dmm_offset);
     }
@@ -319,8 +329,16 @@ void* Node::access(ObjectId id) {
   stats_.slow_path_checks.fetch_add(1, std::memory_order_relaxed);
   m.inflight = true;
   InflightGuard guard{dir_, m, lk};
+  if (m.prefetched) {
+    // First access to a copy the async fetch engine warmed: a hit when
+    // the warm-up survived to be useful, wasted when something (an
+    // invalidation, a dropped base) undid it first.
+    m.prefetched = false;
+    auto& counter = m.share == ShareState::kValid ? stats_.prefetch_hits : stats_.prefetch_wasted;
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
   if (m.map != MapState::kMapped) map_in(m, lk);
-  if (m.share == ShareState::kInvalid) fetch_clean_copy(m, lk);
+  if (m.share == ShareState::kInvalid) fetch_.fetch_object(m, lk);
   if (!m.pending.empty()) coherence_.apply_pending(m);
   if (!m.twinned) coherence_.ensure_twin(m, Runtime::thread_index());
   m.twin_writers |= tbit;
@@ -418,11 +436,14 @@ size_t Node::alloc_dmm_or_evict(ObjectMeta& target, std::unique_lock<std::mutex>
     auto victim = mem::choose_victim(cands, need, dir_.newest_stamp(), ecfg);
     if (!victim) {
       if (saw_inflight) {
-        // Every usable victim is transiently owned by a sibling's
-        // in-flight transition (likely an eviction about to free DMM
-        // space). That is a moment, not a dead end: yield and rescan.
+        // Every usable victim is transiently owned by an in-flight
+        // transition. If those transitions are the calling thread's OWN
+        // pipelined fetch window, nobody else will ever settle them —
+        // drain the window (releasing its guards) before rescanning.
+        // Otherwise a sibling owns them and this is a moment, not a
+        // dead end: yield and rescan.
         stats_.evict_races.fetch_add(1, std::memory_order_relaxed);
-        std::this_thread::yield();
+        if (!FetchEngine::drain_active_window()) std::this_thread::yield();
         lk.lock();
         continue;
       }
@@ -565,158 +586,8 @@ int32_t Node::home_of(ObjectId id) {
 }
 
 // ---------------------------------------------------------------------------
-// Object fetch (requester side)
-// ---------------------------------------------------------------------------
-
-void Node::fetch_clean_copy(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
-  const ObjectId id = m.id;
-  int32_t target = m.home;
-  LOTS_CHECK(target != rank_, "fetch_clean_copy: home asked to fetch from itself");
-  const size_t bytes = word_bytes(m);
-  // A retained stale copy (data + word stamps) serves as the diff base:
-  // the home then only sends words newer than our valid_epoch (§3.5).
-  const bool has_base = m.valid_epoch > 0;
-  const uint32_t base_epoch = m.valid_epoch;
-
-  for (int hop = 0; hop < nprocs() + 1; ++hop) {
-    net::Message req;
-    req.type = net::MsgType::kObjFetch;
-    req.dst = target;
-    net::Writer w(req.payload);
-    w.u32(id);
-    w.u32(base_epoch);
-    w.u8(has_base ? 1 : 0);
-
-    lk.unlock();  // never hold a shard lock across a blocking request
-    net::Message reply = ep_.request(std::move(req));
-    lk.lock();
-
-    net::Reader r(reply.payload);
-    const uint8_t form = r.u8();
-    if (form == 2) {  // redirect: home migrated under us
-      target = r.i32();
-      continue;
-    }
-    stats_.object_fetches.fetch_add(1, std::memory_order_relaxed);
-    uint8_t* data = space_.dmm(m.dmm_offset);
-    uint32_t* ts = space_.ctrl_words(m.dmm_offset);
-    const uint32_t home_base = r.u32();
-    if (form == 0) {  // full copy at the home's cut
-      auto body = r.bytes_view();
-      LOTS_CHECK_EQ(body.size(), bytes, "fetch: full copy size mismatch");
-      // Per-word stamp discipline, exactly like the diff form: the copy
-      // is the home's state as of home_base, so it must not regress a
-      // word whose local stamp exceeds that cut — e.g. a value just
-      // applied from a lock token's scope chain that the home has not
-      // merged yet. Blindly memcpy-ing here loses such updates (the
-      // next flush then publishes the regressed value at a newer epoch
-      // and buries the real one — observable as lost lock-guarded
-      // increments on sub-diff-threshold objects with 3+ nodes).
-      // Common case first: no locally newer word -> one bulk copy.
-      bool has_newer = false;
-      for (uint32_t wi = 0; wi < m.words(); ++wi) {
-        if (ts[wi] > home_base) {
-          has_newer = true;
-          break;
-        }
-      }
-      if (!has_newer) {
-        std::memcpy(data, body.data(), bytes);
-        for (uint32_t wi = 0; wi < m.words(); ++wi) ts[wi] = home_base;
-      } else {
-        for (uint32_t wi = 0; wi < m.words(); ++wi) {
-          if (ts[wi] > home_base) continue;  // locally newer than the home's cut
-          std::memcpy(data + static_cast<size_t>(wi) * 4,
-                      body.data() + static_cast<size_t>(wi) * 4, 4);
-          ts[wi] = home_base;
-        }
-      }
-    } else {  // per-word diff against our stale base
-      std::vector<uint32_t> idx, val, wts;
-      decode_word_diff(r, idx, val, wts);
-      apply_word_diff(idx, val, wts, data, ts);
-    }
-    if (m.twinned) {
-      // A twinned object re-validated mid-interval (write-invalidate
-      // lock mode): rebase the twin so the fetched content is not
-      // mistaken for local writes at the next flush.
-      std::memcpy(space_.twin(m.dmm_offset), data, bytes);
-    }
-    m.share = ShareState::kValid;
-    m.valid_epoch = home_base;
-    return;
-  }
-  LOTS_CHECK(false, "fetch_clean_copy: home redirect loop for object " + std::to_string(id));
-}
-
-// ---------------------------------------------------------------------------
-// Object fetch (home side, service thread — never blocks on the network,
-// and takes only the requested object's shard lock)
-// ---------------------------------------------------------------------------
-
-void Node::on_obj_fetch(net::Message&& m) {
-  net::Reader r(m.payload);
-  const ObjectId id = r.u32();
-  const uint32_t req_base = r.u32();
-  const bool has_base = r.u8() != 0;
-
-  auto lk = dir_.lock_shard(id);
-  ObjectMeta& obj = dir_.get(id);
-  net::Message resp;
-  resp.type = net::MsgType::kObjData;
-  net::Writer w(resp.payload);
-
-  if (obj.home != rank_) {  // stale home view at the requester
-    w.u8(2);
-    w.i32(obj.home);
-    lk.unlock();
-    ep_.reply(m, std::move(resp));
-    return;
-  }
-
-  const size_t bytes = word_bytes(obj);
-  // Materialize the home copy for reading without disturbing the DMM
-  // mapping state: mapped -> direct pointers; on disk -> scratch image;
-  // never touched -> zeros.
-  std::vector<uint8_t> scratch;
-  const uint8_t* data;
-  const uint32_t* ts;
-  if (obj.map == MapState::kMapped) {
-    data = space_.dmm(obj.dmm_offset);
-    ts = space_.ctrl_words(obj.dmm_offset);
-  } else if (obj.on_disk) {
-    scratch.resize((obj.twinned ? 3 : 2) * bytes);
-    LOTS_CHECK(disk_->read_object(id, scratch), "home disk image vanished");
-    data = scratch.data();
-    ts = reinterpret_cast<const uint32_t*>(scratch.data() + bytes);
-  } else {
-    scratch.assign(2 * bytes, 0);
-    data = scratch.data();
-    ts = reinterpret_cast<const uint32_t*>(scratch.data() + bytes);
-  }
-
-  // Prefer the on-demand diff (§3.5) when the requester kept a base and
-  // the diff is actually smaller than the full object.
-  if (has_base) {
-    std::vector<uint32_t> idx, val, wts;
-    diff_since({data, bytes}, ts, req_base, idx, val, wts);
-    if (idx.size() * 12 < bytes) {
-      w.u8(1);
-      w.u32(obj.valid_epoch);
-      encode_word_diff(w, idx, val, wts);
-      stats_.diff_words_sent.fetch_add(idx.size(), std::memory_order_relaxed);
-      lk.unlock();
-      ep_.reply(m, std::move(resp));
-      return;
-    }
-  }
-  w.u8(0);
-  w.u32(obj.valid_epoch);
-  w.bytes({data, bytes});
-  lk.unlock();
-  ep_.reply(m, std::move(resp));
-}
-
+// Object fetch: requester demand path, the pipelined window, and the
+// home-side service all live in the FetchEngine (core/fetch.cpp).
 // ---------------------------------------------------------------------------
 // Batched diff delivery (home side or write-update broadcast receiver):
 // one message carries every record the sender owed this node for one

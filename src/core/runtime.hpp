@@ -52,6 +52,7 @@
 #include <memory>
 #include <mutex>
 #include <condition_variable>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -61,6 +62,7 @@
 #include "common/threading.hpp"
 #include "core/coherence.hpp"
 #include "core/diff.hpp"
+#include "core/fetch.hpp"
 #include "core/object.hpp"
 #include "mem/dmm_allocator.hpp"
 #include "mem/eviction.hpp"
@@ -104,6 +106,15 @@ class Node {
   /// Object size as declared.
   size_t object_size(ObjectId id);
 
+  /// Asynchronous warm-up of many objects (lots::touch / lots::prefetch):
+  /// brings every listed object that is unmapped or invalid to
+  /// mapped+valid with up to Config::fetch_window fetch round trips in
+  /// flight at once (FetchEngine::fetch_many). Best effort and purely a
+  /// performance hint — a skipped or failed warm-up simply leaves the
+  /// object to the next access check's demand fault. Returns the number
+  /// of fetch requests issued.
+  size_t touch(std::span<const ObjectId> ids);
+
   // ---- synchronization (paper §3.4-3.6) ----
   void acquire(uint32_t lock_id);
   void release(uint32_t lock_id);
@@ -133,6 +144,9 @@ class Node {
 
  private:
   friend class Runtime;
+  /// The fetch engine implements every kObjFetch flow (demand, pipelined
+  /// and home side) against the node's mapper internals.
+  friend class FetchEngine;
 
   // -- mapper internals (called with the object's shard lock held via
   // `lk` AND the object's in-flight guard owned by the calling thread;
@@ -154,7 +168,6 @@ class Node {
   [[nodiscard]] static uint64_t remote_key(int32_t owner, ObjectId id) {
     return (static_cast<uint64_t>(owner) + 1) << 32 | id;
   }
-  void fetch_clean_copy(ObjectMeta& m, std::unique_lock<std::mutex>& lk);
 
   // -- lock protocol (locks.cpp) --
   struct LockToken {
@@ -207,10 +220,13 @@ class Node {
   void on_barrier_done(net::Message&& m);   // master side
   void on_run_barrier_enter(net::Message&& m);
   void on_diff_batch(net::Message&& m);
-  void apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan, uint32_t new_epoch);
+  /// Applies the master's plan (new homes, invalidations). Returns the
+  /// ids it invalidated that are still mapped — the recently-hot set the
+  /// barrier-exit bulk revalidation refetches (Config::barrier_revalidate).
+  std::vector<ObjectId> apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan,
+                                           uint32_t new_epoch);
 
-  // -- fetch protocol (runtime.cpp) --
-  void on_obj_fetch(net::Message&& m);
+  // -- swap protocol (runtime.cpp; fetch protocol lives in fetch.cpp) --
   void on_swap_put(net::Message&& m);
   void on_swap_get(net::Message&& m);
   void on_swap_drop(net::Message&& m);
@@ -267,6 +283,7 @@ class Node {
   std::unique_ptr<storage::DiskStore> disk_;  ///< internally synchronized
   ObjectDirectory dir_;    ///< striped: per-shard locks
   CoherenceEngine coherence_;
+  FetchEngine fetch_;      ///< all kObjFetch flows (demand/pipelined/home)
 
   /// Rendezvous of this node's app threads for the node-level
   /// collectives (alloc/free/barrier/run_barrier).

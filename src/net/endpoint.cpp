@@ -31,7 +31,7 @@ uint64_t Endpoint::send(Message m) {
   return seq;
 }
 
-Message Endpoint::request(Message m, uint64_t timeout_us) {
+Endpoint::PendingReply Endpoint::request_async(Message m) {
   auto slot = std::make_shared<Slot>();
   m.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   {
@@ -40,16 +40,59 @@ Message Endpoint::request(Message m, uint64_t timeout_us) {
   }
   const uint64_t seq = m.seq;
   transport_->send(std::move(m));
+  return PendingReply(this, std::move(slot), seq);
+}
 
-  std::unique_lock lk(slot->mu);
-  if (!slot->cv.wait_for(lk, std::chrono::microseconds(timeout_us),
-                         [&] { return slot->reply.has_value(); })) {
-    std::lock_guard plk(pending_mu_);
-    pending_.erase(seq);
-    throw SystemError("request timeout: node " + std::to_string(rank()) + " seq " +
+Message Endpoint::request(Message m, uint64_t timeout_us) {
+  return request_async(std::move(m)).wait(timeout_us);
+}
+
+Endpoint::PendingReply& Endpoint::PendingReply::operator=(PendingReply&& o) noexcept {
+  if (this != &o) {
+    cancel();
+    ep_ = o.ep_;
+    slot_ = std::move(o.slot_);
+    seq_ = o.seq_;
+    o.ep_ = nullptr;
+    o.slot_.reset();
+    o.seq_ = 0;
+  }
+  return *this;
+}
+
+Message Endpoint::PendingReply::wait(uint64_t timeout_us) {
+  LOTS_CHECK(slot_ != nullptr, "PendingReply::wait on an empty handle");
+  std::unique_lock lk(slot_->mu);
+  if (!slot_->cv.wait_for(lk, std::chrono::microseconds(timeout_us),
+                          [&] { return slot_->reply.has_value(); })) {
+    lk.unlock();
+    const uint64_t seq = seq_;
+    const int at = ep_->rank();
+    cancel();
+    throw SystemError("request timeout: node " + std::to_string(at) + " seq " +
                       std::to_string(seq));
   }
-  return std::move(*slot->reply);
+  Message reply = std::move(*slot_->reply);
+  lk.unlock();
+  slot_.reset();  // completion already erased the table entry
+  ep_ = nullptr;
+  return reply;
+}
+
+bool Endpoint::PendingReply::ready() const {
+  if (!slot_) return false;
+  std::lock_guard lk(slot_->mu);
+  return slot_->reply.has_value();
+}
+
+void Endpoint::PendingReply::cancel() {
+  if (!slot_) return;
+  {
+    std::lock_guard plk(ep_->pending_mu_);
+    ep_->pending_.erase(seq_);  // no-op when the reply already landed
+  }
+  slot_.reset();
+  ep_ = nullptr;
 }
 
 void Endpoint::reply(const Message& req, Message resp) {

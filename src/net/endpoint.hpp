@@ -3,10 +3,11 @@
 // The paper handles incoming messages with SIGIO handlers (§3.6): remote
 // requests are served asynchronously while the application computes.
 // Here the same role is played by a per-node *service thread* running
-// Endpoint::serve_loop. The application thread uses request()/send();
-// replies are matched to blocked requesters by sequence number, and all
-// other traffic is dispatched to the protocol handler installed by the
-// runtime.
+// Endpoint::serve_loop. The application thread uses request()/send(),
+// or request_async() to keep several requests in flight at once;
+// replies are matched to requesters by sequence number through the
+// per-endpoint completion table, and all other traffic is dispatched to
+// the protocol handler installed by the runtime.
 //
 // Handler contract: handlers run on the service thread and must never
 // block on a nested request() — they answer from node-local state (or
@@ -31,6 +32,10 @@ class Endpoint {
  public:
   using Handler = std::function<void(Message&&)>;
 
+  /// Default deadline for a reply. A DSM node that stops answering is a
+  /// fatal cluster condition, not a recoverable one.
+  static constexpr uint64_t kRequestTimeoutUs = 30'000'000;
+
   explicit Endpoint(std::unique_ptr<Transport> transport);
   ~Endpoint();
   Endpoint(const Endpoint&) = delete;
@@ -44,10 +49,61 @@ class Endpoint {
   /// Fire-and-forget send; assigns and returns the message sequence.
   uint64_t send(Message m);
 
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Message> reply;
+  };
+
+ public:
+  /// Handle on an in-flight request issued with request_async(). The
+  /// reply is correlated by req_seq through the endpoint's completion
+  /// table: when it arrives, the service thread fills the handle's slot
+  /// and wakes whoever is (or will be) blocked in wait(). Move-only; an
+  /// abandoned handle deregisters itself so a late reply is dropped
+  /// instead of leaking a table entry.
+  class PendingReply {
+   public:
+    PendingReply() = default;
+    PendingReply(PendingReply&& o) noexcept { *this = std::move(o); }
+    PendingReply& operator=(PendingReply&& o) noexcept;
+    PendingReply(const PendingReply&) = delete;
+    PendingReply& operator=(const PendingReply&) = delete;
+    ~PendingReply() { cancel(); }
+
+    /// Block until the reply arrives and consume it. Timeout/retry
+    /// semantics are identical to the blocking Endpoint::request:
+    /// throws SystemError on deadline (and invalidates the handle).
+    Message wait(uint64_t timeout_us = kRequestTimeoutUs);
+    /// Non-blocking completion probe.
+    [[nodiscard]] bool ready() const;
+    /// True until wait() consumed the reply (or the handle was moved
+    /// from / timed out).
+    [[nodiscard]] bool valid() const { return slot_ != nullptr; }
+    /// Sequence number of the request (what the reply's req_seq echoes).
+    [[nodiscard]] uint64_t seq() const { return seq_; }
+
+   private:
+    friend class Endpoint;
+    PendingReply(Endpoint* ep, std::shared_ptr<Slot> slot, uint64_t seq)
+        : ep_(ep), slot_(std::move(slot)), seq_(seq) {}
+    void cancel();
+
+    Endpoint* ep_ = nullptr;
+    std::shared_ptr<Slot> slot_;
+    uint64_t seq_ = 0;
+  };
+
+  /// Non-blocking request: send `m` and return a handle whose wait()
+  /// yields the reply. Multiple handles may be outstanding at once from
+  /// one thread — this is what the pipelined fetch engine builds on.
+  PendingReply request_async(Message m);
+
   /// Send `m` and block until a reply carrying req_seq == m.seq arrives.
-  /// Throws SystemError on timeout (a DSM node that stops answering is a
-  /// fatal cluster condition, not a recoverable one).
-  Message request(Message m, uint64_t timeout_us = 30'000'000);
+  /// Thin wrapper over request_async(...).wait(...); throws SystemError
+  /// on timeout.
+  Message request(Message m, uint64_t timeout_us = kRequestTimeoutUs);
 
   /// Convenience for handlers: route `resp` back to the requester of
   /// `req` with the reply sequence filled in.
@@ -58,12 +114,6 @@ class Endpoint {
   [[nodiscard]] int nprocs() const { return transport_->nprocs(); }
 
  private:
-  struct Slot {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::optional<Message> reply;
-  };
-
   void serve_loop();
 
   std::unique_ptr<Transport> transport_;
@@ -72,6 +122,9 @@ class Endpoint {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> next_seq_{1};
 
+  /// Completion table: req_seq -> slot of the outstanding request. The
+  /// service thread fills and erases entries as replies arrive; waiters
+  /// erase their own entry on timeout or abandonment.
   std::mutex pending_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Slot>> pending_;
 };

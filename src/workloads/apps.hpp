@@ -29,6 +29,12 @@ struct AppResult {
   uint64_t swap_ins = 0;
   uint64_t swap_outs = 0;
   uint64_t access_checks = 0;
+  // async fetch engine (LOTS backend only; zero for JIAJIA)
+  uint64_t fetch_pipelined = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
+  uint64_t fetch_stall_us = 0;
 
   /// Modeled execution time: measured compute + modeled waits.
   [[nodiscard]] double time_s() const {

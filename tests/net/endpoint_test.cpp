@@ -94,6 +94,80 @@ TEST(Endpoint, ConcurrentRequestersToOneServer) {
   });
 }
 
+TEST(Endpoint, AsyncRequestsOverlapAndCompleteInAnyOrder) {
+  InProcFabric fab(2, NetModel{});
+  Endpoint a(fab.open(0)), b(fab.open(1));
+  a.start(nullptr);
+  b.start([&](Message&& m) {
+    Message resp;
+    resp.type = MsgType::kReply;
+    resp.payload = m.payload;
+    b.reply(m, std::move(resp));
+  });
+
+  // Issue a whole window before waiting, then harvest in REVERSE order:
+  // the completion table must route every reply to its own handle no
+  // matter when (or whether) the requester is blocked on it.
+  constexpr int kWindow = 8;
+  std::vector<Endpoint::PendingReply> handles;
+  for (uint8_t i = 0; i < kWindow; ++i) {
+    Message req;
+    req.type = MsgType::kPing;
+    req.dst = 1;
+    req.payload = {i};
+    handles.push_back(a.request_async(std::move(req)));
+  }
+  for (int i = kWindow - 1; i >= 0; --i) {
+    ASSERT_TRUE(handles[static_cast<size_t>(i)].valid());
+    const Message resp = handles[static_cast<size_t>(i)].wait();
+    EXPECT_EQ(resp.payload, std::vector<uint8_t>{static_cast<uint8_t>(i)});
+    EXPECT_FALSE(handles[static_cast<size_t>(i)].valid()) << "wait() must consume the handle";
+  }
+}
+
+TEST(Endpoint, AsyncAbandonedHandleDeregistersItself) {
+  InProcFabric fab(2, NetModel{});
+  Endpoint a(fab.open(0)), b(fab.open(1));
+  std::atomic<int> served{0};
+  a.start(nullptr);
+  b.start([&](Message&& m) {
+    served.fetch_add(1);
+    b.reply(m, Message{.type = MsgType::kReply});
+  });
+
+  {
+    Message req;
+    req.type = MsgType::kPing;
+    req.dst = 1;
+    Endpoint::PendingReply dropped = a.request_async(std::move(req));
+  }  // abandoned before the reply is consumed
+  // The endpoint must stay fully usable: the late reply is dropped, not
+  // misrouted into a later request's slot.
+  for (int i = 0; i < 20; ++i) {
+    Message req;
+    req.type = MsgType::kPing;
+    req.dst = 1;
+    req.payload = {static_cast<uint8_t>(i)};
+    const Message resp = a.request(std::move(req));
+    ASSERT_EQ(resp.type, MsgType::kReply);
+  }
+  EXPECT_GE(served.load(), 20);
+}
+
+TEST(Endpoint, AsyncTimeoutMatchesBlockingSemantics) {
+  InProcFabric fab(2, NetModel{});
+  Endpoint a(fab.open(0));
+  Endpoint b(fab.open(1));
+  a.start(nullptr);
+  b.start([](Message&&) { /* swallow everything */ });
+  Message req;
+  req.type = MsgType::kPing;
+  req.dst = 1;
+  auto handle = a.request_async(std::move(req));
+  EXPECT_THROW(handle.wait(/*timeout_us=*/50'000), lots::SystemError);
+  EXPECT_FALSE(handle.valid()) << "a timed-out handle must be invalidated";
+}
+
 TEST(Endpoint, StopIsIdempotent) {
   InProcFabric fab(1, NetModel{});
   Endpoint a(fab.open(0));
