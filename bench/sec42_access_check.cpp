@@ -5,11 +5,22 @@
 // problem size of 1024 ... around 30-37 seconds out of 55 seconds of
 // execution time is spent on access checking."
 //
-// BM_AccessCheckFastPath measures the mapped-and-clean table lookup that
-// dominates (object id -> address). The slow-path variants quantify what
-// a swap-in or twin creation adds.
-#include <benchmark/benchmark.h>
+// Cases (one BENCH_JSON row each, collected into the trajectory by CI):
+//   fastpath       — the mapped-and-clean check with the per-thread ALB
+//                    (the ISSUE 5 lookaside: repeat accesses skip the
+//                    shard lock + hash lookup)
+//   fastpath_noalb — the same check with the ALB disabled (shard lock +
+//                    hash lookup on every access: the PR 3/4 fast path)
+//   pointer_op     — the full user-visible cost of `a[i]` (check + index)
+//   lotsx          — LOTS-x mode: no pin-clock update (§4.2's comparison
+//                    point for the large-object-space share of the check)
+//   swapin         — worst case: every access finds the object swapped
+//                    out (64 KB object through the disk each time)
+#include <cstdint>
+#include <cstdio>
 
+#include "bench_util.hpp"
+#include "common/clock.hpp"
 #include "core/api.hpp"
 
 namespace {
@@ -17,84 +28,105 @@ namespace {
 using lots::Config;
 using lots::Pointer;
 using lots::Runtime;
+using lots::bench::JsonLine;
 
-void BM_AccessCheckFastPath(benchmark::State& state) {
+/// Keeps the measured access from being optimized away.
+inline void escape(void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+double time_accesses(lots::core::Node& node, lots::core::ObjectId id, size_t iters) {
+  for (size_t i = 0; i < 1000; ++i) escape(node.access(id));  // warm
+  const uint64_t t0 = lots::now_us();
+  for (size_t i = 0; i < iters; ++i) escape(node.access(id));
+  return static_cast<double>(lots::now_us() - t0) * 1000.0 / static_cast<double>(iters);
+}
+
+double bench_fastpath(bool alb) {
   Config cfg;
   cfg.nprocs = 1;
+  cfg.alb = alb;
   Runtime rt(cfg);
+  double ns = 0;
   rt.run([&](int) {
     Pointer<int> a;
     a.alloc(1024);
     a[0] = 1;  // map + twin: subsequent checks take the fast path
-    auto& node = Runtime::self();
-    for (auto _ : state) {
-      benchmark::DoNotOptimize(node.access(a.id()));
-    }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    ns = time_accesses(Runtime::self(), a.id(), 4'000'000);
   });
+  return ns;
 }
-BENCHMARK(BM_AccessCheckFastPath);
 
-void BM_AccessThroughPointerOperator(benchmark::State& state) {
-  // The full user-visible cost of `a[i]` (check + indexing).
+double bench_pointer_op() {
   Config cfg;
   cfg.nprocs = 1;
   Runtime rt(cfg);
+  double ns = 0;
   rt.run([&](int) {
     Pointer<int> a;
     a.alloc(1024);
     a[0] = 1;
-    size_t i = 0;
-    for (auto _ : state) {
-      benchmark::DoNotOptimize(a[i & 1023]);
-      ++i;
-    }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    volatile long sink = 0;
+    constexpr size_t kIters = 4'000'000;
+    const uint64_t t0 = lots::now_us();
+    for (size_t i = 0; i < kIters; ++i) sink = sink + a[i & 1023];
+    ns = static_cast<double>(lots::now_us() - t0) * 1000.0 / kIters;
   });
+  return ns;
 }
-BENCHMARK(BM_AccessThroughPointerOperator);
 
-void BM_AccessCheckLotsX(benchmark::State& state) {
-  // LOTS-x mode: no pin-clock update — the paper's §4.2 comparison
-  // point for the large-object-space share of the check.
+double bench_lotsx() {
   Config cfg;
   cfg.nprocs = 1;
   cfg.large_object_space = false;
   Runtime rt(cfg);
+  double ns = 0;
   rt.run([&](int) {
     Pointer<int> a;
     a.alloc(1024);
     a[0] = 1;
-    auto& node = Runtime::self();
-    for (auto _ : state) {
-      benchmark::DoNotOptimize(node.access(a.id()));
-    }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    ns = time_accesses(Runtime::self(), a.id(), 4'000'000);
   });
+  return ns;
 }
-BENCHMARK(BM_AccessCheckLotsX);
 
-void BM_AccessCheckSwapInPath(benchmark::State& state) {
-  // Worst case: every access finds the object swapped out (64 KB object
-  // through the disk each time).
+double bench_swapin() {
   Config cfg;
   cfg.nprocs = 1;
   Runtime rt(cfg);
+  double ns = 0;
   rt.run([&](int) {
     Pointer<int> a;
     a.alloc(16 * 1024);
     a[0] = 1;
     lots::barrier();
     auto& node = Runtime::self();
-    for (auto _ : state) {
+    constexpr size_t kIters = 2000;
+    const uint64_t t0 = lots::now_us();
+    for (size_t i = 0; i < kIters; ++i) {
       node.force_swap_out(a.id());
-      benchmark::DoNotOptimize(node.access(a.id()));
+      escape(node.access(a.id()));
     }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    ns = static_cast<double>(lots::now_us() - t0) * 1000.0 / kIters;
   });
+  return ns;
 }
-BENCHMARK(BM_AccessCheckSwapInPath);
+
+void report(const char* name, double ns) {
+  std::printf("%-16s %10.1f ns/access\n", name, ns);
+  JsonLine("sec42_access_check").str("case", name).num("ns_per_access", ns).emit();
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::printf("\n=== §4.2 — access check cost (paper: 20-25 ns on a 2 GHz P4) ===\n");
+  const double fast_alb = bench_fastpath(/*alb=*/true);
+  const double fast_noalb = bench_fastpath(/*alb=*/false);
+  report("fastpath", fast_alb);
+  report("fastpath_noalb", fast_noalb);
+  report("pointer_op", bench_pointer_op());
+  report("lotsx", bench_lotsx());
+  report("swapin", bench_swapin());
+  std::printf("ALB speedup on the repeat-access shape: %.2fx\n",
+              fast_alb > 0 ? fast_noalb / fast_alb : 0.0);
+  return 0;
+}

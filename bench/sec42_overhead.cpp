@@ -41,6 +41,15 @@ int main() {
     std::printf("%-6s %10d %12.3f %12.3f %11.1f%% %16s %s\n", r.name, p, r.with.time_s(),
                 r.without.time_s(), 100.0 * overhead, r.paper,
                 (r.with.ok && r.without.ok) ? "" : "!! VERIFY FAILED");
+    JsonLine("sec42_overhead")
+        .str("app", r.name)
+        .num("p", static_cast<uint64_t>(p))
+        .num("lots_s", r.with.time_s())
+        .num("lotsx_s", r.without.time_s())
+        .num("overhead", overhead)
+        .num("access_checks", r.with.access_checks)
+        .boolean("ok", r.with.ok && r.without.ok)
+        .emit();
   }
   std::printf("\naccess-check volume (LOTS, drives the overhead — paper: RX checks most):\n");
   for (const auto& r : rows) {

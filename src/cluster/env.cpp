@@ -17,6 +17,18 @@ double env_prob(const char* name) {
   return v;
 }
 
+// Strict integer parse: a typo like LOTS_PREFETCH=four must fail
+// loudly, not silently run the baseline configuration.
+long env_int(const char* name, const char* s, long lo, long hi) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < lo || v > hi) {
+    throw UsageError(std::string(name) + " must be an integer in [" + std::to_string(lo) +
+                     "," + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
 }  // namespace
 
 bool under_launcher() { return std::getenv(kEnvCoordPort) != nullptr; }
@@ -33,17 +45,6 @@ bool configure_threads_from_env(Config& cfg) {
 }
 
 bool configure_fetch_from_env(Config& cfg) {
-  // Strict integer parse: a typo like LOTS_PREFETCH=four must fail
-  // loudly, not silently run the baseline configuration.
-  auto env_int = [](const char* name, const char* s, long lo, long hi) {
-    char* end = nullptr;
-    const long v = std::strtol(s, &end, 10);
-    if (end == s || *end != '\0' || v < lo || v > hi) {
-      throw UsageError(std::string(name) + " must be an integer in [" + std::to_string(lo) +
-                       "," + std::to_string(hi) + "]");
-    }
-    return v;
-  };
   bool any = false;
   if (const char* s = std::getenv(kEnvFetchWindow); s && *s) {
     cfg.fetch_window = static_cast<size_t>(env_int(kEnvFetchWindow, s, 1, 256));
@@ -60,9 +61,27 @@ bool configure_fetch_from_env(Config& cfg) {
   return any;
 }
 
+bool configure_fastpath_from_env(Config& cfg) {
+  bool any = false;
+  if (const char* s = std::getenv(kEnvAlb); s && *s) {
+    cfg.alb = std::string(s) != "0";
+    any = true;
+  }
+  if (const char* s = std::getenv(kEnvAlbSize); s && *s) {
+    cfg.alb_size = static_cast<size_t>(env_int(kEnvAlbSize, s, 2, 1 << 20));
+    any = true;
+  }
+  if (const char* s = std::getenv(kEnvDiffRle); s && *s) {
+    cfg.diff_rle = std::string(s) != "0";
+    any = true;
+  }
+  return any;
+}
+
 bool configure_from_env(Config& cfg) {
-  configure_threads_from_env(cfg);  // fabric-independent hybrid knob
-  configure_fetch_from_env(cfg);    // fabric-independent fetch-engine knobs
+  configure_threads_from_env(cfg);   // fabric-independent hybrid knob
+  configure_fetch_from_env(cfg);     // fabric-independent fetch-engine knobs
+  configure_fastpath_from_env(cfg);  // fabric-independent fast-path knobs
   const char* port_s = std::getenv(kEnvCoordPort);
   if (!port_s) return false;
   const char* nprocs_s = std::getenv(kEnvNprocs);

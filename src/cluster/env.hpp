@@ -29,6 +29,14 @@ inline constexpr const char* kEnvPrefetch = "LOTS_PREFETCH";
 /// Barrier-exit bulk revalidation (Config::barrier_revalidate): any
 /// non-empty value other than "0" enables it.
 inline constexpr const char* kEnvBarrierReval = "LOTS_BARRIER_REVALIDATE";
+/// Fast-path knobs (fabric-independent): the per-thread access
+/// lookaside buffer (Config::alb — "0" disables, anything else enables),
+/// its per-thread entry count (Config::alb_size, power of two), and the
+/// run-length diff wire encoding (Config::diff_rle — "0" disables), e.g.
+/// `LOTS_ALB=0 LOTS_DIFF_RLE=0 ./bench_abl_fastpath`.
+inline constexpr const char* kEnvAlb = "LOTS_ALB";
+inline constexpr const char* kEnvAlbSize = "LOTS_ALB_SIZE";
+inline constexpr const char* kEnvDiffRle = "LOTS_DIFF_RLE";
 
 /// True when this process was spawned by lots_launch.
 bool under_launcher();
@@ -48,5 +56,9 @@ bool configure_threads_from_env(Config& cfg);
 /// to the async fetch engine knobs (any fabric). Returns true when any
 /// of them was present.
 bool configure_fetch_from_env(Config& cfg);
+
+/// Applies LOTS_ALB / LOTS_ALB_SIZE / LOTS_DIFF_RLE to the access
+/// fast-path knobs (any fabric). Returns true when any was present.
+bool configure_fastpath_from_env(Config& cfg);
 
 }  // namespace lots::cluster

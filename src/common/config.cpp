@@ -35,6 +35,9 @@ void Config::validate() const {
   if (prefetch_degree > 64) {
     throw UsageError("Config.prefetch_degree must be in [0,64]");
   }
+  if (alb_size < 2 || alb_size > (1u << 20) || (alb_size & (alb_size - 1)) != 0) {
+    throw UsageError("Config.alb_size must be a power of two in [2, 1M]");
+  }
   if (cluster.fabric == FabricKind::kUdp) {
     if (cluster.coord_port == 0) {
       throw UsageError("Config.cluster: kUdp needs the coordinator's rendezvous port");

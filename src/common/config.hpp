@@ -123,6 +123,26 @@ struct Config {
   ProtocolMode protocol = ProtocolMode::kMixed;
   DiffMode diff_mode = DiffMode::kPerWordTimestamp;
 
+  // -- Access fast path (ARCHITECTURE.md "fast path") ---------------------
+  /// Per-app-thread Access Lookaside Buffer: a small direct-mapped cache
+  /// of (ObjectId -> data pointer) for objects already validated this
+  /// interval, letting repeat accesses skip the directory-shard lock and
+  /// hash lookup entirely. Entries are defeated by the owning shard's
+  /// generation counter (bumped on invalidation, eviction, unmap,
+  /// pending-update landings and twin flushes) and by any change of the
+  /// node's interval epoch (acquire/release/barrier), so a hit can never
+  /// serve a copy the protocol has since withdrawn. Disable to get the
+  /// pre-ALB check (ablation bench abl_fastpath measures the difference).
+  bool alb = true;
+  /// ALB entries per app thread. Must be a power of two.
+  size_t alb_size = 64;
+  /// Run-length diff wire encoding (diff format v2): contiguous index
+  /// runs ship as (start, count, packed values) with a shared stamp when
+  /// the run carries one epoch, instead of per-word idx/val/ts triples.
+  /// Decoders accept both formats regardless; this gates the encoders
+  /// (kObjData/kObjDataN word diffs and kDiffBatch/kLockGrant records).
+  bool diff_rle = true;
+
   // -- Async fetch engine (src/core/fetch.hpp) ----------------------------
   /// Max outstanding kObjFetch requests in the pipelined paths
   /// (lots::touch / lots::prefetch and the barrier-exit revalidation).

@@ -17,6 +17,9 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.diff_batch_msgs);
   fn(s.diff_records_batched);
   fn(s.diff_words_redundant);
+  fn(s.merge_redundant_words);
+  fn(s.diff_payload_bytes);
+  fn(s.diff_bytes_saved);
   fn(s.object_fetches);
   fn(s.page_fetches);
   fn(s.invalidations);
@@ -25,6 +28,8 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.barriers);
   fn(s.access_checks);
   fn(s.slow_path_checks);
+  fn(s.alb_hits);
+  fn(s.alb_evictions);
   fn(s.shard_lock_acquires);
   fn(s.swap_ins);
   fn(s.swap_outs);
@@ -79,11 +84,15 @@ void NodeStats::print(std::ostream& os, const std::string& label) const {
      << " fetches=" << object_fetches.load() + page_fetches.load()
      << " diffs=" << diffs_created.load() << " diff_words=" << diff_words_sent.load()
      << " redundant_words=" << diff_words_redundant.load()
+     << " merge_redundant=" << merge_redundant_words.load()
+     << " diff_payload_bytes=" << diff_payload_bytes.load()
+     << " rle_saved=" << diff_bytes_saved.load()
      << " inval=" << invalidations.load() << " homemig=" << home_migrations.load()
      << " pipelined=" << fetch_pipelined.load() << " prefetch(iss/hit/waste)="
      << prefetch_issued.load() << "/" << prefetch_hits.load() << "/"
      << prefetch_wasted.load() << " fetch_stall_us=" << fetch_stall_us.load()
-     << " checks=" << access_checks.load() << " swaps(in/out)=" << swap_ins.load() << "/"
+     << " checks=" << access_checks.load() << " alb(hit/evict)=" << alb_hits.load() << "/"
+     << alb_evictions.load() << " swaps(in/out)=" << swap_ins.load() << "/"
      << swap_outs.load() << " net_wait_us=" << net_wait_us.load()
      << " disk_wait_us=" << disk_wait_us.load() << "\n";
 }

@@ -28,6 +28,15 @@ struct NodeStats {
   std::atomic<uint64_t> diff_batch_msgs{0};      ///< kDiffBatch messages sent
   std::atomic<uint64_t> diff_records_batched{0}; ///< records carried by them
   std::atomic<uint64_t> diff_words_redundant{0};  ///< accumulation waste
+  std::atomic<uint64_t> merge_redundant_words{0}; ///< word entries merge_records
+                                                  ///< dropped (superseded values
+                                                  ///< the accumulated mode would
+                                                  ///< have re-sent)
+  std::atomic<uint64_t> diff_payload_bytes{0};    ///< encoded bytes of diff
+                                                  ///< records + word diffs put
+                                                  ///< on the wire
+  std::atomic<uint64_t> diff_bytes_saved{0};      ///< bytes the RLE encoders
+                                                  ///< shaved off the flat forms
   std::atomic<uint64_t> object_fetches{0};
   std::atomic<uint64_t> page_fetches{0};
   std::atomic<uint64_t> invalidations{0};
@@ -38,6 +47,10 @@ struct NodeStats {
   // large object space machinery
   std::atomic<uint64_t> access_checks{0};
   std::atomic<uint64_t> slow_path_checks{0};
+  std::atomic<uint64_t> alb_hits{0};       ///< accesses served from the per-thread
+                                           ///< lookaside buffer (no shard lock)
+  std::atomic<uint64_t> alb_evictions{0};  ///< ALB slots overwritten by a
+                                           ///< different object (capacity misses)
   std::atomic<uint64_t> shard_lock_acquires{0};  ///< object-directory stripe locks taken
   std::atomic<uint64_t> swap_ins{0};
   std::atomic<uint64_t> swap_outs{0};

@@ -81,26 +81,32 @@ void Node::barrier_leader() {
     // Ablation: merged updates broadcast to every other node (payload
     // encoded once, cloned per peer).
     std::vector<DiffRecord> merged;
+    uint64_t redundant = 0;
     for (ObjectId id : mods) {
       auto lk = dir_.lock_shard(id);
       ObjectMeta& m = dir_.get(id);
-      DiffRecord rec = merge_records(m.local_writes, /*since=*/0);
+      DiffRecord rec = merge_records(m.local_writes, /*since=*/0, &redundant);
       if (!rec.word_idx.empty()) merged.push_back(std::move(rec));
     }
-    outs = CoherenceEngine::build_broadcast_batches(merged, nprocs(), rank_, dense_ok, stats_);
+    stats_.merge_redundant_words.fetch_add(redundant, std::memory_order_relaxed);
+    outs = CoherenceEngine::build_broadcast_batches(merged, nprocs(), rank_, dense_ok,
+                                                    rt_.config().diff_rle, stats_);
   } else {
     // Mixed / write-invalidate: diffs flow to the (possibly migrated)
     // home, and only for multi-writer objects — a single writer becomes
     // the home, moving zero object data.
+    uint64_t redundant = 0;
     for (const auto& e : plan) {
       auto lk = dir_.lock_shard(e.object);
       ObjectMeta* m = dir_.find(e.object);
       if (!m || m->local_writes.empty()) continue;  // not my write
       if (e.new_home == rank_) continue;            // I hold the newest copy
-      DiffRecord rec = merge_records(m->local_writes, /*since=*/0);
+      DiffRecord rec = merge_records(m->local_writes, /*since=*/0, &redundant);
       if (!rec.word_idx.empty()) by_peer[e.new_home].push_back(std::move(rec));
     }
-    outs = CoherenceEngine::build_diff_batches(by_peer, dense_ok, stats_);
+    stats_.merge_redundant_words.fetch_add(redundant, std::memory_order_relaxed);
+    outs = CoherenceEngine::build_diff_batches(by_peer, dense_ok, rt_.config().diff_rle,
+                                               stats_);
   }
   for (auto& msg : outs) ep_.request(std::move(msg));  // acked delivery
 
@@ -166,6 +172,10 @@ std::vector<ObjectId> Node::apply_barrier_plan(const std::vector<BarrierPlanEntr
         stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
       }
       m->share = ShareState::kInvalid;
+      // All app threads are parked in the barrier collective, so no ALB
+      // hit can race this; the bump still defeats their cached entries
+      // the moment they resume (belt to the epoch-stamp suspenders).
+      dir_.bump_generation(e.object);
       // The stale copy (and its word stamps) is retained as a diff base
       // while it stays mapped; valid_epoch still names its global cut.
       m->pending.clear();

@@ -65,7 +65,10 @@ void CoherenceEngine::apply_delivery(ObjectMeta& m, DiffRecord&& rec, int32_t se
     disk_.write_object(rec.object, image);
     m.on_disk = true;
   } else {
+    // A parked update makes the fast-path predicate `pending.empty()`
+    // false: defeat any ALB entry still pointing at the object.
     m.pending.push_back(std::move(rec));
+    dir_.bump_generation(m.id);
   }
   if (m.home == self_rank) {
     m.valid_epoch = std::max(m.valid_epoch, rec_epoch);
@@ -94,6 +97,11 @@ std::vector<DiffRecord> CoherenceEngine::flush_interval(uint32_t flush_epoch, in
       continue;
     }
     m->twin_writers = 0;
+    // The flush clears twinned/twin_writers: a sibling's cached ALB
+    // entry must not skip the re-twin on its next access. (The epoch
+    // stamp already defeats entries at every sync boundary; this bump
+    // closes the window between the epoch advance and this clear.)
+    dir_.bump_generation(id);
     const size_t bytes = word_bytes(*m);
     DiffRecord rec;
     if (m->map == MapState::kMapped) {
@@ -122,7 +130,9 @@ std::vector<DiffRecord> CoherenceEngine::flush_interval(uint32_t flush_epoch, in
     // and stamp per word instead of appending one record per interval.
     m->local_writes.push_back(rec);
     if (m->local_writes.size() > 1) {
-      DiffRecord merged = merge_records(m->local_writes, /*since_epoch=*/0);
+      uint64_t redundant = 0;
+      DiffRecord merged = merge_records(m->local_writes, /*since_epoch=*/0, &redundant);
+      stats_.merge_redundant_words.fetch_add(redundant, std::memory_order_relaxed);
       m->local_writes.clear();
       m->local_writes.push_back(std::move(merged));
     }
@@ -139,7 +149,7 @@ std::vector<DiffRecord> CoherenceEngine::flush_interval(uint32_t flush_epoch, in
 
 std::vector<net::Message> CoherenceEngine::build_diff_batches(
     const std::map<int32_t, std::vector<DiffRecord>>& by_peer, bool allow_dense,
-    NodeStats& stats) {
+    bool allow_rle, NodeStats& stats) {
   std::vector<net::Message> msgs;
   msgs.reserve(by_peer.size());
   for (const auto& [peer, group] : by_peer) {
@@ -149,10 +159,15 @@ std::vector<net::Message> CoherenceEngine::build_diff_batches(
     msg.dst = peer;
     net::Writer w(msg.payload);
     w.u32(static_cast<uint32_t>(group.size()));
+    uint64_t saved = 0;
+    const size_t before = msg.payload.size();
     for (const DiffRecord& rec : group) {
-      encode_record(w, rec, allow_dense);
+      saved += encode_record(w, rec, allow_dense, allow_rle);
       stats.diff_words_sent.fetch_add(rec.words(), std::memory_order_relaxed);
     }
+    stats.diff_payload_bytes.fetch_add(msg.payload.size() - before,
+                                       std::memory_order_relaxed);
+    stats.diff_bytes_saved.fetch_add(saved, std::memory_order_relaxed);
     stats.diff_batch_msgs.fetch_add(1, std::memory_order_relaxed);
     stats.diff_records_batched.fetch_add(group.size(), std::memory_order_relaxed);
     msgs.push_back(std::move(msg));
@@ -162,17 +177,20 @@ std::vector<net::Message> CoherenceEngine::build_diff_batches(
 
 std::vector<net::Message> CoherenceEngine::build_broadcast_batches(
     std::span<const DiffRecord> records, int nprocs, int self_rank, bool allow_dense,
-    NodeStats& stats) {
+    bool allow_rle, NodeStats& stats) {
   std::vector<net::Message> msgs;
   if (records.empty() || nprocs <= 1) return msgs;
   std::vector<uint8_t> payload;
   net::Writer w(payload);
   w.u32(static_cast<uint32_t>(records.size()));
   uint64_t words = 0;
+  uint64_t saved = 0;
+  const size_t before = payload.size();
   for (const DiffRecord& rec : records) {
-    encode_record(w, rec, allow_dense);
+    saved += encode_record(w, rec, allow_dense, allow_rle);
     words += rec.words();
   }
+  const uint64_t payload_bytes = payload.size() - before;
   msgs.reserve(static_cast<size_t>(nprocs - 1));
   for (int peer = 0; peer < nprocs; ++peer) {
     if (peer == self_rank) continue;
@@ -181,6 +199,8 @@ std::vector<net::Message> CoherenceEngine::build_broadcast_batches(
     msg.dst = peer;
     msg.payload = payload;  // byte clone, not a record re-encode
     stats.diff_words_sent.fetch_add(words, std::memory_order_relaxed);
+    stats.diff_payload_bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+    stats.diff_bytes_saved.fetch_add(saved, std::memory_order_relaxed);
     stats.diff_batch_msgs.fetch_add(1, std::memory_order_relaxed);
     stats.diff_records_batched.fetch_add(records.size(), std::memory_order_relaxed);
     msgs.push_back(std::move(msg));

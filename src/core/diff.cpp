@@ -1,5 +1,6 @@
 #include "core/diff.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 
@@ -19,15 +20,50 @@ void store_word(uint8_t* p, size_t word, uint32_t v) { std::memcpy(p + word * 4,
 DiffRecord compute_twin_diff(ObjectId id, uint32_t epoch, std::span<const uint8_t> data,
                              std::span<const uint8_t> twin) {
   LOTS_CHECK_EQ(data.size(), twin.size(), "twin/data size mismatch");
+  LOTS_CHECK_EQ(data.size() % 4, 0u, "twin diff needs word-aligned images");
   DiffRecord rec;
   rec.object = id;
   rec.epoch = epoch;
-  const size_t words = (data.size() + 3) / 4;
-  for (size_t wi = 0; wi < words; ++wi) {
-    const uint32_t dv = load_word(data.data(), wi);
-    if (dv != load_word(twin.data(), wi)) {
-      rec.word_idx.push_back(static_cast<uint32_t>(wi));
-      rec.word_val.push_back(dv);
+  const size_t words = data.size() / 4;
+  const uint8_t* d = data.data();
+  const uint8_t* t = twin.data();
+  // Chunked scan: one memcmp per 16-word block finds the unequal blocks,
+  // then 64-bit lanes narrow to the changed 32-bit words. Same output as
+  // the scalar scan, ~1/16th the compares on a clean prefix.
+  constexpr size_t kBlockWords = 16;
+  size_t wi = 0;
+  while (wi < words) {
+    const size_t block = std::min(kBlockWords, words - wi);
+    if (std::memcmp(d + wi * 4, t + wi * 4, block * 4) == 0) {
+      wi += block;
+      continue;
+    }
+    const size_t end = wi + block;
+    while (wi + 2 <= end) {
+      uint64_t dl, tl;
+      std::memcpy(&dl, d + wi * 4, 8);
+      std::memcpy(&tl, t + wi * 4, 8);
+      if (dl != tl) {
+        const auto lo_d = static_cast<uint32_t>(dl);
+        const auto hi_d = static_cast<uint32_t>(dl >> 32);
+        if (lo_d != static_cast<uint32_t>(tl)) {
+          rec.word_idx.push_back(static_cast<uint32_t>(wi));
+          rec.word_val.push_back(lo_d);
+        }
+        if (hi_d != static_cast<uint32_t>(tl >> 32)) {
+          rec.word_idx.push_back(static_cast<uint32_t>(wi + 1));
+          rec.word_val.push_back(hi_d);
+        }
+      }
+      wi += 2;
+    }
+    if (wi < end) {
+      const uint32_t dv = load_word(d, wi);
+      if (dv != load_word(t, wi)) {
+        rec.word_idx.push_back(static_cast<uint32_t>(wi));
+        rec.word_val.push_back(dv);
+      }
+      ++wi;
     }
   }
   return rec;
@@ -90,11 +126,26 @@ void diff_since(std::span<const uint8_t> data, const uint32_t* word_ts, uint32_t
                 std::vector<uint32_t>& out_idx, std::vector<uint32_t>& out_val,
                 std::vector<uint32_t>& out_ts) {
   const size_t words = (data.size() + 3) / 4;
-  for (size_t wi = 0; wi < words; ++wi) {
-    if (word_ts[wi] > since_epoch) {
-      out_idx.push_back(static_cast<uint32_t>(wi));
-      out_val.push_back(load_word(data.data(), wi));
-      out_ts.push_back(word_ts[wi]);
+  // Block-test the stamps first (a branch-free OR-reduce the compiler
+  // vectorizes), descending to per-word pushes only inside blocks that
+  // actually carry a newer stamp — the common fetch shape is "most of
+  // the object is older than the requester's base".
+  constexpr size_t kBlockWords = 16;
+  size_t wi = 0;
+  while (wi < words) {
+    const size_t end = std::min(wi + kBlockWords, words);
+    uint32_t any = 0;
+    for (size_t j = wi; j < end; ++j) any |= static_cast<uint32_t>(word_ts[j] > since_epoch);
+    if (!any) {
+      wi = end;
+      continue;
+    }
+    for (; wi < end; ++wi) {
+      if (word_ts[wi] > since_epoch) {
+        out_idx.push_back(static_cast<uint32_t>(wi));
+        out_val.push_back(load_word(data.data(), wi));
+        out_ts.push_back(word_ts[wi]);
+      }
     }
   }
 }
@@ -107,33 +158,134 @@ bool is_contiguous_run(const DiffRecord& rec) {
 }
 
 namespace {
+// DiffRecord wire forms (the form byte doubles as the format version:
+// decoders accept every form regardless of the sender's encoder knobs).
 constexpr uint8_t kSparse = 0;
 constexpr uint8_t kDense = 1;
 constexpr uint8_t kSparsePerWordTs = 2;
+constexpr uint8_t kRuns = 3;  ///< format v2: run headers + packed values
+
+// Word-diff wire tags (format v2 made the word diff self-describing).
+constexpr uint8_t kWordFlat = 0;
+constexpr uint8_t kWordRuns = 1;
+
+// Per-run stamp modes for the kRuns / kWordRuns forms.
+constexpr uint8_t kRunEpochTs = 0;    ///< record-level epoch covers the run
+constexpr uint8_t kRunSharedTs = 1;   ///< one u32 stamp covers the run
+constexpr uint8_t kRunPerWordTs = 2;  ///< count stamps follow the values
+
+/// One contiguous ascending index run [idx[begin], idx[begin]+count).
+struct RunSpan {
+  size_t begin = 0;
+  size_t count = 0;
+  bool uniform_ts = true;  ///< every word of the run carries one stamp
+};
+
+/// Splits `idx` into maximal consecutive runs. Returns false when the
+/// indices are not strictly ascending (run encoding needs order; the
+/// callers all produce ascending diffs, but a fuzzer may not).
+bool scan_runs(std::span<const uint32_t> idx, std::span<const uint32_t> ts,
+               std::vector<RunSpan>& runs) {
+  for (size_t i = 0; i < idx.size();) {
+    RunSpan run{i, 1, true};
+    while (run.begin + run.count < idx.size()) {
+      const size_t j = run.begin + run.count;
+      if (idx[j] <= idx[j - 1]) return false;  // unordered input
+      if (idx[j] != idx[j - 1] + 1) break;
+      if (!ts.empty() && ts[j] != ts[run.begin]) run.uniform_ts = false;
+      ++run.count;
+    }
+    runs.push_back(run);
+    i = run.begin + run.count;
+  }
+  // Ordering BETWEEN runs needs no second pass: the extension loop
+  // tested idx[j] <= idx[j-1] on every adjacent pair, including the
+  // pair straddling each run boundary, before breaking the run.
+  return true;
+}
+
+/// Emits the shared run wire layout (start, count, stamp mode, values
+/// [, stamps]) used by both the record kRuns form and the word-diff
+/// kWordRuns tag. `epoch_stamp` selects the record-only mode where the
+/// record-level epoch covers every run (word diffs always carry ts).
+void write_runs(net::Writer& w, std::span<const uint32_t> idx, std::span<const uint32_t> val,
+                std::span<const uint32_t> ts, std::span<const RunSpan> runs,
+                bool epoch_stamp) {
+  w.u32(static_cast<uint32_t>(runs.size()));
+  for (const RunSpan& run : runs) {
+    w.u32(idx[run.begin]);
+    w.u32(static_cast<uint32_t>(run.count));
+    if (epoch_stamp) {
+      w.u8(kRunEpochTs);
+    } else if (run.uniform_ts) {
+      w.u8(kRunSharedTs);
+      w.u32(ts[run.begin]);
+    } else {
+      w.u8(kRunPerWordTs);
+    }
+    w.raw(val.data() + run.begin, run.count * 4);
+    if (!epoch_stamp && !run.uniform_ts) {
+      w.raw(ts.data() + run.begin, run.count * 4);
+    }
+  }
+}
+
+/// Encoded size of one run under the record/word-diff run forms.
+size_t run_wire_bytes(const RunSpan& run, bool have_ts) {
+  size_t n = 4 + 4 + 1 + run.count * 4;  // start + count + mode + values
+  if (have_ts) n += run.uniform_ts ? 4 : run.count * 4;
+  return n;
+}
+
 }  // namespace
 
-void encode_record(net::Writer& w, const DiffRecord& rec, bool allow_dense) {
+size_t encode_record(net::Writer& w, const DiffRecord& rec, bool allow_dense, bool allow_rle) {
   w.u32(rec.object);
   w.u32(rec.epoch);
-  if (!rec.word_ts.empty()) {
-    w.u8(kSparsePerWordTs);
-    w.u32(static_cast<uint32_t>(rec.word_idx.size()));
-    w.raw(rec.word_idx.data(), rec.word_idx.size() * 4);
-    w.raw(rec.word_val.data(), rec.word_val.size() * 4);
-    w.raw(rec.word_ts.data(), rec.word_ts.size() * 4);
-    return;
+  const size_t n = rec.word_idx.size();
+  const bool have_ts = !rec.word_ts.empty();
+
+  // Size of the legacy (pre-RLE) choice, for the saved-bytes report and
+  // the keep-whichever-is-smaller decision.
+  size_t legacy;
+  uint8_t legacy_form;
+  if (have_ts) {
+    legacy = 1 + 4 + n * 12;
+    legacy_form = kSparsePerWordTs;
+  } else if (allow_dense && n >= 4 && is_contiguous_run(rec)) {
+    legacy = 1 + 4 + 4 + n * 4;
+    legacy_form = kDense;
+  } else {
+    legacy = 1 + 4 + n * 8;
+    legacy_form = kSparse;
   }
-  if (allow_dense && rec.word_idx.size() >= 4 && is_contiguous_run(rec)) {
-    w.u8(kDense);
+
+  if (allow_rle && n > 0) {
+    std::vector<RunSpan> runs;
+    if (scan_runs(rec.word_idx, rec.word_ts, runs)) {
+      size_t rle = 1 + 4;
+      for (const RunSpan& run : runs) rle += run_wire_bytes(run, have_ts);
+      if (rle < legacy) {
+        w.u8(kRuns);
+        write_runs(w, rec.word_idx, rec.word_val, rec.word_ts, runs,
+                   /*epoch_stamp=*/!have_ts);
+        return legacy - rle;
+      }
+    }
+  }
+
+  w.u8(legacy_form);
+  if (legacy_form == kDense) {
     w.u32(rec.word_idx.front());
-    w.u32(static_cast<uint32_t>(rec.word_idx.size()));
-    w.raw(rec.word_val.data(), rec.word_val.size() * 4);
-    return;
+    w.u32(static_cast<uint32_t>(n));
+    w.raw(rec.word_val.data(), n * 4);
+    return 0;
   }
-  w.u8(kSparse);
-  w.u32(static_cast<uint32_t>(rec.word_idx.size()));
-  w.raw(rec.word_idx.data(), rec.word_idx.size() * 4);
-  w.raw(rec.word_val.data(), rec.word_val.size() * 4);
+  w.u32(static_cast<uint32_t>(n));
+  w.raw(rec.word_idx.data(), n * 4);
+  w.raw(rec.word_val.data(), n * 4);
+  if (legacy_form == kSparsePerWordTs) w.raw(rec.word_ts.data(), n * 4);
+  return 0;
 }
 
 DiffRecord decode_record(net::Reader& r) {
@@ -150,6 +302,39 @@ DiffRecord decode_record(net::Reader& r) {
     if (n) r.raw(rec.word_val.data(), n * 4);
     return rec;
   }
+  if (form == kRuns) {
+    const uint32_t nruns = r.u32();
+    bool any_ts = false;
+    for (uint32_t k = 0; k < nruns; ++k) {
+      const uint32_t start = r.u32();
+      const uint32_t count = r.u32();
+      const uint8_t mode = r.u8();
+      uint32_t shared_ts = 0;
+      if (mode == kRunSharedTs) shared_ts = r.u32();
+      const size_t base = rec.word_idx.size();
+      rec.word_idx.resize(base + count);
+      rec.word_val.resize(base + count);
+      for (uint32_t i = 0; i < count; ++i) rec.word_idx[base + i] = start + i;
+      if (count) r.raw(rec.word_val.data() + base, count * 4);
+      if (mode != kRunEpochTs && !any_ts) {
+        // First stamped run: back-fill the record epoch for prior runs.
+        any_ts = true;
+        rec.word_ts.assign(base, rec.epoch);
+      }
+      if (any_ts) rec.word_ts.resize(base + count, rec.epoch);
+      if (mode == kRunSharedTs) {
+        for (uint32_t i = 0; i < count; ++i) rec.word_ts[base + i] = shared_ts;
+      } else if (mode == kRunPerWordTs) {
+        if (count) r.raw(rec.word_ts.data() + base, count * 4);
+      } else if (mode != kRunEpochTs) {
+        throw SystemError("diff record: unknown run stamp mode " + std::to_string(mode));
+      }
+    }
+    return rec;
+  }
+  if (form != kSparse && form != kSparsePerWordTs) {
+    throw SystemError("diff record: unknown wire form " + std::to_string(form));
+  }
   const uint32_t n = r.u32();
   rec.word_idx.resize(n);
   rec.word_val.resize(n);
@@ -164,25 +349,74 @@ DiffRecord decode_record(net::Reader& r) {
   return rec;
 }
 
-void encode_word_diff(net::Writer& w, std::span<const uint32_t> idx,
-                      std::span<const uint32_t> val, std::span<const uint32_t> ts) {
+size_t encode_word_diff(net::Writer& w, std::span<const uint32_t> idx,
+                        std::span<const uint32_t> val, std::span<const uint32_t> ts,
+                        bool allow_rle) {
   LOTS_CHECK(idx.size() == val.size() && idx.size() == ts.size(), "word diff arity mismatch");
+  const size_t flat = 1 + 4 + idx.size() * 12;
+  if (allow_rle && !idx.empty()) {
+    std::vector<RunSpan> runs;
+    if (scan_runs(idx, ts, runs)) {
+      size_t rle = 1 + 4;
+      for (const RunSpan& run : runs) rle += run_wire_bytes(run, /*have_ts=*/true);
+      if (rle < flat) {
+        w.u8(kWordRuns);
+        write_runs(w, idx, val, ts, runs, /*epoch_stamp=*/false);
+        return flat - rle;
+      }
+    }
+  }
+  w.u8(kWordFlat);
   w.u32(static_cast<uint32_t>(idx.size()));
   w.raw(idx.data(), idx.size() * 4);
   w.raw(val.data(), val.size() * 4);
   w.raw(ts.data(), ts.size() * 4);
+  return 0;
 }
 
 void decode_word_diff(net::Reader& r, std::vector<uint32_t>& idx, std::vector<uint32_t>& val,
                       std::vector<uint32_t>& ts) {
-  const uint32_t n = r.u32();
-  idx.resize(n);
-  val.resize(n);
-  ts.resize(n);
-  if (n) {
-    r.raw(idx.data(), n * 4);
-    r.raw(val.data(), n * 4);
-    r.raw(ts.data(), n * 4);
+  idx.clear();
+  val.clear();
+  ts.clear();
+  const uint8_t tag = r.u8();
+  if (tag == kWordFlat) {
+    const uint32_t n = r.u32();
+    idx.resize(n);
+    val.resize(n);
+    ts.resize(n);
+    if (n) {
+      r.raw(idx.data(), n * 4);
+      r.raw(val.data(), n * 4);
+      r.raw(ts.data(), n * 4);
+    }
+    return;
+  }
+  if (tag != kWordRuns) {
+    throw SystemError("word diff: unknown wire tag " + std::to_string(tag));
+  }
+  const uint32_t nruns = r.u32();
+  for (uint32_t k = 0; k < nruns; ++k) {
+    const uint32_t start = r.u32();
+    const uint32_t count = r.u32();
+    const uint8_t mode = r.u8();
+    uint32_t shared_ts = 0;
+    if (mode == kRunSharedTs) {
+      shared_ts = r.u32();
+    } else if (mode != kRunPerWordTs) {
+      throw SystemError("word diff: unknown run stamp mode " + std::to_string(mode));
+    }
+    const size_t base = idx.size();
+    idx.resize(base + count);
+    val.resize(base + count);
+    ts.resize(base + count);
+    for (uint32_t i = 0; i < count; ++i) idx[base + i] = start + i;
+    if (count) r.raw(val.data() + base, count * 4);
+    if (mode == kRunSharedTs) {
+      for (uint32_t i = 0; i < count; ++i) ts[base + i] = shared_ts;
+    } else if (count) {
+      r.raw(ts.data() + base, count * 4);
+    }
   }
 }
 

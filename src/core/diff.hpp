@@ -29,6 +29,10 @@ namespace lots::core {
 
 /// Compares `data` against `twin` and returns the record of changed
 /// words (empty record if identical). Does not touch timestamps.
+/// Compares cache-block-sized chunks first (memcmp) and descends to
+/// 64-bit lanes and then 32-bit words only inside unequal chunks, so a
+/// mostly-clean twin costs ~1 compare per 64 B instead of per word; the
+/// output is identical to the scalar word-by-word scan.
 DiffRecord compute_twin_diff(ObjectId id, uint32_t epoch, std::span<const uint8_t> data,
                              std::span<const uint8_t> twin);
 
@@ -52,6 +56,14 @@ void diff_since(std::span<const uint8_t> data, const uint32_t* word_ts, uint32_t
                 std::vector<uint32_t>& out_ts);
 
 // --- wire encoding -------------------------------------------------------
+//
+// Format v2 (run-length encoding, Config::diff_rle): both codecs below
+// can ship contiguous index runs as (start, count, packed values) with a
+// shared stamp when every word of the run carries one epoch, falling
+// back to per-word stamps inside a run and to the flat form for sparse
+// shapes. Encoders CHOOSE the smaller encoding and report the bytes
+// saved; decoders understand every form unconditionally (the leading
+// form/tag byte is the version), so mixed call sites always interoperate.
 
 /// Encodes one record (with a single epoch stamp for all words).
 /// With `allow_dense` (adaptive protocol, paper §5 "sending the whole
@@ -59,14 +71,23 @@ void diff_since(std::span<const uint8_t> data, const uint32_t* word_ts, uint32_t
 /// contiguous run is shipped as (start, count, raw values) at 4 B/word
 /// instead of (index, value) pairs at 8 B/word. Only exact runs qualify:
 /// padding with unchanged words would clobber concurrent writers.
-void encode_record(net::Writer& w, const DiffRecord& rec, bool allow_dense = false);
+/// With `allow_rle` (format v2), MULTI-run records ship as run headers
+/// too, each run with a record-epoch / shared / per-word stamp mode.
+/// Returns the bytes saved versus the legacy encoding (0 when the
+/// legacy form was emitted).
+size_t encode_record(net::Writer& w, const DiffRecord& rec, bool allow_dense = false,
+                     bool allow_rle = false);
 DiffRecord decode_record(net::Reader& r);
 /// True when the record's words form one contiguous ascending run.
 bool is_contiguous_run(const DiffRecord& rec);
 
-/// Encodes a merged diff with per-word stamps (idx/val/ts triples).
-void encode_word_diff(net::Writer& w, std::span<const uint32_t> idx,
-                      std::span<const uint32_t> val, std::span<const uint32_t> ts);
+/// Encodes a merged diff with per-word stamps. Flat form: idx/val/ts
+/// triples at 12 B/word. With `allow_rle`, contiguous runs ship as
+/// (start, count, [shared ts | per-word ts], values) when that is
+/// smaller. Returns the bytes saved versus the flat form.
+size_t encode_word_diff(net::Writer& w, std::span<const uint32_t> idx,
+                        std::span<const uint32_t> val, std::span<const uint32_t> ts,
+                        bool allow_rle = false);
 void decode_word_diff(net::Reader& r, std::vector<uint32_t>& idx, std::vector<uint32_t>& val,
                       std::vector<uint32_t>& ts);
 

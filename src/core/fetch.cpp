@@ -196,6 +196,7 @@ void FetchEngine::land_neighbors(net::Reader& r, std::span<const NeighborReq> wi
     // never overstates what the data words actually hold.
     rec.completes_to_epoch = true;
     nm->pending.push_back(std::move(rec));
+    node_.dir_.bump_generation(nid);  // pending landing: no ALB fast path
     nm->share = ShareState::kValid;
     nm->prefetched = true;
   }
@@ -459,16 +460,28 @@ void FetchEngine::encode_copy(ObjectMeta& obj, uint32_t req_base, bool has_base,
   }
 
   // Prefer the on-demand diff (§3.5) when the requester kept a base and
-  // the diff is actually smaller than the full object.
+  // the ENCODED diff is smaller than the full object — decided on the
+  // actual wire size, so a dense run the RLE encoder ships at ~4 B/word
+  // still wins where the flat 12 B/word estimate would have shipped the
+  // whole object. The lower-bound pre-check (4 B/word + headers) skips
+  // the scratch encode when even a best-case run form cannot win.
   if (has_base) {
     std::vector<uint32_t> idx, val, wts;
     diff_since({data, bytes}, ts, req_base, idx, val, wts);
-    if (idx.size() * 12 < bytes) {
-      w.u8(1);
-      w.u32(obj.valid_epoch);
-      encode_word_diff(w, idx, val, wts);
-      node_.stats_.diff_words_sent.fetch_add(idx.size(), std::memory_order_relaxed);
-      return;
+    if (5 + idx.size() * 4 < bytes) {
+      std::vector<uint8_t> diff_wire;
+      net::Writer dw(diff_wire);
+      const size_t saved = encode_word_diff(dw, idx, val, wts, node_.config().diff_rle);
+      if (diff_wire.size() < bytes) {
+        w.u8(1);
+        w.u32(obj.valid_epoch);
+        w.raw(diff_wire.data(), diff_wire.size());
+        node_.stats_.diff_payload_bytes.fetch_add(diff_wire.size(),
+                                                  std::memory_order_relaxed);
+        node_.stats_.diff_bytes_saved.fetch_add(saved, std::memory_order_relaxed);
+        node_.stats_.diff_words_sent.fetch_add(idx.size(), std::memory_order_relaxed);
+        return;
+      }
     }
   }
   w.u8(0);

@@ -44,15 +44,19 @@ namespace lots::core {
 namespace {
 
 /// Groups records by object and merges each group (last value per word).
-std::vector<DiffRecord> compact_chain(std::vector<DiffRecord>& chain) {
+/// The word entries the merge drops are exactly what the accumulated
+/// mode would have re-sent (NodeStats::merge_redundant_words).
+std::vector<DiffRecord> compact_chain(std::vector<DiffRecord>& chain, NodeStats& stats) {
   std::map<ObjectId, std::vector<DiffRecord>> by_obj;
   for (auto& rec : chain) by_obj[rec.object].push_back(std::move(rec));
   std::vector<DiffRecord> out;
   out.reserve(by_obj.size());
+  uint64_t redundant = 0;
   for (auto& [id, recs] : by_obj) {
-    DiffRecord merged = merge_records(recs, /*since_epoch=*/0);
+    DiffRecord merged = merge_records(recs, /*since_epoch=*/0, &redundant);
     if (!merged.word_idx.empty()) out.push_back(std::move(merged));
   }
+  stats.merge_redundant_words.fetch_add(redundant, std::memory_order_relaxed);
   return out;
 }
 
@@ -115,6 +119,7 @@ void Node::acquire(uint32_t lock_id) {
       if (m && m->home != rank_ && m->share == ShareState::kValid) {
         m->share = ShareState::kInvalid;
         m->pending.clear();
+        dir_.bump_generation(rec.object);  // defeat sibling ALB entries
         stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
       }
       lk.unlock();
@@ -130,6 +135,7 @@ void Node::acquire(uint32_t lock_id) {
           coherence_.apply_incoming(*m, rec);
         } else {
           m->pending.push_back(rec);
+          dir_.bump_generation(rec.object);  // pending landing: no fast path
         }
       }
     }
@@ -180,7 +186,7 @@ void Node::release(uint32_t lock_id) {
     for (auto& rec : recs) tok->chain.push_back(std::move(rec));
     if (rt_.config().diff_mode == DiffMode::kPerWordTimestamp) {
       // §3.5: keep only the latest value of every field.
-      tok->chain = compact_chain(tok->chain);
+      tok->chain = compact_chain(tok->chain, stats_);
     }
   }
 
@@ -223,7 +229,8 @@ void Node::push_release_updates_home_based(LockToken& tok, std::vector<DiffRecor
     if (home != rank_) by_home[home].push_back(std::move(rec));
   }
   auto outs = CoherenceEngine::build_diff_batches(
-      by_home, rt_.config().protocol == ProtocolMode::kAdaptive, stats_);
+      by_home, rt_.config().protocol == ProtocolMode::kAdaptive, rt_.config().diff_rle,
+      stats_);
   for (auto& msg : outs) ep_.request(std::move(msg));  // acked; no locks held
 }
 
@@ -314,10 +321,15 @@ void Node::send_grant_locked(uint32_t lock_id, int32_t to, uint32_t /*acq_epoch*
   w.u32(tok.epoch);
   w.u8(rt_.config().protocol == ProtocolMode::kWriteInvalidateOnly ? 1 : 0);
   w.u32(static_cast<uint32_t>(tok.chain.size()));
+  const size_t before = g.payload.size();
+  uint64_t saved = 0;
   for (const auto& rec : tok.chain) {
-    encode_record(w, rec, rt_.config().protocol == ProtocolMode::kAdaptive);
+    saved += encode_record(w, rec, rt_.config().protocol == ProtocolMode::kAdaptive,
+                           rt_.config().diff_rle);
     stats_.diff_words_sent.fetch_add(rec.words(), std::memory_order_relaxed);
   }
+  stats_.diff_payload_bytes.fetch_add(g.payload.size() - before, std::memory_order_relaxed);
+  stats_.diff_bytes_saved.fetch_add(saved, std::memory_order_relaxed);
   ep_.send(std::move(g));
 }
 

@@ -116,7 +116,12 @@ struct ObjectMeta {
   /// invalidation that finds it still set counts prefetch_wasted.
   /// Guarded by the shard lock.
   bool prefetched = false;
-  uint64_t access_stamp = 0;  ///< pinning / LRU recency (paper §3.3)
+  /// Pinning / LRU recency (paper §3.3). Atomic because an ALB hit
+  /// refreshes it WITHOUT the shard lock (the pin clock must keep
+  /// ticking on cached accesses or the eviction recency window sees a
+  /// frozen world); all other readers/writers hold the lock. Relaxed
+  /// everywhere — it is a heuristic clock, not a synchronization edge.
+  std::atomic<uint64_t> access_stamp{0};
   uint32_t valid_epoch = 0;   ///< copy is complete up to this sync epoch
 
   /// Local writes since the last barrier (pruned there). Kept coalesced:
@@ -173,6 +178,22 @@ class ObjectDirectory {
   /// valid: erases happen only in the app-thread collective free path).
   [[nodiscard]] std::unique_lock<std::mutex> lock_shard(ObjectId id) {
     return lock_index(shard_of(id));
+  }
+
+  /// Monotonic per-shard invalidation generation backing the per-thread
+  /// access lookaside buffers (Node::access fast path): bumped — always
+  /// under the shard's lock — whenever an object of the shard leaves the
+  /// fast-path-eligible state (unmap/swap-out, share invalidation, a
+  /// pending update landing, a twin flush, an eviction about to unmap).
+  /// ALB entries snapshot the cell and revalidate with one load; a
+  /// mismatch sends the access back through the locked path. The cell
+  /// pointer is stable for the directory's lifetime, so entries may
+  /// cache it and skip the shard_of() division on the hit path.
+  [[nodiscard]] const std::atomic<uint64_t>* generation_cell(ObjectId id) const {
+    return &shards_[shard_of(id)]->gen;
+  }
+  void bump_generation(ObjectId id) {
+    shards_[shard_of(id)]->gen.fetch_add(1, std::memory_order_release);
   }
 
   /// The shard's condition variable, used with the shard lock to wait
@@ -255,6 +276,7 @@ class ObjectDirectory {
   struct Shard {
     mutable std::mutex mu;
     std::condition_variable cv;  ///< in-flight mapper hand-off (see shard_cv)
+    std::atomic<uint64_t> gen{0};  ///< ALB invalidation epoch (see generation_cell)
     std::unordered_map<ObjectId, ObjectMeta> objects;
   };
 

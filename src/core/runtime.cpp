@@ -145,7 +145,7 @@ Node& Runtime::node(int rank) {
 }
 
 void Runtime::aggregate_stats(NodeStats& out) const {
-  for (const auto& n : nodes_) out.accumulate(n->stats_);
+  for (const auto& n : nodes_) out.accumulate(n->stats());
 }
 
 uint64_t Runtime::max_modeled_wait_us() const {
@@ -158,7 +158,10 @@ uint64_t Runtime::max_modeled_wait_us() const {
 }
 
 void Runtime::reset_stats() {
-  for (auto& n : nodes_) n->stats_.reset();
+  for (auto& n : nodes_) {
+    n->fold_alb_stats();  // pre-reset hits belong to the epoch being dropped
+    n->stats_.reset();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -177,9 +180,41 @@ Node::Node(Runtime& rt, int rank, std::unique_ptr<net::Transport> transport)
       coherence_(dir_, space_, *disk_, stats_),
       fetch_(*this),
       group_(rt.config().threads_per_node),
-      stmt_pins_(static_cast<size_t>(rt.config().threads_per_node)) {
+      stmt_pins_(static_cast<size_t>(rt.config().threads_per_node)),
+      albs_(rt.config().alb ? static_cast<size_t>(rt.config().threads_per_node) : 0),
+      alb_on_(rt.config().alb),
+      alb_mask_(static_cast<uint32_t>(rt.config().alb_size - 1)) {
+  for (Alb& a : albs_) a.slots.resize(rt.config().alb_size);
   dir_.set_stats(&stats_);
   ep_.start([this](net::Message&& m) { dispatch(std::move(m)); });
+}
+
+void Node::fold_alb_stats() {
+  std::lock_guard g(alb_fold_mu_);
+  for (Alb& a : albs_) {
+    const uint64_t h = a.hits.load(std::memory_order_relaxed);
+    const uint64_t fresh = h - a.folded;
+    if (!fresh) continue;
+    a.folded = h;
+    stats_.alb_hits.fetch_add(fresh, std::memory_order_relaxed);
+    // access_checks stays the TOTAL check count: the locked path counts
+    // itself inline, hits arrive here.
+    stats_.access_checks.fetch_add(fresh, std::memory_order_relaxed);
+  }
+}
+
+void Node::alb_insert(ObjectMeta& m, uint8_t* data) {
+  AlbEntry& e =
+      albs_[static_cast<size_t>(Runtime::thread_index())].slots[m.id & alb_mask_];
+  if (e.id != kNullObject && e.id != m.id) {
+    stats_.alb_evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::atomic<uint64_t>* cell = dir_.generation_cell(m.id);
+  // Both snapshots are taken under the object's shard lock; every bump
+  // of this cell happens under the same lock, so relaxed loads are
+  // ordered by the mutex.
+  e = AlbEntry{m.id, data, &m, cell, cell->load(std::memory_order_relaxed),
+               epoch_.load(std::memory_order_relaxed)};
 }
 
 void Node::stmt_pin(ObjectId id) {
@@ -292,7 +327,6 @@ size_t Node::touch(std::span<const ObjectId> ids) { return fetch_.fetch_many(ids
 // ---------------------------------------------------------------------------
 
 void* Node::access(ObjectId id) {
-  stats_.access_checks.fetch_add(1, std::memory_order_relaxed);
   // Scope attribution: every access check stamps its thread into the
   // object's twin_writers, so this thread's release flushes this twin —
   // a lock-guarded write ships with its own lock's token even when a
@@ -300,10 +334,39 @@ void* Node::access(ObjectId id) {
   const uint64_t tbit = twin_writer_bit(Runtime::thread_index());
   stmt_pin(id);  // hard-pin: no sibling eviction may unmap this object
                  // while our statement still holds its reference
+  if (alb_on_) {
+    // Lookaside hit: this thread validated the object earlier in the
+    // SAME interval (epoch match) and nothing in its shard has left the
+    // fast-path-eligible state since (generation match) — the shard
+    // lock, hash lookup and twin bookkeeping are all redundant. The
+    // seq_cst fence orders the pin store above BEFORE the generation
+    // load: an evictor bumps the generation and THEN rechecks the pin
+    // rings (alloc_dmm_or_evict), so either we see its bump and miss,
+    // or it sees our pin and skips the victim — never both blind.
+    Alb& alb = albs_[static_cast<size_t>(Runtime::thread_index())];
+    const AlbEntry& e = alb.slots[id & alb_mask_];
+    if (e.id == id && e.epoch == epoch_.load(std::memory_order_relaxed)) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (e.gen->load(std::memory_order_relaxed) == e.gen_val) {
+        // Refresh the LRU stamp to the newest tick WITHOUT advancing
+        // the clock (no RMW): hits keep hot objects looking recent,
+        // and choose_victim's oldest-fallback covers the slow clock.
+        e.meta->access_stamp.store(dir_.newest_stamp(), std::memory_order_relaxed);
+        // Single-writer hit counter: folded into NodeStats::alb_hits /
+        // access_checks by fold_alb_stats() — no lock-prefixed RMW here.
+        alb.hits.store(alb.hits.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+        return e.data;
+      }
+    }
+  }
+  stats_.access_checks.fetch_add(1, std::memory_order_relaxed);
   auto lk = dir_.lock_shard(id);
   ObjectMeta& m = dir_.get(id);
   for (;;) {
-    if (rt_.config().large_object_space) m.access_stamp = dir_.stamp();
+    if (rt_.config().large_object_space) {
+      m.access_stamp.store(dir_.stamp(), std::memory_order_relaxed);
+    }
     if (!m.inflight && m.map == MapState::kMapped && m.share == ShareState::kValid &&
         m.pending.empty() && m.twinned) {
       if (m.prefetched) {
@@ -314,7 +377,9 @@ void* Node::access(ObjectId id) {
         stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
       }
       m.twin_writers |= tbit;
-      return space_.dmm(m.dmm_offset);
+      uint8_t* data = space_.dmm(m.dmm_offset);
+      if (alb_on_) alb_insert(m, data);
+      return data;
     }
     if (!m.inflight) break;
     stats_.inflight_waits.fetch_add(1, std::memory_order_relaxed);
@@ -342,7 +407,9 @@ void* Node::access(ObjectId id) {
   if (!m.pending.empty()) coherence_.apply_pending(m);
   if (!m.twinned) coherence_.ensure_twin(m, Runtime::thread_index());
   m.twin_writers |= tbit;
-  return space_.dmm(m.dmm_offset);
+  uint8_t* data = space_.dmm(m.dmm_offset);
+  if (alb_on_) alb_insert(m, data);
+  return data;
 }
 
 // ---------------------------------------------------------------------------
@@ -429,7 +496,7 @@ size_t Node::alloc_dmm_or_evict(ObjectMeta& target, std::unique_lock<std::mutex>
       // access reference); the recency window below stays as the
       // paper's soft LRU protection on top.
       if (stmt_pinned(m.id)) return;
-      cands.push_back({m.id, word_bytes(m), m.access_stamp});
+      cands.push_back({m.id, word_bytes(m), m.access_stamp.load(std::memory_order_relaxed)});
     });
     mem::EvictionConfig ecfg;
     ecfg.pin_window *= static_cast<uint64_t>(app_threads());
@@ -457,7 +524,17 @@ size_t Node::alloc_dmm_or_evict(ObjectMeta& target, std::unique_lock<std::mutex>
       ObjectMeta& v = dir_.get(static_cast<ObjectId>(*victim));
       // Re-validate under the victim's shard lock: a sibling thread may
       // have begun evicting or touching it since the unlocked scan.
-      if (v.inflight || v.map != MapState::kMapped) {
+      // Defeat ALB entries for the victim, THEN recheck the statement
+      // pins: paired with the hit path's pin-store -> fence -> generation
+      // -load order, the bump-fence-recheck below guarantees that a
+      // lock-free hit racing this eviction either misses (it saw the
+      // bump) or left a pin this recheck sees (store-buffer argument —
+      // the two seq_cst fences forbid both sides reading the old value).
+      // A pin that appeared since the unlocked scan sampled the rings
+      // would otherwise be unmapped under a live statement reference.
+      dir_.bump_generation(static_cast<ObjectId>(*victim));
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (v.inflight || v.map != MapState::kMapped || stmt_pinned(v.id)) {
         stats_.evict_races.fetch_add(1, std::memory_order_relaxed);
       } else {
         v.inflight = true;
@@ -502,6 +579,9 @@ void Node::swap_out(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
     const size_t off = m.dmm_offset;
     m.map = MapState::kUnmapped;
     m.dmm_offset = 0;
+    // The mapping dies here, BEFORE the lock is released around the spill
+    // request: defeat cached ALB pointers in the same breath.
+    dir_.bump_generation(m.id);
     net::Message req;
     req.type = net::MsgType::kSwapPut;
     req.dst = swap_buddy();
@@ -526,6 +606,7 @@ void Node::swap_out(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
 
 void Node::drop_mapping(ObjectMeta& m, bool keep_disk_image) {
   if (m.map == MapState::kMapped) {
+    dir_.bump_generation(m.id);  // defeat cached ALB pointers first
     space_.discard(m.dmm_offset, word_bytes(m));
     dmm_.free(m.dmm_offset);
     m.map = MapState::kUnmapped;

@@ -124,7 +124,14 @@ class Node {
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int nprocs() const { return ep_.nprocs(); }
   [[nodiscard]] const Config& config() const;
-  NodeStats& stats() { return stats_; }
+  /// Node counters. Reconciles the per-thread ALB hit counters into
+  /// NodeStats first, so alb_hits/access_checks are current as of the
+  /// call (hits are counted thread-locally to keep the lookaside hit
+  /// path free of lock-prefixed read-modify-writes).
+  NodeStats& stats() {
+    fold_alb_stats();
+    return stats_;
+  }
   [[nodiscard]] uint32_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
   [[nodiscard]] int app_threads() const { return group_.parties(); }
   storage::DiskStore& disk() { return *disk_; }
@@ -132,9 +139,15 @@ class Node {
   ObjectDirectory& directory() { return dir_; }
 
   /// Test/bench hook: drop the object's DMM mapping (swap-out) so the
-  /// next access exercises the disk path. Safe to race against sibling
-  /// app threads: takes the shard lock, waits out an in-flight mapping
-  /// and holds the in-flight guard itself for the swap-out.
+  /// next access exercises the disk path. Keeps the MAPPING STATE safe
+  /// to race against sibling app threads (takes the shard lock, waits
+  /// out an in-flight mapping and holds the in-flight guard itself for
+  /// the swap-out) but — unlike real eviction, which rechecks the
+  /// statement-pin rings after its generation bump — it does NOT honor
+  /// statement pins: a sibling still dereferencing a pointer it got
+  /// from access() (locked or ALB path) races the unmap. Callers must
+  /// not aim it at an object a concurrent sibling is using, exactly as
+  /// the mt_access chaos schedule does.
   void force_swap_out(ObjectId id);
   /// Test hook: current mapping state. Taken under the shard lock and
   /// outside any in-flight transition, so the answer is a settled state.
@@ -274,6 +287,52 @@ class Node {
   void stmt_pin(ObjectId id);
   [[nodiscard]] bool stmt_pinned(ObjectId id) const;
 
+  /// Access Lookaside Buffer (Config::alb): one small direct-mapped,
+  /// thread-PRIVATE cache per app thread mapping ObjectId to the mapped
+  /// data pointer for objects this thread already validated in the
+  /// current interval. A hit skips the shard lock, the hash lookup and
+  /// the twin bookkeeping entirely (the populating locked access already
+  /// OR'd this thread's twin_writers bit; the bit only clears with a
+  /// flush, which defeats the entry). Entries are defeated by
+  ///  * the owning shard's generation counter (bumped under the shard
+  ///    lock on unmap/swap-out, invalidation, pending landings, twin
+  ///    flushes and by an eviction about to unmap — see
+  ///    ObjectDirectory::generation_cell), and
+  ///  * any interval-epoch change (acquire/release/barrier): entries
+  ///    stamp the node epoch at creation, which is a whole-ALB flush at
+  ///    every synchronization boundary without touching N threads.
+  /// Hits still stamp the caller's stmt_pin ring FIRST; the seq_cst
+  /// fence between the pin store and the generation load pairs with the
+  /// evictor's bump-then-recheck (alloc_dmm_or_evict), so the eviction
+  /// hard-pin guarantee survives lock-free hits (store-buffer/Dekker
+  /// argument, documented at the recheck).
+  struct AlbEntry {
+    ObjectId id = kNullObject;
+    uint8_t* data = nullptr;
+    /// Meta address (stable: the directory erases only in the collective
+    /// free path) — hits refresh the pin/LRU stamp through it so the
+    /// recency clock keeps ticking without the shard lock.
+    ObjectMeta* meta = nullptr;
+    const std::atomic<uint64_t>* gen = nullptr;  ///< owning shard's counter
+    uint64_t gen_val = 0;                        ///< snapshot at insert
+    uint32_t epoch = 0;                          ///< node epoch at insert
+  };
+  struct Alb {
+    std::vector<AlbEntry> slots;
+    /// Hit counter for this thread. Single-writer: the owning thread
+    /// bumps it with a plain load+store (no lock-prefixed RMW on the
+    /// hit path); fold_alb_stats() reconciles it into NodeStats
+    /// (alb_hits AND access_checks, which stays the TOTAL check count).
+    std::atomic<uint64_t> hits{0};
+    uint64_t folded = 0;  ///< portion already in NodeStats (alb_fold_mu_)
+  };
+  /// Publishes the calling thread's entry for `m` (caller holds the
+  /// object's shard lock and just validated the full fast-path state).
+  void alb_insert(ObjectMeta& m, uint8_t* data);
+  /// Folds every thread's ALB hit counter into NodeStats (idempotent,
+  /// incremental; serialized on alb_fold_mu_).
+  void fold_alb_stats();
+
   Runtime& rt_;
   int rank_;
   NodeStats stats_;
@@ -291,6 +350,12 @@ class Node {
 
   /// One statement-pin ring per app thread (see stmt_pin above).
   std::vector<StmtPins> stmt_pins_;
+
+  /// One ALB per app thread (see AlbEntry above); empty when disabled.
+  std::vector<Alb> albs_;
+  bool alb_on_ = false;
+  uint32_t alb_mask_ = 0;   ///< alb_size - 1 (power of two)
+  std::mutex alb_fold_mu_;  ///< serializes fold_alb_stats (leaf mutex)
 
   /// Guards the synchronization-protocol state below (lock tokens,
   /// manager queues, barrier master bookkeeping, the local per-lock

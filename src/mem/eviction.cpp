@@ -14,6 +14,16 @@ std::optional<uint64_t> choose_victim(std::span<const VictimCandidate> candidate
   for (const auto& c : candidates) {
     if (c.access_stamp <= pin_floor) pool.push_back(&c);
   }
+  if (pool.empty()) {
+    // Every candidate sits inside the recency window. The window is a
+    // SOFT heuristic — the runtime's statement-pin rings are the hard
+    // guarantee and already excluded truly pinned objects from
+    // `candidates` — so fall back to the oldest candidates instead of
+    // declaring the world unevictable: with the access lookaside buffer
+    // only cache MISSES tick the pin clock, and a hit-heavy phase can
+    // leave the entire mapped set "recent" on a nearly frozen clock.
+    for (const auto& c : candidates) pool.push_back(&c);
+  }
   if (pool.empty()) return std::nullopt;
 
   // LRU pre-filter: the lru_window oldest candidates.

@@ -34,13 +34,18 @@ struct EvictionConfig {
 };
 
 /// Picks the object to evict to help satisfy an allocation of `need`
-/// bytes, or nullopt if every candidate is pinned (the paper's §5 noted
-/// failure mode: all mapped objects used in one statement).
+/// bytes, or nullopt when there are no candidates at all (the paper's
+/// §5 noted failure mode — all mapped objects used in one statement —
+/// is reported by the CALLER, whose statement-pin rings filter the
+/// candidate list; see Node::stmt_pinned).
 ///
-/// Strategy: restrict to unpinned candidates, take the `lru_window`
-/// oldest, and among those prefer the smallest block >= need (best fit);
-/// when none is large enough, take the largest (frees the most space
-/// toward coalescing a hole).
+/// Strategy: restrict to candidates outside the recency window, take
+/// the `lru_window` oldest, and among those prefer the smallest block
+/// >= need (best fit); when none is large enough, take the largest
+/// (frees the most space toward coalescing a hole). When EVERY
+/// candidate is inside the recency window the filter is waived — the
+/// window is a soft LRU heuristic on a clock that only access-lookaside
+/// MISSES advance, not a correctness guarantee.
 std::optional<uint64_t> choose_victim(std::span<const VictimCandidate> candidates, size_t need,
                                       uint64_t newest_stamp, const EvictionConfig& cfg = {});
 

@@ -108,6 +108,11 @@ class Writer {
     out_.insert(out_.end(), b, b + n);
   }
 
+  /// Bytes written to the underlying buffer so far (includes anything
+  /// the buffer held before this writer was attached) — lets callers
+  /// meter the encoded size of a section without owning the buffer.
+  [[nodiscard]] size_t size() const { return out_.size(); }
+
  private:
   std::vector<uint8_t>& out_;
 };

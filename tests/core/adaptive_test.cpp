@@ -95,8 +95,14 @@ TEST(Adaptive, AllAppsPatternsCorrect) {
 TEST(Adaptive, DenseEncodingShrinksContiguousDiffs) {
   // Full-object updates produce contiguous diff runs; adaptive ships
   // them as raw ranges (~4 B/word) instead of (idx,val) pairs (~8).
-  auto run_mode = [](ProtocolMode mode) {
-    Runtime rt(cfg(mode));
+  // Run-length encoding (Config::diff_rle) gives EVERY mode that win
+  // now, so the legacy dense-vs-sparse comparison is made with RLE off;
+  // a second comparison pins that RLE recovers the same saving for the
+  // plain mixed protocol.
+  auto run_mode = [](ProtocolMode mode, bool rle) {
+    Config c = cfg(mode);
+    c.diff_rle = rle;
+    Runtime rt(c);
     rt.run([](int) {
       Pointer<int> obj;
       obj.alloc(4096);
@@ -112,9 +118,11 @@ TEST(Adaptive, DenseEncodingShrinksContiguousDiffs) {
     rt.aggregate_stats(total);
     return total.bytes_sent.load();
   };
-  const uint64_t mixed_bytes = run_mode(ProtocolMode::kMixed);
-  const uint64_t adaptive_bytes = run_mode(ProtocolMode::kAdaptive);
+  const uint64_t mixed_bytes = run_mode(ProtocolMode::kMixed, /*rle=*/false);
+  const uint64_t adaptive_bytes = run_mode(ProtocolMode::kAdaptive, /*rle=*/false);
   EXPECT_LT(adaptive_bytes, mixed_bytes * 3 / 4);
+  const uint64_t mixed_rle_bytes = run_mode(ProtocolMode::kMixed, /*rle=*/true);
+  EXPECT_LT(mixed_rle_bytes, mixed_bytes * 3 / 4);
 }
 
 }  // namespace

@@ -62,10 +62,11 @@ constexpr int kRounds = 5;
 /// is a function of the seed alone, independent of the process/thread
 /// split. Chaos swap-outs use a per-worker stream: they change
 /// scheduling, never content.
-uint64_t run_schedule(int nprocs, int threads, uint64_t seed, bool chaos) {
+uint64_t run_schedule(int nprocs, int threads, uint64_t seed, bool chaos, bool alb = true) {
   Config c;
   c.nprocs = nprocs;
   c.threads_per_node = threads;
+  c.alb = alb;  // default ON: chaos force_swap_outs race cached ALB hits
   c.dmm_bytes = 512u << 10;  // maps ~64 of the 96 objects: swap pressure
   core::Runtime rt(c);
   uint64_t digest = 0;
@@ -193,6 +194,27 @@ TEST(MtAccess, RandomizedStressMatchesSingleThreadedReference) {
   // And the reference shape itself with chaos, closing the loop.
   EXPECT_EQ(run_schedule(6, 1, seed, true), want)
       << "chaos changed single-threaded content (seed " << seed << ")";
+}
+
+TEST(MtAccess, AlbStressedByChaosMatchesAlbOffReference) {
+  // The access lookaside buffer under maximum hostility: sibling
+  // force_swap_outs and evictions race cached hits on 2 nodes × 3 app
+  // threads (every chaos swap-out bumps the victim's shard generation
+  // while sibling threads replay hits on it), and the final bits must
+  // equal the same seeded schedule with the ALB disabled entirely. A
+  // single stale hit — a read through a dead mapping or a write into a
+  // recycled DMM block — diverges the digest.
+  const uint64_t seed = pick_seed();
+  std::printf("[ mt_access/alb ] seed=%llu (replay: LOTS_MT_SEED=%llu)\n",
+              static_cast<unsigned long long>(seed), static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+  SCOPED_TRACE("replay with LOTS_MT_SEED=" + std::to_string(seed));
+  const uint64_t want = run_schedule(2, 3, seed, /*chaos=*/true, /*alb=*/false);
+  ASSERT_NE(want, 0u);
+  EXPECT_EQ(run_schedule(2, 3, seed, /*chaos=*/true, /*alb=*/true), want)
+      << "ALB-enabled chaos run diverged from the ALB-off run (seed " << seed << ")";
+  EXPECT_EQ(run_schedule(1, 6, seed, /*chaos=*/true, /*alb=*/true), want)
+      << "ALB-enabled 1x6 chaos run diverged (seed " << seed << ")";
 }
 
 TEST(MtAccess, SameObjectContendedFaultInFromManyThreads) {

@@ -29,7 +29,12 @@ TEST(Sharding, ConfigControlsStripeCount) {
 }
 
 TEST(Sharding, ShardLockAcquisitionsAreCounted) {
-  Runtime rt(shard_cfg(1, 8));
+  // With the ALB disabled, every access check takes exactly one stripe
+  // lock; with it enabled (the default), repeat accesses hit the
+  // lookaside buffer and skip the lock entirely.
+  Config locked = shard_cfg(1, 8);
+  locked.alb = false;
+  Runtime rt(locked);
   rt.run([](int) {
     Pointer<int> a;
     a.alloc(64);
@@ -37,8 +42,20 @@ TEST(Sharding, ShardLockAcquisitionsAreCounted) {
     a[1] = 2;
     a[2] = 3;
   });
-  // Every access check takes exactly one stripe lock.
   EXPECT_GE(rt.node(0).stats().shard_lock_acquires.load(), 3u);
+  EXPECT_EQ(rt.node(0).stats().alb_hits.load(), 0u);
+
+  Runtime rt_alb(shard_cfg(1, 8));
+  rt_alb.run([](int) {
+    Pointer<int> a;
+    a.alloc(64);
+    a[0] = 1;
+    a[1] = 2;
+    a[2] = 3;
+  });
+  EXPECT_GE(rt_alb.node(0).stats().alb_hits.load(), 2u);
+  EXPECT_LT(rt_alb.node(0).stats().shard_lock_acquires.load(),
+            rt.node(0).stats().shard_lock_acquires.load());
 }
 
 TEST(Sharding, DirectoryStripesSpreadObjects) {
