@@ -1,86 +1,197 @@
-// §3.6 / §5 micro — transport layer: codec, the 64 KB fragmentation
-// bottleneck (store-and-rebuild before decode), in-process fabric RTT
-// and the real UDP path.
-#include <benchmark/benchmark.h>
-
+// §3.6 / §5 micro — wire-speed transport self-gate.
+//
+// Two measured contrasts on the real loopback-UDP transport, each
+// pitting the tuned configuration (socket striping + batched syscalls +
+// coalesced ACKs) against a baseline cell (stripes=1, batch=1) that
+// degenerates to the historical one-syscall-per-datagram transport:
+//
+//   flood     4 sender threads blast small messages on 4 flows.
+//             GATE: tuned msgs/sec >= 2x baseline.
+//   syscalls  large (512 KB, ~9-datagram) messages, the batchable
+//             shape: one sendmmsg ships a whole message, recvmmsg
+//             drains it, one cumulative ACK replaces nine.
+//             GATE: tuned syscalls/message <= 1/3 of baseline
+//             (counted from TransportStats on both ends, not modeled).
+//
+// Plus an ungated ping-pong RTT row for the BENCH_history trajectory.
+// Prints NET_MICRO_OK and exits 0 only when every gate holds; CI greps
+// for the token.
+#include <cstdio>
 #include <thread>
+#include <vector>
 
+#include "bench_util.hpp"
+#include "common/clock.hpp"
 #include "net/endpoint.hpp"
-#include "net/fragment.hpp"
-#include "net/inproc.hpp"
 #include "net/udp.hpp"
 
 namespace {
 
 using namespace lots::net;
 
-void BM_MessageCodec(benchmark::State& state) {
-  Message m;
-  m.type = MsgType::kObjData;
-  m.payload.assign(static_cast<size_t>(state.range(0)), 0x5A);
-  for (auto _ : state) {
-    auto wire = encode_message(m);
-    benchmark::DoNotOptimize(decode_message(wire));
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
-}
-BENCHMARK(BM_MessageCodec)->Arg(256)->Arg(4096)->Arg(65536);
-
-void BM_FragmentReassemble(benchmark::State& state) {
-  // The paper's §5 bottleneck: "the receiver side must receive all the
-  // message fragments in order to rebuild the original message before
-  // decoding" — cost grows with message size past 64 KB.
-  Message m;
-  m.type = MsgType::kObjData;
-  m.src = 1;
-  m.payload.assign(static_cast<size_t>(state.range(0)), 0x7E);
-  const auto wire = encode_message(m);
-  for (auto _ : state) {
-    Reassembler r;
-    std::optional<Message> out;
-    for (const auto& frag : fragment(wire, 1)) out = r.feed(1, frag);
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
-}
-BENCHMARK(BM_FragmentReassemble)->Arg(32 * 1024)->Arg(128 * 1024)->Arg(512 * 1024);
-
-void BM_InprocPingPong(benchmark::State& state) {
-  InProcFabric fab(2, lots::NetModel{});
-  Endpoint a(fab.open(0)), b(fab.open(1));
-  a.start(nullptr);
-  b.start([&](Message&& m) { b.reply(m, Message{.type = MsgType::kReply}); });
-  Message req;
-  req.type = MsgType::kPing;
-  req.dst = 1;
-  req.payload.assign(static_cast<size_t>(state.range(0)), 1);
-  for (auto _ : state) {
-    Message copy = req;
-    benchmark::DoNotOptimize(a.request(std::move(copy)));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
-}
-BENCHMARK(BM_InprocPingPong)->Arg(64)->Arg(4096);
-
-void BM_UdpPingPong(benchmark::State& state) {
+uint16_t next_base_port() {
   static std::atomic<uint16_t> port{29000};
-  const uint16_t base = port.fetch_add(8);
-  Endpoint a(std::make_unique<UdpTransport>(0, 2, base));
-  Endpoint b(std::make_unique<UdpTransport>(1, 2, base));
+  return port.fetch_add(32);
+}
+
+Message make_msg(int dst, size_t bytes, uint64_t flow) {
+  Message m;
+  m.type = MsgType::kObjData;
+  m.dst = dst;
+  m.seq = 1;
+  m.flow = flow;
+  m.payload.assign(bytes, 0x5A);
+  return m;
+}
+
+/// Total send+recv syscalls both transports performed so far.
+uint64_t syscalls(const UdpTransport& a, const UdpTransport& b) {
+  return a.transport_stats().send_syscalls.load() + a.transport_stats().recv_syscalls.load() +
+         b.transport_stats().send_syscalls.load() + b.transport_stats().recv_syscalls.load();
+}
+
+struct CellResult {
+  double wall_s = 0;
+  double msgs_per_s = 0;
+  double syscalls_per_msg = 0;
+};
+
+/// One measured cell: `threads` senders push `per_thread` messages of
+/// `bytes` each from a to b (thread t uses flow t); the main thread
+/// drains b. Batch/stripe knobs select baseline vs tuned.
+CellResult run_cell(const char* bench_case, const char* cell, size_t stripes, size_t batch,
+                    int threads, int per_thread, size_t bytes) {
+  const uint16_t port = next_base_port();
+  UdpTransport a(0, 2, port, /*window=*/32, /*rto_us=*/50'000, stripes);
+  UdpTransport b(1, 2, port, 32, 50'000, stripes);
+  a.set_send_batch(batch);
+  b.set_send_batch(batch);
+
+  // Warm the path (ARP-free loopback, but first-touch buffers etc.).
+  a.send(make_msg(1, 64, 0));
+  if (!b.recv(5'000'000)) {
+    std::fprintf(stderr, "net_micro: warmup message lost\n");
+    std::exit(1);
+  }
+  const uint64_t sys0 = syscalls(a, b);
+
+  const int total = threads * per_thread;
+  const uint64_t t0 = lots::now_us();
+  std::vector<std::thread> senders;
+  senders.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    senders.emplace_back([&, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        a.send(make_msg(1, bytes, static_cast<uint64_t>(t)));
+      }
+    });
+  }
+  for (int i = 0; i < total; ++i) {
+    if (!b.recv(30'000'000)) {
+      std::fprintf(stderr, "net_micro: message %d/%d lost on loopback\n", i, total);
+      std::exit(1);
+    }
+  }
+  for (auto& s : senders) s.join();
+  const uint64_t t1 = lots::now_us();
+
+  CellResult r;
+  r.wall_s = static_cast<double>(t1 - t0) / 1e6;
+  r.msgs_per_s = total / (r.wall_s > 0 ? r.wall_s : 1e-9);
+  r.syscalls_per_msg = static_cast<double>(syscalls(a, b) - sys0) / total;
+
+  std::printf("%-10s %-10s stripes=%zu batch=%-3zu msgs=%-6d bytes=%-7zu  %10.0f msg/s  "
+              "%6.2f syscalls/msg  acks_coalesced=%llu\n",
+              bench_case, cell, stripes, batch, total, bytes, r.msgs_per_s, r.syscalls_per_msg,
+              static_cast<unsigned long long>(b.transport_stats().acks_coalesced.load()));
+  lots::bench::JsonLine("net_micro")
+      .str("case", bench_case)
+      .str("cell", cell)
+      .num("stripes", static_cast<uint64_t>(stripes))
+      .num("batch", static_cast<uint64_t>(batch))
+      .num("msgs", static_cast<uint64_t>(total))
+      .num("bytes", static_cast<uint64_t>(bytes))
+      .num("wall_s", r.wall_s)
+      .num("msgs_per_s", r.msgs_per_s)
+      .num("syscalls_per_msg", r.syscalls_per_msg)
+      .num("send_errors", a.transport_stats().send_errors.load())
+      .emit();
+  return r;
+}
+
+/// Ungated: request/reply RTT through the full Endpoint stack.
+void ping_pong_row(size_t bytes) {
+  const uint16_t port = next_base_port();
+  Endpoint a(std::make_unique<UdpTransport>(0, 2, port));
+  Endpoint b(std::make_unique<UdpTransport>(1, 2, port));
   a.start(nullptr);
   b.start([&](Message&& m) { b.reply(m, Message{.type = MsgType::kReply}); });
+  constexpr int kIters = 2'000;
   Message req;
   req.type = MsgType::kPing;
   req.dst = 1;
-  req.payload.assign(static_cast<size_t>(state.range(0)), 1);
-  for (auto _ : state) {
+  req.payload.assign(bytes, 1);
+  for (int i = 0; i < 50; ++i) {  // warmup
     Message copy = req;
-    benchmark::DoNotOptimize(a.request(std::move(copy)));
+    a.request(std::move(copy));
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  const uint64_t t0 = lots::now_us();
+  for (int i = 0; i < kIters; ++i) {
+    Message copy = req;
+    a.request(std::move(copy));
+  }
+  const double rtt_us = static_cast<double>(lots::now_us() - t0) / kIters;
+  std::printf("pingpong   rtt        bytes=%-7zu %10.1f us\n", bytes, rtt_us);
+  lots::bench::JsonLine("net_micro")
+      .str("case", "pingpong")
+      .num("bytes", static_cast<uint64_t>(bytes))
+      .num("rtt_us", rtt_us)
+      .emit();
 }
-BENCHMARK(BM_UdpPingPong)->Arg(64)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::printf("=== net_micro — wire-speed transport gates ===\n");
+
+  // Small-message flood: striping + receive batching vs the historical
+  // single-socket, syscall-per-datagram shape.
+  constexpr int kThreads = 4;
+  constexpr int kFloodPerThread = 2'000;
+  const CellResult flood_base =
+      run_cell("flood", "baseline", /*stripes=*/1, /*batch=*/1, kThreads, kFloodPerThread, 64);
+  const CellResult flood_tuned =
+      run_cell("flood", "tuned", /*stripes=*/4, /*batch=*/32, kThreads, kFloodPerThread, 64);
+  const double flood_speedup = flood_tuned.msgs_per_s / flood_base.msgs_per_s;
+
+  // Batchable shape: ~9 datagrams per message — whole messages per
+  // sendmmsg/recvmmsg, one coalesced ACK instead of nine.
+  constexpr size_t kBigBytes = 512 * 1024;
+  const CellResult sys_base =
+      run_cell("syscalls", "baseline", 1, 1, /*threads=*/1, /*per_thread=*/64, kBigBytes);
+  const CellResult sys_tuned =
+      run_cell("syscalls", "tuned", 1, 32, /*threads=*/1, /*per_thread=*/64, kBigBytes);
+  const double syscall_ratio = sys_base.syscalls_per_msg / sys_tuned.syscalls_per_msg;
+
+  ping_pong_row(64);
+  ping_pong_row(4096);
+
+  const bool flood_ok = flood_speedup >= 2.0;
+  const bool sys_ok = syscall_ratio >= 3.0;
+  std::printf("flood speedup: %.2fx (gate >= 2x) %s\n", flood_speedup,
+              flood_ok ? "PASS" : "FAIL");
+  std::printf("syscalls/msg ratio: %.2fx fewer (gate >= 3x) %s\n", syscall_ratio,
+              sys_ok ? "PASS" : "FAIL");
+  lots::bench::JsonLine("net_micro")
+      .str("case", "gates")
+      .num("flood_speedup", flood_speedup)
+      .num("syscall_ratio", syscall_ratio)
+      .boolean("ok", flood_ok && sys_ok)
+      .emit();
+  if (flood_ok && sys_ok) {
+    std::printf("NET_MICRO_OK flood=%.2fx syscalls=%.2fx\n", flood_speedup, syscall_ratio);
+    return 0;
+  }
+  std::printf("NET_MICRO_FAIL flood=%.2fx syscalls=%.2fx\n", flood_speedup, syscall_ratio);
+  return 1;
+}

@@ -162,22 +162,39 @@ std::vector<Coordinator::WorkerReport> Coordinator::serve(uint64_t timeout_ms) {
     Conn c;
     c.fd = fd;
     c.rep.rank = i;
-    c.rep.udp_port = r.u16();
+    const uint16_t nstripes = r.u16();
+    if (nstripes < 1 || nstripes > 64) {
+      ::close(fd);
+      throw SystemError("cluster bootstrap: HELLO with a bad stripe count");
+    }
+    c.rep.udp_ports.resize(nstripes);
+    for (auto& p : c.rep.udp_ports) p = r.u16();
     c.rep.pid = r.i64();
+    // A striped transport only works when every node routes flow F to
+    // the same stripe index, so a ragged cluster is a formation error.
+    if (!conns.empty() && c.rep.udp_ports.size() != conns.front().rep.udp_ports.size()) {
+      ::close(fd);
+      throw SystemError("cluster bootstrap: stripe count mismatch (worker 0 has " +
+                        std::to_string(conns.front().rep.udp_ports.size()) + " stripes, worker " +
+                        std::to_string(i) + " has " + std::to_string(nstripes) + ")");
+    }
     conns.push_back(std::move(c));
   }
 
-  // Phase 2: endpoint exchange — everyone learns the full port table.
-  std::vector<uint16_t> ports;
-  ports.reserve(conns.size());
-  for (const auto& c : conns) ports.push_back(c.rep.udp_port);
+  // Phase 2: endpoint exchange — everyone learns the full per-stripe
+  // port table (rank-major on the wire: worker r's stripes are
+  // contiguous).
+  const size_t nstripes = conns.front().rep.udp_ports.size();
   for (auto& c : conns) {
     std::vector<uint8_t> body;
     net::Writer w(body);
     w.u8(kWelcome);
     w.i32(c.rep.rank);
     w.i32(nprocs_);
-    for (const uint16_t p : ports) w.u16(p);
+    w.u16(static_cast<uint16_t>(nstripes));
+    for (const auto& peer : conns) {
+      for (const uint16_t p : peer.rep.udp_ports) w.u16(p);
+    }
     if (!send_frame(c.fd, body)) {
       throw SystemError("cluster bootstrap: worker " + std::to_string(c.rep.rank) +
                         " died during WELCOME");
@@ -233,8 +250,11 @@ std::vector<Coordinator::WorkerReport> Coordinator::serve(uint64_t timeout_ms) {
 // WorkerBootstrap
 // ---------------------------------------------------------------------------
 
-WorkerBootstrap::WorkerBootstrap(uint16_t coord_port, uint16_t udp_port, uint64_t timeout_ms)
+WorkerBootstrap::WorkerBootstrap(uint16_t coord_port, std::vector<uint16_t> udp_ports,
+                                 uint64_t timeout_ms)
     : timeout_ms_(timeout_ms) {
+  LOTS_CHECK(!udp_ports.empty() && udp_ports.size() <= 64,
+             "WorkerBootstrap: stripe count out of range");
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw SystemError("WorkerBootstrap: socket() failed");
   int one = 1;
@@ -249,7 +269,8 @@ WorkerBootstrap::WorkerBootstrap(uint16_t coord_port, uint16_t udp_port, uint64_
   std::vector<uint8_t> hello;
   net::Writer w(hello);
   w.u8(kHello);
-  w.u16(udp_port);
+  w.u16(static_cast<uint16_t>(udp_ports.size()));
+  for (const uint16_t p : udp_ports) w.u16(p);
   w.i64(static_cast<int64_t>(::getpid()));
   if (!send_frame(fd_, hello)) throw SystemError("WorkerBootstrap: HELLO failed");
 
@@ -260,8 +281,14 @@ WorkerBootstrap::WorkerBootstrap(uint16_t coord_port, uint16_t udp_port, uint64_
   rank_ = r.i32();
   nprocs_ = r.i32();
   LOTS_CHECK(nprocs_ >= 1 && rank_ >= 0 && rank_ < nprocs_, "WorkerBootstrap: bad rank/nprocs");
-  ports_.resize(static_cast<size_t>(nprocs_));
-  for (auto& p : ports_) p = r.u16();
+  const uint16_t nstripes = r.u16();
+  LOTS_CHECK(nstripes == udp_ports.size(), "WorkerBootstrap: WELCOME stripe count mismatch");
+  // Rank-major on the wire -> stripe-major in memory ([s][r], the shape
+  // UdpTransport takes).
+  stripe_ports_.assign(nstripes, std::vector<uint16_t>(static_cast<size_t>(nprocs_)));
+  for (int rr = 0; rr < nprocs_; ++rr) {
+    for (size_t s = 0; s < nstripes; ++s) stripe_ports_[s][static_cast<size_t>(rr)] = r.u16();
+  }
 }
 
 WorkerBootstrap::~WorkerBootstrap() {

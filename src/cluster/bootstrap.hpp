@@ -8,10 +8,13 @@
 // (WorkerBootstrap) connects and the two sides run a fixed five-phase
 // handshake:
 //
-//   worker -> HELLO    {udp_port, pid}      the worker's ephemeral UDP
-//                                           endpoint, bound before hello
-//   coord  -> WELCOME  {rank, nprocs,       ranks assigned in arrival
-//                       udp_ports[nprocs]}  order; full endpoint table
+//   worker -> HELLO    {udp_ports[nstripes], the worker's ephemeral UDP
+//                       pid}                 endpoints (one per socket
+//                                            stripe), bound before hello
+//   coord  -> WELCOME  {rank, nprocs,        ranks assigned in arrival
+//                       nstripes,            order; full per-stripe
+//                       ports[nprocs]         endpoint table (rank-major
+//                            [nstripes]}      on the wire)
 //   worker -> READY                         transport constructed, pump
 //                                           thread live
 //   coord  -> START                         barrier-synchronized start:
@@ -54,8 +57,10 @@ class Coordinator {
 
   struct WorkerReport {
     int rank = -1;
-    int64_t pid = -1;    ///< worker-reported pid (maps ranks to waitpid)
-    uint16_t udp_port = 0;
+    int64_t pid = -1;  ///< worker-reported pid (maps ranks to waitpid)
+    /// One UDP port per socket stripe (all workers must report the same
+    /// stripe count; the coordinator rejects ragged clusters).
+    std::vector<uint16_t> udp_ports;
     bool clean = false;  ///< sent DONE before its connection closed
     int status = -1;     ///< DONE status (valid when clean)
   };
@@ -80,14 +85,26 @@ class Coordinator {
 /// barrier_start(), and reports through report_done() at teardown.
 class WorkerBootstrap {
  public:
-  WorkerBootstrap(uint16_t coord_port, uint16_t udp_port, uint64_t timeout_ms = 30'000);
+  /// `udp_ports` carries one bound UDP port per socket stripe; every
+  /// worker of a cluster must pass the same number of them.
+  WorkerBootstrap(uint16_t coord_port, std::vector<uint16_t> udp_ports,
+                  uint64_t timeout_ms = 30'000);
+  /// Single-stripe convenience form (the historical signature).
+  WorkerBootstrap(uint16_t coord_port, uint16_t udp_port, uint64_t timeout_ms = 30'000)
+      : WorkerBootstrap(coord_port, std::vector<uint16_t>{udp_port}, timeout_ms) {}
   ~WorkerBootstrap();
   WorkerBootstrap(const WorkerBootstrap&) = delete;
   WorkerBootstrap& operator=(const WorkerBootstrap&) = delete;
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int nprocs() const { return nprocs_; }
-  [[nodiscard]] const std::vector<uint16_t>& peer_udp_ports() const { return ports_; }
+  /// Stripe-0 ports, one per rank (the historical single-socket view).
+  [[nodiscard]] const std::vector<uint16_t>& peer_udp_ports() const { return stripe_ports_[0]; }
+  /// Full table: peer_stripe_ports()[s][r] = port of stripe s on rank r
+  /// (the shape UdpTransport's cluster constructor takes).
+  [[nodiscard]] const std::vector<std::vector<uint16_t>>& peer_stripe_ports() const {
+    return stripe_ports_;
+  }
 
   /// READY -> wait for START. Call once the transport is live.
   void barrier_start();
@@ -101,7 +118,7 @@ class WorkerBootstrap {
   int rank_ = -1;
   int nprocs_ = 0;
   uint64_t timeout_ms_;
-  std::vector<uint16_t> ports_;
+  std::vector<std::vector<uint16_t>> stripe_ports_;  ///< [stripe][rank]
 };
 
 }  // namespace lots::cluster

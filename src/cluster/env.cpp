@@ -96,6 +96,9 @@ bool configure_from_env(Config& cfg) {
   if (const char* seed_s = std::getenv(kEnvFaultSeed)) {
     cfg.cluster.fault_seed = std::strtoull(seed_s, nullptr, 10);
   }
+  if (const char* s = std::getenv(kEnvNetStripes); s && *s) {
+    cfg.cluster.net_stripes = static_cast<size_t>(env_int(kEnvNetStripes, s, 0, 64));
+  }
   return true;
 }
 

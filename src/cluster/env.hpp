@@ -16,6 +16,10 @@ inline constexpr const char* kEnvDrop = "LOTS_NET_DROP";
 inline constexpr const char* kEnvReorder = "LOTS_NET_REORDER";
 inline constexpr const char* kEnvDup = "LOTS_NET_DUP";
 inline constexpr const char* kEnvFaultSeed = "LOTS_NET_FAULT_SEED";
+/// Socket stripes per node (Config::cluster.net_stripes): sockets, pump
+/// threads and locks all scale with it. 0 = auto (min(dir_shards,
+/// hardware threads)).
+inline constexpr const char* kEnvNetStripes = "LOTS_NET_STRIPES";
 /// App threads per node (hybrid N-process × M-thread mode). Also honored
 /// OUTSIDE the launcher by configure_threads_from_env, so the same
 /// binary runs hybrid in-proc: `LOTS_THREADS=4 ./example_quickstart`.

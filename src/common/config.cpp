@@ -50,6 +50,9 @@ void Config::validate() const {
     if (cluster.udp_window == 0) {
       throw UsageError("Config.cluster.udp_window must be positive");
     }
+    if (cluster.net_stripes > 64) {
+      throw UsageError("Config.cluster.net_stripes must be in [0,64] (0 = auto)");
+    }
   }
 }
 

@@ -75,6 +75,11 @@ struct ClusterConfig {
   // -- UDP reliability layer ---------------------------------------------
   size_t udp_window = 32;
   uint64_t udp_rto_us = 20'000;
+  /// Socket stripes per node: each stripe is its own socket + pump
+  /// thread + lock, and messages spread across them by flow key
+  /// (Message::flow % net_stripes). 0 = auto: min(dir_shards, hardware
+  /// threads), at least 1. Env override: LOTS_NET_STRIPES.
+  size_t net_stripes = 0;
   // -- fault injection (outgoing datagrams) ------------------------------
   double drop_prob = 0.0;
   double reorder_prob = 0.0;

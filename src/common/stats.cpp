@@ -12,6 +12,12 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.msgs_recv);
   fn(s.bytes_recv);
   fn(s.fragments_sent);
+  fn(s.transport.send_syscalls);
+  fn(s.transport.recv_syscalls);
+  fn(s.transport.datagrams_sent);
+  fn(s.transport.datagrams_recv);
+  fn(s.transport.send_errors);
+  fn(s.transport.acks_coalesced);
   fn(s.diffs_created);
   fn(s.diff_words_sent);
   fn(s.diff_batch_msgs);
@@ -93,7 +99,12 @@ void NodeStats::print(std::ostream& os, const std::string& label) const {
      << prefetch_wasted.load() << " fetch_stall_us=" << fetch_stall_us.load()
      << " checks=" << access_checks.load() << " alb(hit/evict)=" << alb_hits.load() << "/"
      << alb_evictions.load() << " swaps(in/out)=" << swap_ins.load() << "/"
-     << swap_outs.load() << " net_wait_us=" << net_wait_us.load()
+     << swap_outs.load() << " syscalls(s/r)=" << transport.send_syscalls.load() << "/"
+     << transport.recv_syscalls.load() << " dgrams(s/r)=" << transport.datagrams_sent.load()
+     << "/" << transport.datagrams_recv.load()
+     << " send_errors=" << transport.send_errors.load()
+     << " acks_coalesced=" << transport.acks_coalesced.load()
+     << " net_wait_us=" << net_wait_us.load()
      << " disk_wait_us=" << disk_wait_us.load() << "\n";
 }
 

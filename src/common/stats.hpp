@@ -12,6 +12,25 @@
 
 namespace lots {
 
+/// Wire-level transport counters (UdpTransport): syscall batching and
+/// send-failure visibility. Separated from the protocol counters so a
+/// bare transport (benches, unit tests, no Node attached) can own a
+/// private instance; when a NodeStats is attached the transport counts
+/// into its nested `transport` member instead.
+struct TransportStats {
+  std::atomic<uint64_t> send_syscalls{0};   ///< sendmmsg/sendto invocations
+  std::atomic<uint64_t> recv_syscalls{0};   ///< recvmmsg calls that returned data
+  std::atomic<uint64_t> datagrams_sent{0};  ///< datagrams put on the wire
+  std::atomic<uint64_t> datagrams_recv{0};  ///< datagrams taken off the wire
+  std::atomic<uint64_t> send_errors{0};     ///< sendmmsg failures / short writes
+                                            ///< (a full SNDBUF looks like wire
+                                            ///< loss; the RTO path recovers it,
+                                            ///< but it must be visible)
+  std::atomic<uint64_t> acks_coalesced{0};  ///< per-datagram ACKs suppressed in
+                                            ///< favor of one cumulative ACK per
+                                            ///< peer per receive batch
+};
+
 /// Statistics for one DSM node. The app thread and the service thread of
 /// the same node both increment these, hence relaxed atomics.
 struct NodeStats {
@@ -21,6 +40,7 @@ struct NodeStats {
   std::atomic<uint64_t> msgs_recv{0};
   std::atomic<uint64_t> bytes_recv{0};
   std::atomic<uint64_t> fragments_sent{0};
+  TransportStats transport;  ///< wire-level syscall/batch counters
 
   // coherence
   std::atomic<uint64_t> diffs_created{0};

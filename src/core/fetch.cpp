@@ -71,6 +71,7 @@ net::Message FetchEngine::make_request(ObjectId id, uint32_t base, bool has_base
   net::Message req;
   req.type = net::MsgType::kObjFetch;
   req.dst = target;
+  req.flow = id;  // per-object stripe affinity (spreads fetch traffic)
   net::Writer w(req.payload);
   w.u32(id);
   w.u32(base);
@@ -508,6 +509,7 @@ void FetchEngine::serve(net::Message&& m) {
   }
 
   net::Message resp;
+  resp.flow = id;  // replies are req_seq-matched; the flow just spreads load
   {
     auto lk = node_.dir_.lock_shard(id);
     ObjectMeta& obj = node_.dir_.get(id);
@@ -517,6 +519,25 @@ void FetchEngine::serve(net::Message&& m) {
       w.u8(2);
       w.i32(obj.home);
       lk.unlock();
+      node_.ep_.reply(m, std::move(resp));
+      return;
+    }
+    // Zero-copy fast path: a plain full-copy reply (no diff base, no
+    // prefetch wish) of a DMM-mapped object goes from the object image
+    // to the wire without an intermediate payload copy — the form-0
+    // header is encoded normally and the image rides as a borrowed
+    // span. Replying under the shard lock is safe (and required: the
+    // span points into the DMM): the transport copies the span into its
+    // window-retained datagram buffers before returning, and datagram
+    // drain only needs pump threads, which never take shard locks.
+    if (!has_base && wish.empty() && obj.map == MapState::kMapped) {
+      const size_t bytes = word_bytes(obj);
+      resp.type = net::MsgType::kObjData;
+      net::Writer w(resp.payload);
+      w.u8(0);
+      w.u32(obj.valid_epoch);
+      w.u32(static_cast<uint32_t>(bytes));  // w.bytes()'s length prefix
+      resp.borrowed = {node_.space_.dmm(obj.dmm_offset), bytes};
       node_.ep_.reply(m, std::move(resp));
       return;
     }

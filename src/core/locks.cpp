@@ -86,6 +86,10 @@ void Node::acquire(uint32_t lock_id) {
   net::Message req;
   req.type = net::MsgType::kLockAcquire;
   req.dst = manager;
+  // Every message about one lock shares flow = lock_id: on a striped
+  // transport our earlier kLockRelease to this manager must land before
+  // this re-acquire, or the manager would forward a token we still hold.
+  req.flow = lock_id;
   net::Writer w(req.payload);
   w.u32(lock_id);
   w.u32(my_epoch);
@@ -193,6 +197,7 @@ void Node::release(uint32_t lock_id) {
   net::Message rel;
   rel.type = net::MsgType::kLockRelease;
   rel.dst = manager;
+  rel.flow = lock_id;  // FIFO with this node's later re-acquire
   net::Writer w(rel.payload);
   w.u32(lock_id);
   ep_.send(std::move(rel));
@@ -257,6 +262,7 @@ void Node::on_lock_acquire(net::Message&& m) {
     net::Message fwd;
     fwd.type = net::MsgType::kLockForward;
     fwd.dst = s.token_at;
+    fwd.flow = lock_id;  // one FIFO per lock across the whole protocol
     net::Writer w(fwd.payload);
     w.u32(lock_id);
     w.i32(m.src);
@@ -287,6 +293,7 @@ void Node::on_lock_release(net::Message&& m) {
   net::Message fwd;
   fwd.type = net::MsgType::kLockForward;
   fwd.dst = s.token_at;
+  fwd.flow = nlock;  // one FIFO per lock across the whole protocol
   net::Writer w(fwd.payload);
   w.u32(nlock);
   w.i32(next.src);
@@ -316,6 +323,7 @@ void Node::send_grant_locked(uint32_t lock_id, int32_t to, uint32_t /*acq_epoch*
   net::Message g;
   g.type = net::MsgType::kLockGrant;
   g.dst = to;
+  g.flow = lock_id;  // one FIFO per lock across the whole protocol
   net::Writer w(g.payload);
   w.u32(lock_id);
   w.u32(tok.epoch);

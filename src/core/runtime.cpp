@@ -10,6 +10,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 
@@ -36,27 +37,39 @@ Runtime::Runtime(Config cfg) : cfg_(std::move(cfg)) {
     cfg_.disk_dir = scratch_->path();
   }
   if (cfg_.cluster.fabric == FabricKind::kUdp) {
-    // Multi-process worker: bind an ephemeral loopback UDP socket first
-    // so the rendezvous can publish it, then learn rank + peer endpoints
-    // from the coordinator and host exactly one node on them. The fd is
-    // guarded until the transport adopts it: a failed rendezvous must
-    // not leak a socket per construction attempt.
-    uint16_t udp_port = 0;
+    // Multi-process worker: bind one ephemeral loopback UDP socket per
+    // stripe first so the rendezvous can publish them, then learn rank +
+    // peer endpoint tables from the coordinator and host exactly one
+    // node on them. The fds are guarded until the transport adopts
+    // them: a failed rendezvous must not leak sockets per construction
+    // attempt.
+    size_t nstripes = cfg_.cluster.net_stripes;
+    if (nstripes == 0) {  // auto: match the directory sharding, capped by the machine
+      const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+      nstripes = std::max<size_t>(1, std::min(cfg_.dir_shards, hw));
+    }
     struct FdGuard {
-      int fd;
+      std::vector<int> fds;
       ~FdGuard() {
-        if (fd >= 0) ::close(fd);
+        for (const int fd : fds) {
+          if (fd >= 0) ::close(fd);
+        }
       }
-    } guard{net::UdpTransport::bind_ephemeral(udp_port)};
-    boot_ = std::make_unique<cluster::WorkerBootstrap>(cfg_.cluster.coord_port, udp_port,
+    } guard;
+    std::vector<uint16_t> udp_ports(nstripes, 0);
+    guard.fds.reserve(nstripes);
+    for (size_t s = 0; s < nstripes; ++s) {
+      guard.fds.push_back(net::UdpTransport::bind_ephemeral(udp_ports[s]));
+    }
+    boot_ = std::make_unique<cluster::WorkerBootstrap>(cfg_.cluster.coord_port, udp_ports,
                                                        cfg_.cluster.boot_timeout_ms);
     LOTS_CHECK(boot_->nprocs() == cfg_.nprocs,
                "cluster bootstrap assigned nprocs=" + std::to_string(boot_->nprocs()) +
                    " but Config.nprocs=" + std::to_string(cfg_.nprocs));
     auto transport = std::make_unique<net::UdpTransport>(
-        boot_->rank(), boot_->peer_udp_ports(), guard.fd, cfg_.cluster.udp_window,
+        boot_->rank(), boot_->peer_stripe_ports(), guard.fds, cfg_.cluster.udp_window,
         cfg_.cluster.udp_rto_us);
-    guard.fd = -1;  // adopted
+    guard.fds.clear();  // adopted
     transport->set_fault(net::FaultSpec{
         .drop_prob = cfg_.cluster.drop_prob,
         .dup_prob = cfg_.cluster.dup_prob,
@@ -422,6 +435,10 @@ void Node::rehydrate_remote(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
   net::Message req;
   req.type = net::MsgType::kSwapGet;
   req.dst = swap_buddy();
+  // All swap traffic for one parked image shares a flow: a one-way
+  // kSwapDrop must never overtake (or be overtaken by) a kSwapPut for
+  // the same key on a striped transport.
+  req.flow = remote_key(rank_, m.id);
   net::Writer w(req.payload);
   w.u64(remote_key(rank_, m.id));
   lk.unlock();
@@ -429,6 +446,7 @@ void Node::rehydrate_remote(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
   net::Message drop;
   drop.type = net::MsgType::kSwapDrop;
   drop.dst = swap_buddy();
+  drop.flow = remote_key(rank_, m.id);
   net::Writer dw(drop.payload);
   dw.u64(remote_key(rank_, m.id));
   ep_.send(std::move(drop));
@@ -585,6 +603,7 @@ void Node::swap_out(ObjectMeta& m, std::unique_lock<std::mutex>& lk) {
     net::Message req;
     req.type = net::MsgType::kSwapPut;
     req.dst = swap_buddy();
+    req.flow = remote_key(rank_, m.id);  // same FIFO as this key's drops
     net::Writer w(req.payload);
     w.u64(remote_key(rank_, m.id));
     w.bytes(image);
@@ -621,6 +640,7 @@ void Node::drop_mapping(ObjectMeta& m, bool keep_disk_image) {
       net::Message drop;
       drop.type = net::MsgType::kSwapDrop;
       drop.dst = swap_buddy();
+      drop.flow = remote_key(rank_, m.id);  // same FIFO as this key's puts
       net::Writer w(drop.payload);
       w.u64(remote_key(rank_, m.id));
       ep_.send(std::move(drop));

@@ -98,6 +98,8 @@ void Endpoint::PendingReply::cancel() {
 void Endpoint::reply(const Message& req, Message resp) {
   resp.dst = req.src;
   resp.req_seq = req.seq;
+  // resp.flow is the handler's choice: replies are matched by req_seq,
+  // so their stripe only affects load spreading, never correctness.
   send(std::move(resp));
 }
 

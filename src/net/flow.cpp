@@ -4,9 +4,11 @@
 
 namespace lots::net {
 
-void SendWindow::on_send(uint64_t seq, std::vector<uint8_t> wire, uint64_t now_us) {
+const std::vector<uint8_t>* SendWindow::on_send(uint64_t seq, std::vector<uint8_t> wire,
+                                                uint64_t now_us) {
   LOTS_CHECK(can_send(), "SendWindow::on_send called with a full window");
   inflight_.push_back(Pkt{seq, std::move(wire), now_us});
+  return &inflight_.back().wire;
 }
 
 void SendWindow::on_ack(uint64_t cum_ack) {

@@ -24,8 +24,12 @@ class SendWindow {
   [[nodiscard]] bool can_send() const { return inflight_.size() < window_; }
 
   /// Registers datagram `seq` (must be `next_seq()`), with its wire image
-  /// retained for retransmission.
-  void on_send(uint64_t seq, std::vector<uint8_t> wire, uint64_t now_us);
+  /// retained for retransmission. Returns a pointer to the retained
+  /// image — stable until the datagram is acknowledged (deque elements
+  /// do not move) — so a batching transport can queue it for a gathered
+  /// sendmmsg without copying, as long as the flush happens before any
+  /// on_ack can pop it (i.e. under the same lock).
+  const std::vector<uint8_t>* on_send(uint64_t seq, std::vector<uint8_t> wire, uint64_t now_us);
 
   /// Cumulative ACK: everything <= `cum_ack` is delivered.
   void on_ack(uint64_t cum_ack);

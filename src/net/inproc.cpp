@@ -24,6 +24,9 @@ std::unique_ptr<InProcTransport> InProcFabric::open(int rank) {
 
 void InProcFabric::deliver(Message m, NodeStats* sender_stats) {
   LOTS_CHECK(m.dst >= 0 && m.dst < nprocs(), "send(): dst out of range");
+  // Queue-based delivery outlives the sender's borrowed buffer (e.g. an
+  // object image lent under its shard lock): fold it in before queueing.
+  m.materialize();
   const size_t wire = m.wire_size();
   const double model_us = model_.cost_us(wire);
 

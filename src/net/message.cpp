@@ -38,17 +38,23 @@ const char* to_string(MsgType t) {
   return "Unknown";
 }
 
-std::vector<uint8_t> encode_message(const Message& m) {
-  std::vector<uint8_t> out;
-  out.reserve(Message::kHeaderBytes + m.payload.size());
+void encode_header(const Message& m, std::vector<uint8_t>& out) {
   Writer w(out);
   w.u16(static_cast<uint16_t>(m.type));
   w.i32(m.src);
   w.i32(m.dst);
   w.u64(m.seq);
   w.u64(m.req_seq);
-  w.u32(static_cast<uint32_t>(m.payload.size()));
-  w.raw(m.payload.data(), m.payload.size());
+  w.u32(static_cast<uint32_t>(m.payload.size() + m.borrowed.size()));
+}
+
+std::vector<uint8_t> encode_message(const Message& m) {
+  std::vector<uint8_t> out;
+  out.reserve(Message::kHeaderBytes + m.payload.size() + m.borrowed.size());
+  encode_header(m, out);
+  Writer w(out);
+  if (!m.payload.empty()) w.raw(m.payload.data(), m.payload.size());
+  if (!m.borrowed.empty()) w.raw(m.borrowed.data(), m.borrowed.size());
   return out;
 }
 

@@ -77,8 +77,31 @@ struct Message {
   uint64_t seq = 0;
   uint64_t req_seq = 0;  ///< nonzero in replies: seq of the request
   std::vector<uint8_t> payload;
+  /// Sender-local stripe-routing key; NOT encoded on the wire. The
+  /// striped UDP transport maps flow % nstripes to a socket, so two
+  /// one-way messages whose relative order matters (same lock token,
+  /// same swapped image, same object) must share a flow — each stripe
+  /// is an independent go-back-N FIFO. 0 (the default) is fine for
+  /// traffic whose delivery is application-acked (kDiffBatch, barrier).
+  uint64_t flow = 0;
+  /// Zero-copy payload tail: bytes logically appended after `payload`,
+  /// borrowed from memory the caller keeps alive until send() returns
+  /// (e.g. an object image under its directory-shard lock). Transports
+  /// gather it straight into wire buffers; in-process delivery and the
+  /// loopback shortcut materialize() it. Receivers always see a plain
+  /// contiguous payload — `borrowed` never survives decode.
+  std::span<const uint8_t> borrowed{};
 
-  [[nodiscard]] size_t wire_size() const { return kHeaderBytes + payload.size(); }
+  [[nodiscard]] size_t wire_size() const {
+    return kHeaderBytes + payload.size() + borrowed.size();
+  }
+  /// Folds `borrowed` into `payload` (for queue-based delivery that
+  /// outlives the caller's buffer).
+  void materialize() {
+    if (borrowed.empty()) return;
+    payload.insert(payload.end(), borrowed.begin(), borrowed.end());
+    borrowed = {};
+  }
   static constexpr size_t kHeaderBytes = 2 + 4 + 4 + 8 + 8 + 4;  // + payload len
 };
 
@@ -171,8 +194,13 @@ class Reader {
   size_t pos_ = 0;
 };
 
-/// Serialize a full message (header + payload) for a byte transport.
+/// Serialize a full message (header + payload + borrowed tail) for a
+/// byte transport.
 std::vector<uint8_t> encode_message(const Message& m);
+/// Append just the fixed header (with the combined payload+borrowed
+/// length) to `out` — the scatter-gather path encodes the header once
+/// and copies payload/borrowed ranges straight into datagram buffers.
+void encode_header(const Message& m, std::vector<uint8_t>& out);
 /// Parse a full message; throws SystemError on malformed input.
 Message decode_message(std::span<const uint8_t> wire);
 

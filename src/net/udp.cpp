@@ -17,6 +17,12 @@ namespace {
 constexpr uint8_t kData = 0;
 constexpr uint8_t kAck = 1;
 constexpr size_t kCtrlBytes = 1 + 8 + 8;  // kind + seq + cum_ack
+/// Message bytes carried per datagram (ctrl + fragment header overhead).
+constexpr size_t kChunk = kMaxDatagram - kCtrlBytes - FragHeader::kBytes;
+/// Datagrams per recvmmsg vector (and per-stripe receive buffer count).
+constexpr size_t kRecvBatch = 16;
+/// mmsghdr array size for one sendmmsg call (larger batches chunk).
+constexpr size_t kSendVec = 64;
 
 sockaddr_in loopback_addr(uint16_t port) {
   sockaddr_in a{};
@@ -52,10 +58,34 @@ int bind_udp(uint16_t port, uint16_t& actual) {
   return fd;
 }
 
-std::vector<uint16_t> base_port_table(uint16_t base_port, int nprocs) {
-  std::vector<uint16_t> ports(static_cast<size_t>(nprocs));
-  for (int r = 0; r < nprocs; ++r) ports[static_cast<size_t>(r)] = static_cast<uint16_t>(base_port + r);
+std::vector<std::vector<uint16_t>> fixed_port_table(uint16_t base_port, int nprocs,
+                                                    size_t stripes) {
+  std::vector<std::vector<uint16_t>> ports(stripes, std::vector<uint16_t>(static_cast<size_t>(nprocs)));
+  for (size_t s = 0; s < stripes; ++s) {
+    for (int r = 0; r < nprocs; ++r) {
+      ports[s][static_cast<size_t>(r)] =
+          static_cast<uint16_t>(base_port + s * static_cast<size_t>(nprocs) + static_cast<size_t>(r));
+    }
+  }
   return ports;
+}
+
+/// Copies [off, off+len) of the logical concatenation of `segs` into
+/// `out` — the scatter-gather half of the zero-copy send path.
+void gather(const std::span<const uint8_t> (&segs)[3], size_t off, size_t len,
+            std::vector<uint8_t>& out) {
+  for (const auto& seg : segs) {
+    if (len == 0) break;
+    if (off >= seg.size()) {
+      off -= seg.size();
+      continue;
+    }
+    const size_t take = std::min(len, seg.size() - off);
+    out.insert(out.end(), seg.begin() + static_cast<ptrdiff_t>(off),
+               seg.begin() + static_cast<ptrdiff_t>(off + take));
+    off = 0;
+    len -= take;
+  }
 }
 
 }  // namespace
@@ -63,67 +93,159 @@ std::vector<uint16_t> base_port_table(uint16_t base_port, int nprocs) {
 int UdpTransport::bind_ephemeral(uint16_t& port_out) { return bind_udp(0, port_out); }
 
 UdpTransport::UdpTransport(int rank, int nprocs, uint16_t base_port, size_t window,
-                           uint64_t rto_us)
-    : UdpTransport(rank, base_port_table(base_port, nprocs), -1, window, rto_us) {}
+                           uint64_t rto_us, size_t stripes)
+    : UdpTransport(rank, fixed_port_table(base_port, nprocs, stripes), {}, window, rto_us) {}
 
-UdpTransport::UdpTransport(int rank, std::vector<uint16_t> peer_ports, int fd, size_t window,
-                           uint64_t rto_us)
+UdpTransport::UdpTransport(int rank, std::vector<std::vector<uint16_t>> stripe_ports,
+                           std::vector<int> fds, size_t window, uint64_t rto_us)
     : rank_(rank),
-      nprocs_(static_cast<int>(peer_ports.size())),
-      ports_(std::move(peer_ports)),
-      fd_(fd),
+      nprocs_(stripe_ports.empty() ? 0 : static_cast<int>(stripe_ports.front().size())),
+      stripe_ports_(std::move(stripe_ports)),
       window_(window),
-      rto_us_(rto_us),
-      fault_rng_(0xF001) {
+      rto_us_(rto_us) {
+  LOTS_CHECK(!stripe_ports_.empty(), "UdpTransport: need at least one stripe");
   LOTS_CHECK(rank_ >= 0 && rank_ < nprocs_, "UdpTransport: rank outside the port table");
-  if (fd_ < 0) {
-    uint16_t actual = 0;
-    fd_ = bind_udp(ports_[static_cast<size_t>(rank_)], actual);
+  LOTS_CHECK(nprocs_ <= 256, "UdpTransport: nprocs out of range");
+  LOTS_CHECK(fds.empty() || fds.size() == stripe_ports_.size(),
+             "UdpTransport: need one adopted socket per stripe");
+  stripes_.reserve(stripe_ports_.size());
+  for (size_t s = 0; s < stripe_ports_.size(); ++s) {
+    LOTS_CHECK(stripe_ports_[s].size() == static_cast<size_t>(nprocs_),
+               "UdpTransport: ragged stripe port table");
+    auto st = std::make_unique<Stripe>();
+    st->index = s;
+    if (fds.empty()) {
+      uint16_t actual = 0;
+      st->fd = bind_udp(stripe_ports_[s][static_cast<size_t>(rank_)], actual);
+    } else {
+      st->fd = fds[s];
+    }
+    for (int r = 0; r < nprocs_; ++r) st->port_to_rank[stripe_ports_[s][static_cast<size_t>(r)]] = r;
+    st->peers.reserve(static_cast<size_t>(nprocs_));
+    for (int r = 0; r < nprocs_; ++r) st->peers.push_back(std::make_unique<Peer>(window_));
+    st->fault_rng = Rng(0xF001 + s);
+    st->rbufs.assign(kRecvBatch, std::vector<uint8_t>(kMaxDatagram + 64));
+    stripes_.push_back(std::move(st));
   }
-  for (int r = 0; r < nprocs_; ++r) port_to_rank_[ports_[static_cast<size_t>(r)]] = r;
-  peers_.reserve(static_cast<size_t>(nprocs_));
-  for (int i = 0; i < nprocs_; ++i) peers_.push_back(std::make_unique<Peer>(window_));
-  pump_ = std::thread([this] { pump_loop(); });
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    stripes_[s]->pump = std::thread([this, s] { pump_loop(s); });
+  }
 }
 
 UdpTransport::~UdpTransport() {
   running_.store(false);
-  if (pump_.joinable()) pump_.join();
-  if (fd_ >= 0) ::close(fd_);
-}
-
-void UdpTransport::wire_send_locked(int dst, std::span<const uint8_t> dgram) {
-  sockaddr_in to = loopback_addr(ports_[static_cast<size_t>(dst)]);
-  ::sendto(fd_, dgram.data(), dgram.size(), 0, reinterpret_cast<sockaddr*>(&to), sizeof(to));
-  if (stats_) stats_->fragments_sent.fetch_add(1, std::memory_order_relaxed);
-}
-
-void UdpTransport::flush_held_locked() {
-  if (held_dst_ < 0) return;
-  const int dst = held_dst_;
-  held_dst_ = -1;
-  std::vector<uint8_t> dgram;
-  dgram.swap(held_);
-  wire_send_locked(dst, dgram);
-}
-
-void UdpTransport::raw_send_locked(int dst, std::span<const uint8_t> dgram, bool allow_fault) {
-  if (allow_fault) {
-    if (fault_.drop_prob > 0 && fault_rng_.unit() < fault_.drop_prob) return;
-    if (fault_.dup_prob > 0 && fault_rng_.unit() < fault_.dup_prob) {
-      raw_send_locked(dst, dgram, false);
-    }
-    if (fault_.reorder_prob > 0 && held_dst_ < 0 && fault_rng_.unit() < fault_.reorder_prob) {
-      // Hold this datagram back; it departs behind the next one (or at
-      // the next pump tick), arriving out of order at the receiver.
-      held_dst_ = dst;
-      held_.assign(dgram.begin(), dgram.end());
-      return;
-    }
+  for (auto& st : stripes_) {
+    if (st->pump.joinable()) st->pump.join();
   }
-  wire_send_locked(dst, dgram);
-  flush_held_locked();
+  for (auto& st : stripes_) {
+    if (st->fd >= 0) ::close(st->fd);
+  }
 }
+
+void UdpTransport::set_fault(const FaultSpec& f) {
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    std::lock_guard lk(stripes_[s]->mu);
+    stripes_[s]->fault = f;
+    // Distinct deterministic streams per stripe: otherwise every stripe
+    // would fault the same positions of its send sequence.
+    stripes_[s]->fault_rng = Rng(f.seed * 0x9E3779B97F4A7C15ull + 0xF001 + s * 0x51ED270Bull);
+  }
+}
+
+void UdpTransport::set_send_batch(size_t n) {
+  send_batch_.store(n < 1 ? 1 : n, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Batched emission: every datagram leaves through here
+// ---------------------------------------------------------------------------
+
+/// Applies fault injection per datagram, appends a previously held
+/// (reorder-injected) datagram BEHIND this batch, and emits the result
+/// with sendmmsg. Caller holds st.mu; the batch's wire pointers stay
+/// valid because nothing can pop a send window until mu is released.
+void UdpTransport::flush_batch_locked(Stripe& st) {
+  if (st.batch.empty() && st.held_dst < 0) return;
+  std::vector<OutDgram> out;
+  out.reserve(st.batch.size() + 2);
+  const bool had_held = st.held_dst >= 0;
+  for (const OutDgram& e : st.batch) {
+    if (!e.allow_fault) {  // ACKs bypass injection, as before
+      out.push_back(e);
+      continue;
+    }
+    if (st.fault.drop_prob > 0 && st.fault_rng.unit() < st.fault.drop_prob) continue;
+    if (st.fault.dup_prob > 0 && st.fault_rng.unit() < st.fault.dup_prob) out.push_back(e);
+    if (st.fault.reorder_prob > 0 && st.held_dst < 0 &&
+        st.fault_rng.unit() < st.fault.reorder_prob) {
+      // Hold this datagram back; it departs behind the next flushed
+      // batch (or alone at the next pump tick), arriving out of order.
+      st.held_dst = e.dst;
+      st.held.assign(e.data, e.data + e.len);
+      continue;
+    }
+    out.push_back(e);
+  }
+  if (had_held) out.push_back(OutDgram{st.held_dst, st.held.data(), st.held.size(), false});
+  st.batch.clear();
+  if (!out.empty()) emit_batch_locked(st, out);
+  if (had_held) {  // departed exactly once; free the slot
+    st.held_dst = -1;
+    st.held.clear();
+  }
+  st.batch_owned.clear();
+}
+
+void UdpTransport::emit_batch_locked(Stripe& st, const std::vector<OutDgram>& out) {
+  TransportStats& ts = tstats();
+  const std::vector<uint16_t>& ports = stripe_ports_[st.index];
+  mmsghdr hdrs[kSendVec];
+  iovec iovs[kSendVec];
+  sockaddr_in addrs[kSendVec];
+  size_t i = 0;
+  while (i < out.size()) {
+    const size_t n = std::min(kSendVec, out.size() - i);
+    for (size_t j = 0; j < n; ++j) {
+      const OutDgram& e = out[i + j];
+      addrs[j] = loopback_addr(ports[static_cast<size_t>(e.dst)]);
+      iovs[j].iov_base = const_cast<uint8_t*>(e.data);
+      iovs[j].iov_len = e.len;
+      std::memset(&hdrs[j], 0, sizeof(hdrs[j]));
+      hdrs[j].msg_hdr.msg_name = &addrs[j];
+      hdrs[j].msg_hdr.msg_namelen = sizeof(addrs[j]);
+      hdrs[j].msg_hdr.msg_iov = &iovs[j];
+      hdrs[j].msg_hdr.msg_iovlen = 1;
+    }
+    const int sent = ::sendmmsg(st.fd, hdrs, static_cast<unsigned>(n), 0);
+    ts.send_syscalls.fetch_add(1, std::memory_order_relaxed);
+    if (sent < 0) {
+      // The whole vector failed (e.g. ENOBUFS): to the window this is
+      // wire loss — count it and let the RTO recover.
+      ts.send_errors.fetch_add(n, std::memory_order_relaxed);
+      i += n;
+      continue;
+    }
+    ts.datagrams_sent.fetch_add(static_cast<uint64_t>(sent), std::memory_order_relaxed);
+    if (stats_) {
+      stats_->fragments_sent.fetch_add(static_cast<uint64_t>(sent), std::memory_order_relaxed);
+    }
+    for (int j = 0; j < sent; ++j) {
+      if (hdrs[j].msg_len != iovs[j].iov_len) {  // short write: half a datagram is loss
+        ts.send_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (static_cast<size_t>(sent) < n) {
+      // Datagram `sent` errored; everything after it was not attempted.
+      // All of them are retransmission-recoverable wire loss.
+      ts.send_errors.fetch_add(n - static_cast<size_t>(sent), std::memory_order_relaxed);
+    }
+    i += n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
 
 void UdpTransport::send(Message m) {
   m.src = rank_;
@@ -136,106 +258,163 @@ void UdpTransport::send(Message m) {
   }
 
   if (dst == rank_) {  // loopback shortcut, no wire involved
-    std::lock_guard lk(mu_);
+    m.materialize();   // the borrowed buffer dies with the caller
+    std::lock_guard lk(ready_mu_);
     ready_.push_back(std::move(m));
     ready_cv_.notify_one();
     return;
   }
 
-  const std::vector<uint8_t> encoded = encode_message(m);
-  std::unique_lock lk(mu_);
-  const uint64_t msg_id = next_msg_id_++;
-  lk.unlock();
-  auto frags = fragment(encoded, msg_id, kMaxDatagram - kCtrlBytes);
-  for (auto& frag : frags) {
-    lk.lock();
-    Peer& p = peer(dst);
-    window_cv_.wait(lk, [&] { return p.send_win.can_send(); });
+  Stripe& st = *stripes_[m.flow % stripes_.size()];
+
+  // Scatter-gather encode: the logical stream {header ‖ payload ‖
+  // borrowed} is copied exactly once, straight into the window-retained
+  // datagram buffers. No intermediate encode_message vector.
+  std::vector<uint8_t> header;
+  header.reserve(Message::kHeaderBytes);
+  encode_header(m, header);
+  const std::span<const uint8_t> segs[3] = {header, m.payload, m.borrowed};
+  const size_t total = header.size() + m.payload.size() + m.borrowed.size();
+  const size_t count = (total + kChunk - 1) / kChunk;  // total >= kHeaderBytes > 0
+  const uint64_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+
+  std::unique_lock lk(st.mu);
+  Peer& p = *st.peers[static_cast<size_t>(dst)];
+  for (size_t i = 0; i < count; ++i) {
+    if (!p.send_win.can_send()) {
+      // The peer cannot ACK datagrams still sitting in the batch.
+      flush_batch_locked(st);
+      st.window_cv.wait(lk, [&] { return p.send_win.can_send(); });
+    }
+    const size_t off = i * kChunk;
+    const size_t len = std::min(kChunk, total - off);
     const uint64_t seq = p.send_win.alloc_seq();
     std::vector<uint8_t> dgram;
-    dgram.reserve(kCtrlBytes + frag.size());
+    dgram.reserve(kCtrlBytes + FragHeader::kBytes + len);
     Writer w(dgram);
     w.u8(kData);
     w.u64(seq);
     w.u64(p.recv_win.cum_ack());  // piggyback
-    w.raw(frag.data(), frag.size());
-    raw_send_locked(dst, dgram, /*allow_fault=*/true);
-    p.send_win.on_send(seq, std::move(dgram), now_us());
-    lk.unlock();
+    FragHeader{msg_id, static_cast<uint32_t>(i), static_cast<uint32_t>(count)}.encode(w);
+    gather(segs, off, len, dgram);
+    const std::vector<uint8_t>* wire = p.send_win.on_send(seq, std::move(dgram), now_us());
+    st.batch.push_back(OutDgram{dst, wire->data(), wire->size(), /*allow_fault=*/true});
+    if (st.batch.size() >= send_batch_.load(std::memory_order_relaxed)) flush_batch_locked(st);
   }
+  flush_batch_locked(st);  // nothing of this message outlives send() unsent
 }
 
-void UdpTransport::retransmit_expired_locked() {
+// ---------------------------------------------------------------------------
+// Per-stripe pump: receive batches, ACK coalescing, retransmission
+// ---------------------------------------------------------------------------
+
+void UdpTransport::retransmit_expired_locked(Stripe& st) {
   const uint64_t now = now_us();
   for (int r = 0; r < nprocs_; ++r) {
     if (r == rank_) continue;
-    for (auto& [seq, wire] : peer(r).send_win.timed_out(now, rto_us_)) {
-      raw_send_locked(r, *wire, /*allow_fault=*/true);
+    for (auto& [seq, wire] : st.peers[static_cast<size_t>(r)]->send_win.timed_out(now, rto_us_)) {
+      st.batch.push_back(OutDgram{r, wire->data(), wire->size(), /*allow_fault=*/true});
     }
   }
 }
 
-void UdpTransport::pump_loop() {
+void UdpTransport::pump_loop(size_t s) {
+  Stripe& st = *stripes_[s];
   while (running_.load(std::memory_order_acquire)) {
-    pump_socket_once(2'000);
-    std::lock_guard lk(mu_);
-    retransmit_expired_locked();
-    flush_held_locked();  // bound the delay of a reorder-held datagram
+    pump_socket_once(st, 2'000);
+    std::lock_guard lk(st.mu);
+    retransmit_expired_locked(st);
+    flush_batch_locked(st);  // also bounds the delay of a reorder-held datagram
   }
 }
 
-void UdpTransport::pump_socket_once(uint64_t timeout_us) {
-  pollfd pfd{fd_, POLLIN, 0};
+void UdpTransport::pump_socket_once(Stripe& st, uint64_t timeout_us) {
+  pollfd pfd{st.fd, POLLIN, 0};
   const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_us / 1000));
   if (rc <= 0) return;
 
-  uint8_t buf[kMaxDatagram + 64];
-  sockaddr_in from{};
-  socklen_t fl = sizeof(from);
+  // With batching degenerated to 1 (the net_micro baseline cell) the
+  // receive path also takes one datagram per syscall, reproducing the
+  // historical one-recvfrom-one-ACK shape.
+  const size_t nvec =
+      std::min(kRecvBatch, std::max<size_t>(1, send_batch_.load(std::memory_order_relaxed)));
+  mmsghdr hdrs[kRecvBatch];
+  iovec iovs[kRecvBatch];
+  sockaddr_in froms[kRecvBatch];
   for (;;) {
-    const ssize_t n =
-        ::recvfrom(fd_, buf, sizeof(buf), MSG_DONTWAIT, reinterpret_cast<sockaddr*>(&from), &fl);
-    if (n <= 0) break;
-    const auto src_it = port_to_rank_.find(ntohs(from.sin_port));
-    if (src_it == port_to_rank_.end()) continue;  // stray datagram
-    const int src = src_it->second;
-    if (src == rank_) continue;
-
-    Reader r(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
-    const uint8_t kind = r.u8();
-    const uint64_t seq = r.u64();
-    const uint64_t cum = r.u64();
-
-    std::lock_guard lk(mu_);
-    Peer& p = peer(src);
-    p.send_win.on_ack(cum);
-    window_cv_.notify_all();
-    if (kind == kAck) continue;
-
-    const bool fresh = p.recv_win.accept(seq);
-    // Always (re-)ACK so a lost ACK cannot stall the sender.
-    std::vector<uint8_t> ack;
-    Writer w(ack);
-    w.u8(kAck);
-    w.u64(0);
-    w.u64(p.recv_win.cum_ack());
-    raw_send_locked(src, ack, /*allow_fault=*/false);
-    if (!fresh) continue;
-
-    auto body = std::span<const uint8_t>(buf + kCtrlBytes, static_cast<size_t>(n) - kCtrlBytes);
-    if (auto msg = reasm_.feed(src, body)) {
-      if (stats_) {
-        stats_->msgs_recv.fetch_add(1, std::memory_order_relaxed);
-        stats_->bytes_recv.fetch_add(msg->wire_size(), std::memory_order_relaxed);
-      }
-      ready_.push_back(std::move(*msg));
-      ready_cv_.notify_one();
+    for (size_t i = 0; i < nvec; ++i) {
+      iovs[i].iov_base = st.rbufs[i].data();
+      iovs[i].iov_len = st.rbufs[i].size();
+      std::memset(&hdrs[i], 0, sizeof(hdrs[i]));
+      hdrs[i].msg_hdr.msg_name = &froms[i];
+      hdrs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
+      hdrs[i].msg_hdr.msg_iov = &iovs[i];
+      hdrs[i].msg_hdr.msg_iovlen = 1;
     }
+    const int n = ::recvmmsg(st.fd, hdrs, static_cast<unsigned>(nvec), MSG_DONTWAIT, nullptr);
+    if (n <= 0) return;
+
+    TransportStats& ts = tstats();
+    ts.recv_syscalls.fetch_add(1, std::memory_order_relaxed);
+    ts.datagrams_recv.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+
+    std::lock_guard lk(st.mu);
+    uint8_t need_ack[256] = {0};  // per receive batch: 1 = cumulative ACK owed
+    for (int i = 0; i < n; ++i) {
+      const size_t len = hdrs[i].msg_len;
+      if (len < kCtrlBytes) continue;  // runt: none of our peers sends these
+      const auto src_it = st.port_to_rank.find(ntohs(froms[i].sin_port));
+      if (src_it == st.port_to_rank.end()) continue;  // stray datagram: drop
+      const int src = src_it->second;
+      if (src == rank_) continue;
+
+      Reader r(std::span<const uint8_t>(st.rbufs[i].data(), len));
+      const uint8_t kind = r.u8();
+      const uint64_t seq = r.u64();
+      const uint64_t cum = r.u64();
+
+      Peer& p = *st.peers[static_cast<size_t>(src)];
+      p.send_win.on_ack(cum);
+      st.window_cv.notify_all();
+      if (kind == kAck) continue;
+
+      // One cumulative ACK per peer per batch replaces the historical
+      // ACK-per-datagram (duplicates included, so a lost ACK can never
+      // stall the sender).
+      if (need_ack[src]) ts.acks_coalesced.fetch_add(1, std::memory_order_relaxed);
+      need_ack[src] = 1;
+      if (!p.recv_win.accept(seq)) continue;
+
+      auto body = std::span<const uint8_t>(st.rbufs[i].data() + kCtrlBytes, len - kCtrlBytes);
+      if (auto msg = st.reasm.feed(src, body)) {
+        if (stats_) {
+          stats_->msgs_recv.fetch_add(1, std::memory_order_relaxed);
+          stats_->bytes_recv.fetch_add(msg->wire_size(), std::memory_order_relaxed);
+        }
+        std::lock_guard rlk(ready_mu_);  // leaf lock, by the locking order
+        ready_.push_back(std::move(*msg));
+        ready_cv_.notify_one();
+      }
+    }
+    for (int r = 0; r < nprocs_; ++r) {
+      if (!need_ack[r]) continue;
+      std::vector<uint8_t> ack;
+      ack.reserve(kCtrlBytes);
+      Writer w(ack);
+      w.u8(kAck);
+      w.u64(0);
+      w.u64(st.peers[static_cast<size_t>(r)]->recv_win.cum_ack());
+      st.batch_owned.push_back(std::move(ack));
+      st.batch.push_back(OutDgram{r, st.batch_owned.back().data(), st.batch_owned.back().size(),
+                                  /*allow_fault=*/false});
+    }
+    flush_batch_locked(st);
+    if (static_cast<size_t>(n) < nvec) return;  // socket drained
   }
 }
 
 std::optional<Message> UdpTransport::recv(uint64_t timeout_us) {
-  std::unique_lock lk(mu_);
+  std::unique_lock lk(ready_mu_);
   if (!ready_cv_.wait_for(lk, std::chrono::microseconds(timeout_us),
                           [&] { return !ready_.empty(); })) {
     return std::nullopt;
@@ -246,10 +425,11 @@ std::optional<Message> UdpTransport::recv(uint64_t timeout_us) {
 }
 
 uint64_t UdpTransport::retransmissions() const {
-  auto* self = const_cast<UdpTransport*>(this);
-  std::lock_guard lk(self->mu_);
   uint64_t total = 0;
-  for (auto& p : peers_) total += p->send_win.retransmissions();
+  for (const auto& st : stripes_) {
+    std::lock_guard lk(st->mu);  // mu is mutable: no const_cast needed
+    for (const auto& p : st->peers) total += p->send_win.retransmissions();
+  }
   return total;
 }
 

@@ -1,25 +1,46 @@
-// Real UDP/IP transport (paper §3.6): dedicated point-to-point datagram
-// sockets, 64 KB datagram ceiling with fragmentation/reassembly, and the
-// simple sliding-window flow control of flow.hpp with timeout
-// retransmission. A fault-injection hook drops/duplicates/reorders
-// outgoing datagrams to exercise the reliability path — in unit tests
-// and, via Config::cluster, under the real coherence protocol in
-// multi-process runs.
+// Real UDP/IP transport (paper §3.6), rebuilt for wire speed along
+// three axes:
 //
-// An internal housekeeping thread pumps the socket continuously (ACK
-// processing, reassembly, retransmission timers) — the moral equivalent
-// of the paper's SIGIO-driven receive path. recv() therefore only waits
-// on the queue of fully reassembled messages; send() blocks on the
-// per-peer window when it is full.
+//  * Batched syscalls — each pump thread drains its socket with
+//    recvmmsg (a vector of datagrams per syscall) and every send path
+//    (fresh fragments, retransmissions, ACKs) funnels through a
+//    per-stripe coalescing batch emitted via sendmmsg. ACKs coalesce to
+//    ONE cumulative ACK per peer per receive batch. sendmmsg failures
+//    and short writes are counted in TransportStats::send_errors — a
+//    full SNDBUF looks like wire loss and only the RTO recovers it, so
+//    it must be visible.
+//
+//  * Socket striping — one socket + pump thread + lock per stripe
+//    (Config::net_stripes), with per-(stripe, peer) sliding windows and
+//    a per-stripe reassembler, so network parallelism matches the
+//    directory sharding. Message::flow selects the stripe
+//    (flow % nstripes); a message's fragments never cross stripes, and
+//    two messages sharing a flow share a go-back-N FIFO — which is the
+//    ordering contract protocol code relies on (lock tokens, swapped
+//    images, per-object fetch traffic).
+//
+//  * Scatter-gather encoding — send() copies the logical stream
+//    {header ‖ payload ‖ borrowed} straight into the window-retained
+//    datagram buffers, one copy total; there is no intermediate
+//    encode_message buffer and no fragment() vector. The datagram wire
+//    format itself is unchanged: ctrl (kind, seq, piggybacked cum_ack)
+//    + FragHeader + fragment body, 63 KB ceiling.
+//
+// The fault-injection hook (drop/duplicate/reorder) is applied at the
+// batch-flush boundary, per datagram, keeping the lossy-UDP test
+// semantics: a reorder-held datagram departs behind a younger batch (or
+// at the next pump tick), never twice, never lost.
 //
 // Peer addressing comes in two forms: the classic fixed layout
-// (127.0.0.1:base_port+rank, used by tests that control both ends) and
-// an explicit per-rank port table produced by the cluster bootstrap's
-// endpoint exchange, where every worker binds an *ephemeral* port and
-// learns its peers from the coordinator — no port-collision flakiness.
+// (127.0.0.1:base_port + stripe*nprocs + rank, used by tests that
+// control both ends) and an explicit per-(rank, stripe) port table
+// produced by the cluster bootstrap's endpoint exchange, where every
+// worker binds `stripes` ephemeral ports and learns its peers' tables
+// from the coordinator — no port-collision flakiness.
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -32,7 +53,7 @@
 namespace lots::net {
 
 /// Outgoing-datagram fault injection for reliability tests. Reordering
-/// holds one datagram back so it departs behind a younger one (the
+/// holds one datagram back so it departs behind a younger batch (the
 /// go-back-N receive window then forces a retransmission round trip).
 struct FaultSpec {
   double drop_prob = 0.0;
@@ -43,15 +64,18 @@ struct FaultSpec {
 
 class UdpTransport final : public Transport {
  public:
-  /// Fixed port layout: binds 127.0.0.1:(base_port + rank). All nodes of
-  /// one cluster must share base_port and nprocs.
+  /// Fixed port layout: stripe s of rank r binds
+  /// 127.0.0.1:(base_port + s*nprocs + r). All nodes of one cluster
+  /// must share base_port, nprocs and stripes.
   UdpTransport(int rank, int nprocs, uint16_t base_port, size_t window = 32,
-               uint64_t rto_us = 20'000);
-  /// Cluster-bootstrap form: adopts the already-bound datagram socket
-  /// `fd` (see bind_ephemeral) and reaches peer r at
-  /// 127.0.0.1:peer_ports[r]; nprocs == peer_ports.size().
-  UdpTransport(int rank, std::vector<uint16_t> peer_ports, int fd, size_t window = 32,
-               uint64_t rto_us = 20'000);
+               uint64_t rto_us = 20'000, size_t stripes = 1);
+  /// Cluster-bootstrap form: adopts the already-bound datagram sockets
+  /// `fds` (one per stripe, see bind_ephemeral) and reaches stripe s of
+  /// peer r at 127.0.0.1:stripe_ports[s][r]. nprocs ==
+  /// stripe_ports[s].size(); stripes == fds.size() ==
+  /// stripe_ports.size().
+  UdpTransport(int rank, std::vector<std::vector<uint16_t>> stripe_ports, std::vector<int> fds,
+               size_t window = 32, uint64_t rto_us = 20'000);
   ~UdpTransport() override;
 
   /// Binds a loopback datagram socket on an ephemeral port (for the
@@ -63,13 +87,21 @@ class UdpTransport final : public Transport {
 
   [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int nprocs() const override { return nprocs_; }
+  [[nodiscard]] size_t stripes() const { return stripes_.size(); }
 
-  void set_fault(const FaultSpec& f) {
-    std::lock_guard lk(mu_);
-    fault_ = f;
-    fault_rng_ = Rng(f.seed * 0x9E3779B97F4A7C15ull + 0xF001);
-  }
+  void set_fault(const FaultSpec& f);
+  /// Coalescing limit: datagrams accumulated before a flush is forced
+  /// mid-send (a flush always happens before send() returns or blocks).
+  /// 1 degenerates to one syscall per datagram — the historical
+  /// transport's shape, used as the net_micro baseline cell.
+  void set_send_batch(size_t n);
+
   [[nodiscard]] uint64_t retransmissions() const;
+  /// Wire-level counters: the node's TransportStats when a NodeStats is
+  /// attached, else this transport's private instance (benches, tests).
+  [[nodiscard]] const TransportStats& transport_stats() const {
+    return stats_ ? stats_->transport : own_tstats_;
+  }
 
  private:
   struct Peer {
@@ -78,37 +110,69 @@ class UdpTransport final : public Transport {
     explicit Peer(size_t window) : send_win(window) {}
   };
 
-  void raw_send_locked(int dst, std::span<const uint8_t> dgram, bool allow_fault);
-  void wire_send_locked(int dst, std::span<const uint8_t> dgram);
-  void flush_held_locked();
-  void pump_loop();
-  void pump_socket_once(uint64_t timeout_us);
-  void retransmit_expired_locked();
-  Peer& peer(int r) { return *peers_[static_cast<size_t>(r)]; }
+  /// One queued outgoing datagram. `wire` points into a window-retained
+  /// Pkt (data/retransmit) or into `owned` storage (ACKs); either way it
+  /// is stable until the flush, which happens under the stripe lock
+  /// before anything can pop the window.
+  struct OutDgram {
+    int dst;
+    const uint8_t* data;
+    size_t len;
+    bool allow_fault;
+  };
+
+  /// Everything one stripe owns: a socket, a pump thread, and all flow
+  /// state for the messages routed to it. No stripe ever touches
+  /// another stripe's members, so the per-stripe mutex is the entire
+  /// locking story of the data path.
+  struct Stripe {
+    size_t index = 0;  ///< position in stripe_ports_ (peer addressing)
+    int fd = -1;
+    mutable std::mutex mu;  ///< guards everything below
+    std::condition_variable window_cv;
+    std::vector<std::unique_ptr<Peer>> peers;  ///< per-rank windows
+    Reassembler reasm;
+    std::unordered_map<uint16_t, int> port_to_rank;  ///< receive-path src lookup
+    FaultSpec fault;
+    Rng fault_rng{0xF001};
+    // Reorder-injection slot: at most one datagram held back at a time.
+    int held_dst = -1;
+    std::vector<uint8_t> held;
+    // Send coalescing: entries accumulate under mu and flush via
+    // sendmmsg before mu is released (or before any cv wait).
+    std::vector<OutDgram> batch;
+    std::deque<std::vector<uint8_t>> batch_owned;  ///< ACK storage until flush
+    // recvmmsg buffers (heap: ~1 MB per stripe, too big for a stack).
+    std::vector<std::vector<uint8_t>> rbufs;
+    std::thread pump;
+  };
+
+  void flush_batch_locked(Stripe& st);
+  void emit_batch_locked(Stripe& st, const std::vector<OutDgram>& out);
+  void pump_loop(size_t s);
+  void pump_socket_once(Stripe& st, uint64_t timeout_us);
+  void retransmit_expired_locked(Stripe& st);
+  [[nodiscard]] TransportStats& tstats() { return stats_ ? stats_->transport : own_tstats_; }
 
   int rank_;
   int nprocs_;
-  std::vector<uint16_t> ports_;  ///< per-rank UDP port (immutable)
-  std::unordered_map<uint16_t, int> port_to_rank_;  ///< receive-path src lookup
-  int fd_ = -1;
+  /// stripe_ports_[s][r]: UDP port of stripe s on rank r (immutable).
+  std::vector<std::vector<uint16_t>> stripe_ports_;
   size_t window_;
   uint64_t rto_us_;
+  std::atomic<size_t> send_batch_{32};
 
-  std::mutex mu_;  ///< guards peers_, ready_, reasm_, msg_id_, fault_, held_
-  std::condition_variable window_cv_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  // Fully reassembled messages, shared across stripes (leaf lock: taken
+  // with a stripe mutex held, never the other way around).
+  std::mutex ready_mu_;
   std::condition_variable ready_cv_;
-  FaultSpec fault_;
-  Rng fault_rng_;
-  // Reorder-injection slot: at most one datagram held back at a time.
-  int held_dst_ = -1;
-  std::vector<uint8_t> held_;
-  std::vector<std::unique_ptr<Peer>> peers_;
-  Reassembler reasm_;
   std::deque<Message> ready_;
-  uint64_t next_msg_id_ = 1;
 
+  std::atomic<uint64_t> next_msg_id_{1};
   std::atomic<bool> running_{true};
-  std::thread pump_;
+  TransportStats own_tstats_;  ///< used when no NodeStats is attached
 };
 
 }  // namespace lots::net

@@ -123,5 +123,74 @@ TEST(Bootstrap, FormationTimesOutWhenWorkersAreMissing) {
   lone.join();
 }
 
+TEST(Bootstrap, ExchangesPerStripePortTables) {
+  constexpr int kN = 3;
+  constexpr size_t kStripes = 4;
+  Coordinator coord(kN);
+
+  struct Seen {
+    int rank = -1;
+    std::vector<std::vector<uint16_t>> table;
+  };
+  std::vector<Seen> seen(kN);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kN; ++i) {
+    workers.emplace_back([&, i] {
+      // Fake but distinct ports: stripe s of worker i registers
+      // 50'000 + i*kStripes + s; the coordinator only relays them.
+      std::vector<uint16_t> mine(kStripes);
+      for (size_t s = 0; s < kStripes; ++s) {
+        mine[s] = static_cast<uint16_t>(50'000 + static_cast<size_t>(i) * kStripes + s);
+      }
+      WorkerBootstrap wb(coord.port(), mine, 10'000);
+      seen[static_cast<size_t>(i)] = {wb.rank(), wb.peer_stripe_ports()};
+      // The flat single-socket view must stay the stripe-0 row.
+      EXPECT_EQ(wb.peer_udp_ports(), wb.peer_stripe_ports()[0]);
+      wb.barrier_start();
+      wb.report_done(0);
+    });
+  }
+  auto reports = coord.serve(10'000);
+  for (auto& w : workers) w.join();
+
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.clean);
+    ASSERT_EQ(r.udp_ports.size(), kStripes);
+  }
+  for (int i = 0; i < kN; ++i) {
+    const auto& s = seen[static_cast<size_t>(i)];
+    ASSERT_EQ(s.table.size(), kStripes);
+    for (size_t st = 0; st < kStripes; ++st) {
+      ASSERT_EQ(s.table[st].size(), static_cast<size_t>(kN));
+      // My column of every stripe row holds the port I registered.
+      EXPECT_EQ(s.table[st][static_cast<size_t>(s.rank)],
+                static_cast<uint16_t>(50'000 + static_cast<size_t>(i) * kStripes + st));
+    }
+    // Everyone sees the same table.
+    EXPECT_EQ(s.table, seen[0].table);
+  }
+}
+
+TEST(Bootstrap, RejectsRaggedStripeCounts) {
+  constexpr int kN = 2;
+  Coordinator coord(kN);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kN; ++i) {
+    workers.emplace_back([&, i] {
+      try {
+        // Worker 0 claims one stripe, worker 1 claims two: the cluster
+        // must not form (stripe routing would disagree across nodes).
+        std::vector<uint16_t> mine(static_cast<size_t>(i) + 1, 60'000);
+        WorkerBootstrap wb(coord.port(), mine, 5'000);
+        wb.barrier_start();
+      } catch (const SystemError&) {
+        // Expected on at least the mismatching worker.
+      }
+    });
+  }
+  EXPECT_THROW(coord.serve(5'000), SystemError);
+  for (auto& w : workers) w.join();
+}
+
 }  // namespace
 }  // namespace lots::cluster

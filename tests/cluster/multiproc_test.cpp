@@ -80,7 +80,9 @@ std::pair<int, uint64_t> run_workload(const Config& cfg) {
   return {rank, digest};
 }
 
-TEST(MultiProc, LossyUdpClusterMatchesInProcResults) {
+/// Forks a lossy kProcs-rank UDP cluster with `net_stripes` socket
+/// stripes per worker and checks the digest against the in-proc fabric.
+void run_lossy_cluster_and_compare(size_t net_stripes) {
   // Reference: the historical single-process fabric.
   Config ref_cfg;
   ref_cfg.nprocs = kProcs;
@@ -108,6 +110,7 @@ TEST(MultiProc, LossyUdpClusterMatchesInProcResults) {
         cfg.cluster.reorder_prob = 0.05;
         cfg.cluster.dup_prob = 0.02;
         cfg.cluster.fault_seed = 42;
+        cfg.cluster.net_stripes = net_stripes;
         const auto [rank, digest] = run_workload(cfg);
         if (rank == 0) {
           std::ofstream(digest_path) << digest;
@@ -129,13 +132,28 @@ TEST(MultiProc, LossyUdpClusterMatchesInProcResults) {
     EXPECT_EQ(WEXITSTATUS(st), 0);
   }
   ASSERT_EQ(reports.size(), static_cast<size_t>(kProcs));
-  for (const auto& r : reports) EXPECT_TRUE(r.clean) << "rank " << r.rank << " died unclean";
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.clean) << "rank " << r.rank << " died unclean";
+    if (net_stripes > 0) {
+      EXPECT_EQ(r.udp_ports.size(), net_stripes);
+    }
+  }
 
   uint64_t got = 0;
   std::ifstream in(digest_path);
   ASSERT_TRUE(in.good()) << "rank 0 never wrote its digest";
   in >> got;
   EXPECT_EQ(got, want) << "multi-process result diverged from the in-proc run";
+}
+
+TEST(MultiProc, LossyUdpClusterMatchesInProcResults) { run_lossy_cluster_and_compare(1); }
+
+// Same workload, same loss, four socket stripes per worker: flow-keyed
+// stripe routing must preserve every ordering the protocol relies on
+// (lock release -> re-acquire, swap put -> drop), so the digest still
+// matches the in-proc fabric bit for bit.
+TEST(MultiProc, LossyStripedUdpClusterMatchesInProcResults) {
+  run_lossy_cluster_and_compare(4);
 }
 
 }  // namespace

@@ -9,17 +9,18 @@
 // real coherence protocol.
 //
 // Usage:
-//   lots_launch [-n N] [--threads M] [--drop P] [--reorder P] [--dup P]
-//               [--seed S] [--timeout SECONDS] [--] prog [args...]
+//   lots_launch [-n N] [--threads M] [--stripes K] [--drop P] [--reorder P]
+//               [--dup P] [--seed S] [--timeout SECONDS] [--] prog [args...]
 //
 // --threads M puts LOTS_THREADS=M in the worker environment: each of
 // the N processes hosts M application threads on its rank (hybrid
-// N-process × M-thread mode).
+// N-process × M-thread mode). --stripes K puts LOTS_NET_STRIPES=K there:
+// each worker's transport runs K sockets/pump threads (0 = auto).
 //
 // Examples:
 //   lots_launch -n 4 ./example_quickstart
 //   lots_launch -n 2 --threads 2 ./example_quickstart
-//   lots_launch -n 4 --drop 0.01 ./bench_fig8_sor
+//   lots_launch -n 4 --drop 0.01 --stripes 4 ./bench_fig8_sor
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -44,15 +45,16 @@ uint64_t now_ms() { return lots::now_us() / 1000; }
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [-n N] [--threads M] [--drop P] [--reorder P] [--dup P]\n"
-               "          [--seed S] [--timeout SECONDS] [--] prog [args...]\n",
+               "usage: %s [-n N] [--threads M] [--stripes K] [--drop P] [--reorder P]\n"
+               "          [--dup P] [--seed S] [--timeout SECONDS] [--] prog [args...]\n",
                argv0);
   std::exit(2);
 }
 
 struct Options {
   int nprocs = 4;
-  int threads = 1;  // app threads per worker process (LOTS_THREADS)
+  int threads = 1;   // app threads per worker process (LOTS_THREADS)
+  int stripes = -1;  // socket stripes per worker; -1 = leave unset (auto)
   double drop = 0.0, reorder = 0.0, dup = 0.0;
   uint64_t seed = 1;
   uint64_t timeout_s = 120;
@@ -72,6 +74,8 @@ Options parse(int argc, char** argv) {
       o.nprocs = std::atoi(next());
     } else if (a == "--threads") {
       o.threads = std::atoi(next());
+    } else if (a == "--stripes") {
+      o.stripes = std::atoi(next());
     } else if (a == "--drop") {
       o.drop = std::atof(next());
     } else if (a == "--reorder") {
@@ -93,7 +97,7 @@ Options parse(int argc, char** argv) {
   }
   for (; i < argc; ++i) o.child_argv.push_back(argv[i]);
   if (o.child_argv.empty() || o.nprocs < 1 || o.nprocs > 256 || o.threads < 1 ||
-      o.threads > 256) {
+      o.threads > 256 || o.stripes > 64) {
     usage(argv[0]);
   }
   // Reject bad fault probabilities HERE: otherwise every forked worker
@@ -118,6 +122,7 @@ void set_worker_env(const Options& o, uint16_t coord_port) {
   setenv(kEnvReorder, std::to_string(o.reorder).c_str(), 1);
   setenv(kEnvDup, std::to_string(o.dup).c_str(), 1);
   setenv(kEnvFaultSeed, std::to_string(o.seed).c_str(), 1);
+  if (o.stripes >= 0) setenv(kEnvNetStripes, std::to_string(o.stripes).c_str(), 1);
 }
 
 }  // namespace
@@ -199,9 +204,9 @@ int main(int argc, char** argv) {
     for (const auto& [pid, code] : statuses) {
       if (pid == static_cast<pid_t>(r.pid)) exit_code = code;
     }
-    std::printf("lots_launch: rank %d pid %lld udp_port %u %s exit %d\n", r.rank,
-                static_cast<long long>(r.pid), r.udp_port, r.clean ? "clean" : "UNCLEAN",
-                exit_code);
+    std::printf("lots_launch: rank %d pid %lld udp_port %u stripes %zu %s exit %d\n", r.rank,
+                static_cast<long long>(r.pid), r.udp_ports.empty() ? 0u : r.udp_ports[0],
+                r.udp_ports.size(), r.clean ? "clean" : "UNCLEAN", exit_code);
     if (!r.clean) worst = std::max(worst, 1);
   }
   if (worst == 0) {
