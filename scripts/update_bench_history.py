@@ -15,6 +15,14 @@ history file so the result trajectory is trackable across commits:
 The history file is a JSON list of {sha, date, rows} entries, newest
 last; corrupt or missing history is replaced rather than fatal (CI must
 not go red because an artifact rotted).
+
+--check turns the script into a regression gate: before appending, the
+new snapshot is compared row-by-row against the LAST history entry, and
+any gated metric that regresses by more than 25% (lower-is-better
+metrics going up, higher-is-better going down) fails the run with a
+non-zero exit. Rows are matched on their identity fields (the string
+fields plus shape parameters like n/p); rows without a historical twin
+are new and pass silently.
 """
 import argparse
 import datetime
@@ -22,6 +30,64 @@ import json
 import sys
 
 PREFIX = "BENCH_JSON "
+
+# Gated metrics and their good direction. Anything not listed here is
+# informational (counters, shape parameters) and never gates.
+LOWER_IS_BETTER = (
+    "p50_us", "p99_us", "mean_us", "ns_per_access", "overhead_pct",
+    "syscalls_per_msg", "wall_s", "lots_s", "lotsx_s",
+)
+HIGHER_IS_BETTER = ("qps", "msgs_per_sec", "MB_per_sec", "speedup")
+
+# Fields identifying WHICH measurement a row is (never compared as
+# metrics). String fields are always identity; these numeric ones are
+# shape parameters, not results.
+IDENTITY_NUMERIC = ("n", "p", "threads", "clients", "shards", "keys", "read_pct",
+                    "zipf", "ops", "stripes", "fetch_window", "prefetch_degree",
+                    "rank", "size", "iters")
+
+REGRESSION_RATIO = 1.25
+
+
+def row_identity(row):
+    ident = {k: v for k, v in row.items() if isinstance(v, (str, bool))}
+    ident.update({k: row[k] for k in IDENTITY_NUMERIC if k in row})
+    return json.dumps(ident, sort_keys=True)
+
+
+def check_regressions(new_rows, history):
+    """Compares gated metrics against the last history entry. Returns a
+    list of human-readable offender strings (empty = gate passes)."""
+    if not history:
+        print("check: no history to compare against — gate passes", file=sys.stderr)
+        return []
+    old_by_id = {}
+    for row in history[-1].get("rows", []):
+        old_by_id.setdefault(row_identity(row), row)
+    offenders = []
+    matched = 0
+    for row in new_rows:
+        old = old_by_id.get(row_identity(row))
+        if old is None:
+            continue
+        matched += 1
+        for key, lower_better in [(k, True) for k in LOWER_IS_BETTER] + [
+                (k, False) for k in HIGHER_IS_BETTER]:
+            new_v, old_v = row.get(key), old.get(key)
+            if not isinstance(new_v, (int, float)) or not isinstance(old_v, (int, float)):
+                continue
+            if isinstance(new_v, bool) or isinstance(old_v, bool) or old_v <= 0:
+                continue
+            ratio = new_v / old_v
+            bad = ratio > REGRESSION_RATIO if lower_better else ratio < 1 / REGRESSION_RATIO
+            if bad:
+                offenders.append(
+                    f"{row.get('bench', '?')}[{row_identity(row)}] {key}: "
+                    f"{old_v:g} -> {new_v:g} ({ratio:.2f}x, "
+                    f"{'lower' if lower_better else 'higher'} is better)")
+    print(f"check: compared {matched} row(s) against {history[-1].get('sha', '?')}",
+          file=sys.stderr)
+    return offenders
 
 
 def parse_rows(paths):
@@ -48,7 +114,12 @@ def main():
     ap.add_argument("--sha", default="local", help="commit id to stamp the entry with")
     ap.add_argument("--snapshot", help="write this run's rows to FILE (e.g. BENCH_ci.json)")
     ap.add_argument("--history", help="append the entry to this trajectory FILE")
+    ap.add_argument("--check", action="store_true",
+                    help="fail (exit 2) when a gated metric regresses >25%% vs the "
+                         "last history entry; requires --history")
     args = ap.parse_args()
+    if args.check and not args.history:
+        ap.error("--check requires --history")
 
     entry = {
         "sha": args.sha,
@@ -64,6 +135,7 @@ def main():
             json.dump(entry, f, indent=1)
             f.write("\n")
 
+    offenders = []
     if args.history:
         history = []
         try:
@@ -74,12 +146,23 @@ def main():
         except (OSError, ValueError) as e:
             print(f"warning: starting a fresh history ({e})", file=sys.stderr)
             history = []
+        if args.check:
+            offenders = check_regressions(entry["rows"], history)
+        # Append even when the gate fails: the regressed numbers belong
+        # in the trajectory artifact precisely so the failure is
+        # inspectable.
         history.append(entry)
         with open(args.history, "w", encoding="utf-8") as f:
             json.dump(history, f, indent=1)
             f.write("\n")
 
     print(f"collected {len(entry['rows'])} bench rows for {args.sha}")
+    if offenders:
+        print(f"REGRESSION GATE FAILED ({len(offenders)} metric(s) >25% worse):",
+              file=sys.stderr)
+        for o in offenders:
+            print(f"  {o}", file=sys.stderr)
+        return 2
     return 0
 
 

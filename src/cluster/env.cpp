@@ -31,6 +31,24 @@ long env_int(const char* name, const char* s, long lo, long hi) {
 
 }  // namespace
 
+long env_int_or(const char* name, long dflt, long lo, long hi) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return dflt;
+  return env_int(name, s, lo, hi);
+}
+
+double env_double_or(const char* name, double dflt, double lo, double hi) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return dflt;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || v < lo || v > hi) {
+    throw UsageError(std::string(name) + " must be a number in [" + std::to_string(lo) + "," +
+                     std::to_string(hi) + "]");
+  }
+  return v;
+}
+
 bool under_launcher() { return std::getenv(kEnvCoordPort) != nullptr; }
 
 bool configure_threads_from_env(Config& cfg) {

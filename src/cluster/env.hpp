@@ -41,6 +41,23 @@ inline constexpr const char* kEnvBarrierReval = "LOTS_BARRIER_REVALIDATE";
 inline constexpr const char* kEnvAlb = "LOTS_ALB";
 inline constexpr const char* kEnvAlbSize = "LOTS_ALB_SIZE";
 inline constexpr const char* kEnvDiffRle = "LOTS_DIFF_RLE";
+/// Service-layer knobs (lots_kv). Store geometry — read by
+/// service::KvConfig::from_env on every node, so identical values must
+/// reach the whole cluster (lots_launch --kv-shards puts LOTS_KV_SHARDS
+/// in every worker's environment):
+inline constexpr const char* kEnvKvShards = "LOTS_KV_SHARDS";
+inline constexpr const char* kEnvKvSlots = "LOTS_KV_SLOTS";
+/// Load-harness knobs (bench/kv_load.cpp): closed-loop client threads
+/// per node (--kv-clients), distinct keys, ops per client, read share
+/// in percent, Zipfian skew theta (0 = uniform), per-client QPS target
+/// (0 = unthrottled), and the workload seed.
+inline constexpr const char* kEnvKvClients = "LOTS_KV_CLIENTS";
+inline constexpr const char* kEnvKvKeys = "LOTS_KV_KEYS";
+inline constexpr const char* kEnvKvOps = "LOTS_KV_OPS";
+inline constexpr const char* kEnvKvReadPct = "LOTS_KV_READ_PCT";
+inline constexpr const char* kEnvKvZipf = "LOTS_KV_ZIPF";
+inline constexpr const char* kEnvKvQps = "LOTS_KV_QPS";
+inline constexpr const char* kEnvKvSeed = "LOTS_KV_SEED";
 
 /// True when this process was spawned by lots_launch.
 bool under_launcher();
@@ -64,5 +81,11 @@ bool configure_fetch_from_env(Config& cfg);
 /// Applies LOTS_ALB / LOTS_ALB_SIZE / LOTS_DIFF_RLE to the access
 /// fast-path knobs (any fabric). Returns true when any was present.
 bool configure_fastpath_from_env(Config& cfg);
+
+/// Strict env parses shared by the service/bench knobs: a missing or
+/// empty variable yields `dflt`; anything malformed or out of range
+/// throws UsageError (a typo must not silently run the default shape).
+long env_int_or(const char* name, long dflt, long lo, long hi);
+double env_double_or(const char* name, double dflt, double lo, double hi);
 
 }  // namespace lots::cluster

@@ -51,6 +51,7 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.prefetch_hits);
   fn(s.prefetch_wasted);
   fn(s.fetch_stall_us);
+  fn(s.service_items);
   fn(s.net_wait_us);
   fn(s.disk_wait_us);
 }
@@ -104,6 +105,7 @@ void NodeStats::print(std::ostream& os, const std::string& label) const {
      << "/" << transport.datagrams_recv.load()
      << " send_errors=" << transport.send_errors.load()
      << " acks_coalesced=" << transport.acks_coalesced.load()
+     << " service_items=" << service_items.load()
      << " net_wait_us=" << net_wait_us.load()
      << " disk_wait_us=" << disk_wait_us.load() << "\n";
 }

@@ -99,6 +99,11 @@ struct NodeStats {
   std::atomic<uint64_t> fetch_stall_us{0};   ///< wall time app threads spent
                                              ///< blocked on fetch replies
 
+  // service layer (request-queue execution mode, src/core/workqueue.hpp)
+  std::atomic<uint64_t> service_items{0};  ///< client work items executed by
+                                           ///< this node's app threads via
+                                           ///< lots::serve()
+
   // modeled time (microseconds), accumulated from the cost models
   std::atomic<uint64_t> net_wait_us{0};
   std::atomic<uint64_t> disk_wait_us{0};

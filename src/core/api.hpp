@@ -26,12 +26,14 @@
 
 #include "core/pointer.hpp"
 #include "core/runtime.hpp"
+#include "core/workqueue.hpp"
 
 namespace lots {
 
 using core::ObjectId;
 using core::Pointer;
 using core::Runtime;
+using core::WorkQueue;
 
 /// Acquire lock `id` (Scope Consistency: all updates made in critical
 /// sections previously guarded by this lock become visible).
@@ -70,6 +72,20 @@ size_t touch(const Ps&... ptrs) {
     }
   }(ptrs)...};
   return prefetch(ids);
+}
+
+/// Request-queue execution mode: park the calling app thread in the
+/// queue's service loop, executing client work items (each may use the
+/// full per-thread DSM surface — access, acquire/release, touch — but
+/// no collectives) until the queue is closed and drained. This is how a
+/// node serves traffic instead of running an SPMD phase: client threads
+/// push closures, app threads execute them against the DSM. Returns the
+/// number of items this thread executed (also folded into
+/// NodeStats::service_items).
+inline size_t serve(WorkQueue& queue) {
+  const size_t ran = queue.serve();
+  core::Runtime::self().stats().service_items.fetch_add(ran, std::memory_order_relaxed);
+  return ran;
 }
 
 /// Rank of the calling node and the cluster size.

@@ -1,0 +1,79 @@
+#include "core/workqueue.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lots::core {
+
+WorkQueue::WorkQueue(size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw UsageError("WorkQueue: capacity must be >= 1");
+}
+
+bool WorkQueue::push(Item item) {
+  std::unique_lock lk(mu_);
+  not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+  if (closed_) return false;
+  q_.push_back(std::move(item));
+  lk.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+void WorkQueue::close() {
+  {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool WorkQueue::pop(Item& out) {
+  std::unique_lock lk(mu_);
+  not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return false;  // closed and drained
+  out = std::move(q_.front());
+  q_.pop_front();
+  lk.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+size_t WorkQueue::serve() {
+  size_t ran = 0;
+  Item item;
+  while (pop(item)) {
+    item();
+    item = nullptr;  // release captures before blocking in pop again
+    ++ran;
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ran;
+}
+
+bool WorkQueue::serve_one() {
+  Item item;
+  {
+    std::lock_guard lk(mu_);
+    if (q_.empty()) return false;
+    item = std::move(q_.front());
+    q_.pop_front();
+  }
+  not_full_.notify_one();
+  item();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool WorkQueue::closed() const {
+  std::lock_guard lk(mu_);
+  return closed_;
+}
+
+size_t WorkQueue::depth() const {
+  std::lock_guard lk(mu_);
+  return q_.size();
+}
+
+}  // namespace lots::core

@@ -1,0 +1,81 @@
+// The request-queue execution mode (service layer substrate).
+//
+// Historically every app thread inside Runtime::run executes ONE SPMD
+// function from top to bottom. A service node works the other way
+// around: client threads (plain threads with no node binding) enqueue
+// work items, and the node's app threads park in WorkQueue::serve(),
+// popping and executing items until the queue is closed. Because the
+// executing thread IS an app thread, a work item may use the full
+// per-thread DSM surface — access checks, acquire/release — which is
+// how the KV verbs run: the client never touches the DSM, the app
+// thread does, and the item's captured completion state carries the
+// result back.
+//
+// Contract for work items:
+//  * Per-thread operations only: Pointer access, lots::acquire/release,
+//    lots::touch. NO collectives (alloc/free/barrier/run_barrier) — a
+//    collective needs every app thread of the node, and the siblings
+//    are busy serving their own items.
+//  * Items must not block on other items (the pool is the only
+//    execution resource; a cyclic wait deadlocks the node).
+//  * An item that throws tears down the serving thread (and the run):
+//    a DSM timeout inside a verb is a cluster failure, not something
+//    the queue can retry.
+//
+// push() blocks while the queue is at capacity — the closed-loop
+// backpressure a real service front door applies to its clients.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace lots::core {
+
+class WorkQueue {
+ public:
+  using Item = std::function<void()>;
+
+  explicit WorkQueue(size_t capacity = 4096);
+
+  /// Enqueue a work item, blocking while the queue is full. Returns
+  /// false (and drops the item) when the queue is closed.
+  bool push(Item item);
+
+  /// Close the queue: wakes every blocked producer and consumer.
+  /// Items already queued still drain; further push() calls fail.
+  void close();
+
+  /// Service loop: pop and execute items until the queue is closed AND
+  /// drained. Returns the number of items this caller executed. Safe to
+  /// call from many threads — they share the queue.
+  size_t serve();
+
+  /// Pop-and-execute at most one item (non-blocking). Returns whether
+  /// an item ran — false means "currently empty", not "closed".
+  bool serve_one();
+
+  [[nodiscard]] bool closed() const;
+  /// Items executed across all serving threads so far.
+  [[nodiscard]] uint64_t executed() const { return executed_.load(std::memory_order_relaxed); }
+  /// Instantaneous queue depth (racy; monitoring only).
+  [[nodiscard]] size_t depth() const;
+
+ private:
+  /// Pop one item, blocking until one arrives or the queue is closed
+  /// and drained. Returns false on closed+empty.
+  bool pop(Item& out);
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Item> q_;
+  size_t capacity_;
+  bool closed_ = false;
+  std::atomic<uint64_t> executed_{0};
+};
+
+}  // namespace lots::core

@@ -1,0 +1,203 @@
+#include "service/kv.hpp"
+
+#include "cluster/env.hpp"
+
+namespace lots::service {
+namespace {
+
+using kv_detail::Slot;
+
+/// splitmix64 finalizer: in-bucket slot placement. Independent of the
+/// Sharder's range math on purpose — range sharding decides WHICH
+/// bucket, the hash only spreads keys inside one.
+uint64_t mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+KvConfig KvConfig::from_env() {
+  KvConfig cfg;
+  cfg.shards = static_cast<uint32_t>(
+      cluster::env_int_or(cluster::kEnvKvShards, cfg.shards, 1, 1 << 16));
+  cfg.slots_per_shard = static_cast<size_t>(cluster::env_int_or(
+      cluster::kEnvKvSlots, static_cast<long>(cfg.slots_per_shard), 2, 1 << 20));
+  return cfg;
+}
+
+void KvStore::open(const KvConfig& cfg) {
+  open(cfg, Sharder::uniform(cfg.shards, lots::num_procs()));
+}
+
+void KvStore::open(const KvConfig& cfg, const Sharder& sharder) {
+  if (sharder.num_shards() != cfg.shards) {
+    throw UsageError("KvStore::open: sharder shard count != KvConfig::shards");
+  }
+  // Collective bucket allocation: every app thread of every node runs
+  // the identical alloc sequence (the threads of a node rendezvous and
+  // share each id; the nodes get identical ids by SPMD determinism).
+  const size_t bucket_bytes = (cfg.slots_per_shard + 1) * sizeof(Slot);
+  std::vector<core::ObjectId> ids;
+  ids.reserve(cfg.shards);
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    ids.push_back(core::Runtime::self().alloc_object(bucket_bytes));
+  }
+  {
+    // First thread through installs; everyone else must agree (a
+    // mismatch means the callers' alloc sequences diverged).
+    std::lock_guard lk(mu_);
+    if (buckets_.empty()) {
+      cfg_ = cfg;
+      sharder_ = sharder;
+      buckets_ = ids;
+    } else {
+      LOTS_CHECK(buckets_ == ids, "KvStore::open: bucket ids diverged across callers");
+    }
+  }
+  // Warm each bucket's home onto its owning rank: the owner writes the
+  // header slot (slot 0 — never probed), making it the bucket's single
+  // writer, and the barrier migrates the home to it. One writer thread
+  // per node; the write must change bytes or it produces no diff.
+  if (core::Runtime::thread_index() == 0) {
+    const int rank = lots::my_rank();
+    for (uint32_t s = 0; s < cfg.shards; ++s) {
+      if (sharder.rank_of(s) != rank) continue;
+      core::Pointer<Slot> b(ids[s]);
+      b[0] = Slot{~0ull, s, static_cast<uint64_t>(rank), 1};
+    }
+  }
+  lots::barrier();
+}
+
+size_t KvStore::probe_start(Key key) const { return mix64(key) % cfg_.slots_per_shard; }
+
+GetResult KvStore::get(Key key) {
+  if (!opened()) throw UsageError("KvStore::get before open()");
+  counters_.gets.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t shard = sharder_.shard_of(key);
+  const core::Pointer<Slot> b(buckets_[shard]);
+  const size_t cap = cfg_.slots_per_shard;
+  const size_t start = probe_start(key);
+
+  GetResult res;
+  lots::acquire(lock_of(shard));
+  for (size_t i = 0; i < cap; ++i) {
+    const Slot cur = b[1 + (start + i) % cap];
+    if (cur.key1 == 0) break;  // empty slot ends the probe chain
+    if (cur.key1 == key + 1) {
+      if (cur.live) res = {true, cur.version, cur.value};
+      else res = {false, cur.version, 0};  // tombstone: version survives
+      break;
+    }
+  }
+  lots::release(lock_of(shard));
+  if (res.found) counters_.hits.fetch_add(1, std::memory_order_relaxed);
+  return res;
+}
+
+uint64_t KvStore::put(Key key, uint64_t value) {
+  if (!opened()) throw UsageError("KvStore::put before open()");
+  counters_.puts.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t shard = sharder_.shard_of(key);
+  const core::Pointer<Slot> b(buckets_[shard]);
+  const size_t cap = cfg_.slots_per_shard;
+  const size_t start = probe_start(key);
+
+  lots::acquire(lock_of(shard));
+  size_t slot_idx = 0;   // 0 = not found (the header index, never a table slot)
+  size_t empty_idx = 0;  // first truly-empty slot on the chain
+  for (size_t i = 0; i < cap; ++i) {
+    const size_t j = 1 + (start + i) % cap;
+    const Slot cur = b[j];
+    if (cur.key1 == 0) {
+      empty_idx = j;
+      break;
+    }
+    if (cur.key1 == key + 1) {
+      slot_idx = j;  // live or our own tombstone: either way it is ours
+      break;
+    }
+    // Another key's slot (live or tombstone): probe past it. Tombstones
+    // are never reclaimed for a different key — the per-key version
+    // counter lives in the slot and must survive deletion.
+  }
+  uint64_t new_version = 0;
+  if (slot_idx != 0) {
+    Slot cur = b[slot_idx];
+    new_version = cur.version + 1;
+    b[slot_idx] = Slot{key + 1, new_version, value, 1};
+  } else if (empty_idx != 0) {
+    new_version = 1;
+    b[empty_idx] = Slot{key + 1, new_version, value, 1};
+    counters_.inserts.fetch_add(1, std::memory_order_relaxed);
+  }
+  lots::release(lock_of(shard));
+  if (new_version == 0) {
+    throw UsageError("lots_kv: shard bucket full — raise KvConfig::slots_per_shard "
+                     "(LOTS_KV_SLOTS) or shards (LOTS_KV_SHARDS)");
+  }
+  return new_version;
+}
+
+bool KvStore::erase(Key key) {
+  if (!opened()) throw UsageError("KvStore::erase before open()");
+  counters_.erases.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t shard = sharder_.shard_of(key);
+  const core::Pointer<Slot> b(buckets_[shard]);
+  const size_t cap = cfg_.slots_per_shard;
+  const size_t start = probe_start(key);
+
+  bool erased = false;
+  lots::acquire(lock_of(shard));
+  for (size_t i = 0; i < cap; ++i) {
+    const size_t j = 1 + (start + i) % cap;
+    const Slot cur = b[j];
+    if (cur.key1 == 0) break;
+    if (cur.key1 == key + 1) {
+      if (cur.live) {
+        b[j] = Slot{cur.key1, cur.version + 1, 0, 0};
+        erased = true;
+      }
+      break;
+    }
+  }
+  lots::release(lock_of(shard));
+  return erased;
+}
+
+std::vector<ScanItem> KvStore::scan(Key lo, Key hi, size_t limit) {
+  if (!opened()) throw UsageError("KvStore::scan before open()");
+  counters_.scans.fetch_add(1, std::memory_order_relaxed);
+  std::vector<ScanItem> out;
+  // Ascending-range shard walk; each bucket is read in full under its
+  // own lock ("read acquire"), so every shard contributes a consistent
+  // snapshot. Ranges are disjoint and walked in order, so a plain sort
+  // per shard keeps the whole result ascending.
+  for (const uint32_t shard : sharder_.shards_covering(lo, hi)) {
+    const core::Pointer<Slot> b(buckets_[shard]);
+    const size_t cap = cfg_.slots_per_shard;
+    const size_t before = out.size();
+    lots::acquire(lock_of(shard));
+    for (size_t j = 1; j <= cap; ++j) {
+      const Slot cur = b[j];
+      if (cur.key1 == 0 || !cur.live) continue;
+      const Key key = cur.key1 - 1;
+      if (key < lo || key > hi) continue;
+      out.push_back({key, cur.version, cur.value});
+    }
+    lots::release(lock_of(shard));
+    std::sort(out.begin() + static_cast<ptrdiff_t>(before), out.end(),
+              [](const ScanItem& a, const ScanItem& b2) { return a.key < b2.key; });
+    if (limit != 0 && out.size() >= limit) {
+      out.resize(limit);
+      break;
+    }
+  }
+  counters_.scan_items.fetch_add(out.size(), std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace lots::service

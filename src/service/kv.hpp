@@ -1,0 +1,147 @@
+// lots_kv — a range-sharded key-value service on top of the DSM.
+//
+// The store is a Sharder-partitioned key space where every shard owns
+//  * one DSM lock (KvConfig::lock_base + shard id), and
+//  * one bucket object: a fixed-capacity open-addressed slot table
+//    (kv_detail::Slot) living in the large object space.
+// A verb is a critical section on the owning shard's lock: get/put/
+// erase acquire, probe the bucket through ordinary access checks, and
+// release — Scope Consistency makes every earlier critical section on
+// that lock visible, so per-bucket operations are sequentially
+// consistent (and single-key operations linearizable) without any
+// service-private coherence. scan() walks the shards covering the key
+// range in ascending range order, taking each shard's lock in turn
+// ("read acquires" — the DSM's locks are exclusive; a scan holds each
+// one only for the duration of its bucket walk).
+//
+// Versioning: every slot carries a per-key version counter that each
+// successful put and erase increments inside the critical section.
+// Versions are monotonic per key for the bucket's lifetime — erase
+// tombstones a slot (live = 0) but keeps the key and its counter, and a
+// tombstone is reused only by its own key — which is what the load
+// harness's client-side read-your-writes model checks against.
+//
+// Execution model: verbs must run on app threads (they use the
+// per-thread DSM surface). Client threads never call verbs directly —
+// they enqueue closures on a core::WorkQueue that the node's app
+// threads drain via lots::serve() (the request-queue execution mode).
+// open() is COLLECTIVE exactly like lots::Pointer::alloc — every app
+// thread of every node must call it with identical arguments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/api.hpp"
+#include "service/sharder.hpp"
+
+namespace lots::service {
+
+/// Store geometry. Every node must use identical values (the bucket
+/// allocation sequence is SPMD).
+struct KvConfig {
+  /// Shard count: buckets, locks and Sharder ranges all scale with it.
+  /// CI/bench knob: LOTS_KV_SHARDS / lots_launch --kv-shards.
+  uint32_t shards = 32;
+  /// Open-addressed slots per bucket. The store holds at most
+  /// shards * slots_per_shard distinct keys EVER (tombstones keep their
+  /// slot so per-key versions survive deletion); a full bucket makes
+  /// put() throw. Size it ~2x the expected keys per shard.
+  size_t slots_per_shard = 512;
+  /// First DSM lock id used by the store; shard s locks
+  /// lock_base + s. Callers using their own locks must keep them below
+  /// this base ("KV" in ASCII, leaving the low id space to apps).
+  uint32_t lock_base = 0x4B56'0000;
+
+  /// Reads LOTS_KV_SHARDS / LOTS_KV_SLOTS over the defaults (strict
+  /// parses: a typo fails loudly).
+  static KvConfig from_env();
+};
+
+struct GetResult {
+  bool found = false;
+  uint64_t version = 0;  ///< 0 when !found and the key never existed
+  uint64_t value = 0;
+};
+
+struct ScanItem {
+  uint64_t key = 0;
+  uint64_t version = 0;
+  uint64_t value = 0;
+};
+
+namespace kv_detail {
+/// One bucket slot. key1 is key+1 so 0 means "never used"; live
+/// distinguishes a present key from its tombstone. Trivially copyable:
+/// buckets are raw-byte DSM objects.
+struct Slot {
+  uint64_t key1 = 0;
+  uint64_t version = 0;
+  uint64_t value = 0;
+  uint64_t live = 0;
+};
+static_assert(sizeof(Slot) == 32);
+}  // namespace kv_detail
+
+class KvStore {
+ public:
+  using Key = Sharder::Key;
+
+  /// Collective: every app thread of every node calls open() with the
+  /// same cfg/sharder at the same point of its program. Allocates the
+  /// shard buckets, warms each bucket's home onto its owning rank
+  /// (sharder.rank_of), and barriers. The sharder must have exactly
+  /// cfg.shards shards.
+  void open(const KvConfig& cfg, const Sharder& sharder);
+  /// Convenience collective open: a uniform sharder striping
+  /// cfg.shards across the cluster's ranks.
+  void open(const KvConfig& cfg);
+
+  // ---- verbs (app threads only) ----
+  GetResult get(Key key);
+  /// Writes key=value, returns the key's NEW version (old + 1; 1 for a
+  /// key never written). Throws UsageError when the shard bucket is
+  /// out of slots.
+  uint64_t put(Key key, uint64_t value);
+  /// Tombstones the key (version still bumps). Returns whether the key
+  /// was present.
+  bool erase(Key key);
+  /// Live entries with lo <= key <= hi, ascending by key, at most
+  /// `limit` (0 = unlimited). Shard-by-shard under the shard locks: the
+  /// result is a consistent snapshot per shard, not across shards.
+  std::vector<ScanItem> scan(Key lo, Key hi, size_t limit = 0);
+
+  [[nodiscard]] const Sharder& sharder() const { return sharder_; }
+  [[nodiscard]] const KvConfig& config() const { return cfg_; }
+  [[nodiscard]] bool opened() const { return !buckets_.empty(); }
+
+  /// Process-level verb counters (all app threads of this process).
+  struct Counters {
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> puts{0};
+    std::atomic<uint64_t> inserts{0};  ///< puts that created the key
+    std::atomic<uint64_t> erases{0};
+    std::atomic<uint64_t> scans{0};
+    std::atomic<uint64_t> scan_items{0};
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  /// Slot index layout: slot 0 is the warm-up header (never probed),
+  /// the open-addressed table is slots [1, slots_per_shard].
+  [[nodiscard]] size_t probe_start(Key key) const;
+  [[nodiscard]] uint32_t lock_of(uint32_t shard) const { return cfg_.lock_base + shard; }
+
+  KvConfig cfg_;
+  Sharder sharder_;
+  /// Bucket object ids, indexed by shard. Installed once under mu_;
+  /// read-only afterwards (verbs touch it lock-free).
+  std::vector<core::ObjectId> buckets_;
+  std::mutex mu_;  ///< guards the one-time install in open()
+  Counters counters_;
+};
+
+}  // namespace lots::service

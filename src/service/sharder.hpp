@@ -1,0 +1,148 @@
+// Range sharding for the service layer (lots_kv): a sorted lower-bound
+// split-point map from keys to shard ids, with shards striped across
+// node ranks.
+//
+// The key space is uint64_t; string keys enter through key_of(), an
+// order-preserving big-endian packing of the first 8 bytes, so string
+// ranges and u64 ranges shard identically. shard_of(k) answers "which
+// shard owns k" with one binary search over the split points: the shard
+// of the GREATEST split point <= k (lower-bound semantics — a key
+// sitting exactly on a split boundary belongs to the shard that starts
+// there).
+//
+// Shard ids are STABLE under rebalancing: insert_split() carves a new
+// shard out of an existing range and appends a fresh id, so every key
+// below the new split keeps its old shard (and therefore its old lock
+// and bucket object) — only keys at or above the split move, and they
+// move to a shard that did not exist before. That is what makes a
+// split-point insertion safe to run against a live store: no existing
+// bucket's ownership silently changes out from under its lock.
+//
+// Rank striping: rank_of(shard) defaults to shard % nprocs (uniform()),
+// but any assignment — including non-contiguous ones — can be installed
+// with set_rank(); the map never assumes contiguity.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lots::service {
+
+class Sharder {
+ public:
+  using Key = uint64_t;
+
+  /// The empty map: one implicit shard 0 covering the whole key space,
+  /// owned by rank 0. Every lookup is well-defined from birth.
+  Sharder() = default;
+
+  /// Uniform construction: `num_shards` equal ranges over the full
+  /// uint64 space (split s at s * 2^64 / num_shards), shard s striped
+  /// to rank s % nprocs.
+  static Sharder uniform(uint32_t num_shards, int nprocs) {
+    if (num_shards == 0) throw UsageError("Sharder::uniform: num_shards must be >= 1");
+    if (nprocs < 1) throw UsageError("Sharder::uniform: nprocs must be >= 1");
+    Sharder s;
+    s.splits_.clear();
+    s.ranks_.clear();
+    const Key step = ~Key{0} / num_shards + 1;  // 2^64 / num_shards, rounded up
+    for (uint32_t i = 0; i < num_shards; ++i) {
+      s.splits_.emplace_back(step * i, i);
+      s.ranks_.push_back(static_cast<int>(i) % nprocs);
+    }
+    return s;
+  }
+
+  /// Order-preserving u64 image of a string key: the first 8 bytes,
+  /// big-endian, shorter strings zero-padded. Compares like memcmp on
+  /// the leading bytes, so lexicographic string ranges map to
+  /// contiguous u64 ranges.
+  [[nodiscard]] static Key key_of(std::string_view s) {
+    Key k = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      k <<= 8;
+      if (i < s.size()) k |= static_cast<unsigned char>(s[i]);
+    }
+    return k;
+  }
+
+  /// The shard owning `k`: the entry with the greatest split point
+  /// <= k. The split at 0 (always present) makes every key covered.
+  [[nodiscard]] uint32_t shard_of(Key k) const {
+    // First entry with split > k, then step back one. splits_[0].first
+    // is always 0, so the iterator can never be begin().
+    auto it = std::upper_bound(splits_.begin(), splits_.end(), k,
+                               [](Key key, const auto& e) { return key < e.first; });
+    return std::prev(it)->second;
+  }
+
+  /// Rank hosting `shard` (its lock + bucket objects live best there).
+  [[nodiscard]] int rank_of(uint32_t shard) const {
+    if (shard >= ranks_.size()) throw UsageError("Sharder::rank_of: no such shard");
+    return ranks_[shard];
+  }
+
+  /// Reassign a shard to a rank (non-contiguous layouts are fine).
+  void set_rank(uint32_t shard, int rank) {
+    if (shard >= ranks_.size()) throw UsageError("Sharder::set_rank: no such shard");
+    if (rank < 0) throw UsageError("Sharder::set_rank: negative rank");
+    ranks_[shard] = rank;
+  }
+
+  /// Carve a new shard starting at `split`, owned by `rank`. Returns the
+  /// new shard's id (always num_shards() before the call — existing ids
+  /// never move). A split point that already exists is rejected: the
+  /// range it would create is empty, and silently reassigning the
+  /// existing shard would violate the stable-id contract.
+  uint32_t insert_split(Key split, int rank) {
+    if (rank < 0) throw UsageError("Sharder::insert_split: negative rank");
+    auto it = std::lower_bound(splits_.begin(), splits_.end(), split,
+                               [](const auto& e, Key key) { return e.first < key; });
+    if (it != splits_.end() && it->first == split) {
+      throw UsageError("Sharder::insert_split: split point already exists");
+    }
+    const auto id = static_cast<uint32_t>(ranks_.size());
+    splits_.emplace(it, split, id);
+    ranks_.push_back(rank);
+    return id;
+  }
+
+  /// Inclusive key range [lo, hi] currently owned by `shard`.
+  [[nodiscard]] std::pair<Key, Key> range_of(uint32_t shard) const {
+    for (size_t i = 0; i < splits_.size(); ++i) {
+      if (splits_[i].second != shard) continue;
+      const Key hi = (i + 1 < splits_.size()) ? splits_[i + 1].first - 1 : ~Key{0};
+      return {splits_[i].first, hi};
+    }
+    throw UsageError("Sharder::range_of: no such shard");
+  }
+
+  /// Shards whose ranges intersect [lo, hi], ascending by range — the
+  /// walk order of a scan.
+  [[nodiscard]] std::vector<uint32_t> shards_covering(Key lo, Key hi) const {
+    std::vector<uint32_t> out;
+    if (lo > hi) return out;
+    for (size_t i = 0; i < splits_.size(); ++i) {
+      const Key range_lo = splits_[i].first;
+      const Key range_hi = (i + 1 < splits_.size()) ? splits_[i + 1].first - 1 : ~Key{0};
+      if (range_hi < lo || range_lo > hi) continue;
+      out.push_back(splits_[i].second);
+    }
+    return out;
+  }
+
+  [[nodiscard]] uint32_t num_shards() const { return static_cast<uint32_t>(ranks_.size()); }
+
+ private:
+  /// (lower bound, shard id), sorted by lower bound; the first entry is
+  /// always (0, 0) so every key has an owner.
+  std::vector<std::pair<Key, uint32_t>> splits_{{Key{0}, 0u}};
+  std::vector<int> ranks_{0};  ///< shard id -> owning rank
+};
+
+}  // namespace lots::service

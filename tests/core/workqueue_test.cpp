@@ -1,0 +1,99 @@
+// WorkQueue unit tests: the request-queue execution mode substrate.
+// Pure threading semantics here (no DSM) — the service-layer behavior
+// on top of it is covered by tests/service/kv_test.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/workqueue.hpp"
+
+namespace lots::core {
+namespace {
+
+TEST(WorkQueue, ServeDrainsThenReturnsOnClose) {
+  WorkQueue q;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) q.push([&] { ++ran; });
+  q.close();
+  EXPECT_EQ(q.serve(), 10u);  // close() does NOT drop queued items
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_EQ(q.executed(), 10u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(WorkQueue, PushAfterCloseFails) {
+  WorkQueue q;
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push([] {}));
+  EXPECT_EQ(q.serve(), 0u);
+}
+
+TEST(WorkQueue, ServeOneIsNonBlocking) {
+  WorkQueue q;
+  EXPECT_FALSE(q.serve_one());  // empty ≠ closed: just nothing to do now
+  int ran = 0;
+  q.push([&] { ++ran; });
+  EXPECT_TRUE(q.serve_one());
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(q.serve_one());
+}
+
+TEST(WorkQueue, ZeroCapacityRejected) { EXPECT_THROW(WorkQueue q(0), std::exception); }
+
+TEST(WorkQueue, MultiProducerMultiConsumer) {
+  constexpr int kProducers = 4, kConsumers = 3, kPerProducer = 500;
+  WorkQueue q(16);  // small capacity: producers must hit the full-queue wait
+  std::atomic<int> ran{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] { q.serve(); });
+  }
+  std::vector<std::thread> producers;
+  std::atomic<int> live{kProducers};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push([&] { ++ran; }));
+      }
+      if (live.fetch_sub(1) == 1) q.close();  // last producer out closes
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+  EXPECT_EQ(q.executed(), static_cast<uint64_t>(kProducers * kPerProducer));
+}
+
+TEST(WorkQueue, CloseWakesBlockedProducer) {
+  WorkQueue q(1);
+  ASSERT_TRUE(q.push([] {}));  // queue now full
+  std::atomic<bool> pushed{false}, returned{false};
+  std::thread producer([&] {
+    pushed = q.push([] {});  // blocks on the full queue
+    returned = true;
+  });
+  // The producer is stuck until close() sweeps through the waiters.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  q.close();
+  producer.join();
+  EXPECT_FALSE(pushed.load());  // its item was rejected, not silently queued
+  EXPECT_EQ(q.serve(), 1u);     // the pre-close item still drains
+}
+
+TEST(WorkQueue, BlockedConsumerPicksUpLateItems) {
+  WorkQueue q;
+  std::atomic<int> ran{0};
+  std::thread consumer([&] { q.serve(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // consumer parks
+  for (int i = 0; i < 5; ++i) q.push([&] { ++ran; });
+  q.close();
+  consumer.join();
+  EXPECT_EQ(ran.load(), 5);
+}
+
+}  // namespace
+}  // namespace lots::core

@@ -1,0 +1,128 @@
+// Sharder unit tests: the lower-bound split-point map underneath
+// lots_kv. The rebalance cases pin the stable-id contract — the whole
+// reason a split insertion is safe against a live store.
+#include <gtest/gtest.h>
+
+#include "service/sharder.hpp"
+
+namespace lots::service {
+namespace {
+
+using Key = Sharder::Key;
+
+TEST(Sharder, EmptyMapIsOneShardOwningEverything) {
+  const Sharder s;
+  EXPECT_EQ(s.num_shards(), 1u);
+  EXPECT_EQ(s.shard_of(0), 0u);
+  EXPECT_EQ(s.shard_of(1), 0u);
+  EXPECT_EQ(s.shard_of(~Key{0}), 0u);
+  EXPECT_EQ(s.rank_of(0), 0);
+  EXPECT_EQ(s.range_of(0), (std::pair<Key, Key>{0, ~Key{0}}));
+}
+
+TEST(Sharder, SingleSplitPoint) {
+  Sharder s;
+  const uint32_t hi = s.insert_split(1000, 1);
+  EXPECT_EQ(hi, 1u);
+  EXPECT_EQ(s.num_shards(), 2u);
+  EXPECT_EQ(s.shard_of(0), 0u);
+  EXPECT_EQ(s.shard_of(999), 0u);
+  EXPECT_EQ(s.shard_of(1000), hi);  // boundary key belongs to the NEW range
+  EXPECT_EQ(s.shard_of(~Key{0}), hi);
+  EXPECT_EQ(s.range_of(0), (std::pair<Key, Key>{0, 999}));
+  EXPECT_EQ(s.range_of(hi), (std::pair<Key, Key>{1000, ~Key{0}}));
+}
+
+TEST(Sharder, KeysOnSplitBoundaries) {
+  const Sharder s = Sharder::uniform(4, 2);
+  const Key step = ~Key{0} / 4 + 1;  // 2^62
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.shard_of(step * i), i);      // exactly on the split
+    EXPECT_EQ(s.shard_of(step * i + 1), i);  // just above it
+    if (i > 0) {
+      EXPECT_EQ(s.shard_of(step * i - 1), i - 1);  // just below
+    }
+  }
+}
+
+TEST(Sharder, UniformStripesRanksRoundRobin) {
+  const Sharder s = Sharder::uniform(8, 3);
+  ASSERT_EQ(s.num_shards(), 8u);
+  for (uint32_t i = 0; i < 8; ++i) EXPECT_EQ(s.rank_of(i), static_cast<int>(i % 3));
+  EXPECT_THROW(Sharder::uniform(0, 3), UsageError);
+  EXPECT_THROW(Sharder::uniform(4, 0), UsageError);
+}
+
+TEST(Sharder, NonContiguousRankAssignment) {
+  Sharder s = Sharder::uniform(4, 4);
+  s.set_rank(0, 3);
+  s.set_rank(1, 3);
+  s.set_rank(2, 0);  // ranks {3, 3, 0, 3}: rank 1 and 2 host nothing
+  s.set_rank(3, 3);
+  EXPECT_EQ(s.rank_of(0), 3);
+  EXPECT_EQ(s.rank_of(1), 3);
+  EXPECT_EQ(s.rank_of(2), 0);
+  EXPECT_EQ(s.rank_of(3), 3);
+  EXPECT_THROW(s.set_rank(4, 0), UsageError);
+  EXPECT_THROW(s.set_rank(0, -1), UsageError);
+  EXPECT_THROW((void)s.rank_of(4), UsageError);
+}
+
+TEST(Sharder, RebalanceSafeLookupAfterSplitInsertion) {
+  Sharder s;
+  const uint32_t a = s.insert_split(100, 1);  // [0,99]=0 [100,max]=a
+  const uint32_t b = s.insert_split(200, 2);  // carve [200,max] out of a
+
+  // Stable ids: the new shard got a FRESH id; ids below the split kept
+  // their shard, so their locks and bucket objects are untouched.
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(s.shard_of(50), 0u);
+  EXPECT_EQ(s.shard_of(100), a);
+  EXPECT_EQ(s.shard_of(199), a);   // below the new split: unchanged owner
+  EXPECT_EQ(s.shard_of(200), b);   // at/above: moved to the NEW shard only
+  EXPECT_EQ(s.shard_of(~Key{0}), b);
+
+  // Splitting in the middle of an existing range keeps both neighbors.
+  const uint32_t c = s.insert_split(150, 0);
+  EXPECT_EQ(c, 3u);
+  EXPECT_EQ(s.shard_of(149), a);
+  EXPECT_EQ(s.shard_of(150), c);
+  EXPECT_EQ(s.shard_of(199), c);
+  EXPECT_EQ(s.shard_of(200), b);
+  EXPECT_EQ(s.range_of(a), (std::pair<Key, Key>{100, 149}));
+  EXPECT_EQ(s.range_of(c), (std::pair<Key, Key>{150, 199}));
+
+  // A duplicate split would create an empty range: rejected.
+  EXPECT_THROW(s.insert_split(150, 0), UsageError);
+  EXPECT_THROW(s.insert_split(0, 0), UsageError);  // the implicit base split
+}
+
+TEST(Sharder, ShardsCoveringWalksRangesAscending) {
+  Sharder s;
+  const uint32_t a = s.insert_split(100, 0);
+  const uint32_t b = s.insert_split(200, 0);
+  EXPECT_EQ(s.shards_covering(0, 99), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(s.shards_covering(50, 150), (std::vector<uint32_t>{0, a}));
+  EXPECT_EQ(s.shards_covering(50, 250), (std::vector<uint32_t>{0, a, b}));
+  EXPECT_EQ(s.shards_covering(100, 100), (std::vector<uint32_t>{a}));
+  EXPECT_EQ(s.shards_covering(250, ~Key{0}), (std::vector<uint32_t>{b}));
+  EXPECT_TRUE(s.shards_covering(10, 5).empty());  // inverted range
+}
+
+TEST(Sharder, KeyOfIsOrderPreserving) {
+  EXPECT_LT(Sharder::key_of("apple"), Sharder::key_of("banana"));
+  EXPECT_LT(Sharder::key_of("app"), Sharder::key_of("apple"));  // prefix sorts first
+  EXPECT_EQ(Sharder::key_of(""), 0u);
+  // Only the first 8 bytes participate: longer keys collide by design.
+  EXPECT_EQ(Sharder::key_of("abcdefgh"), Sharder::key_of("abcdefghZZZ"));
+  EXPECT_EQ(Sharder::key_of("a"), Key{'a'} << 56);
+  // String ranges shard like their u64 images.
+  Sharder s;
+  s.insert_split(Sharder::key_of("m"), 1);
+  EXPECT_EQ(s.shard_of(Sharder::key_of("kiwi")), 0u);
+  EXPECT_EQ(s.shard_of(Sharder::key_of("melon")), 1u);
+}
+
+}  // namespace
+}  // namespace lots::service

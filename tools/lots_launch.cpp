@@ -10,17 +10,25 @@
 //
 // Usage:
 //   lots_launch [-n N] [--threads M] [--stripes K] [--drop P] [--reorder P]
-//               [--dup P] [--seed S] [--timeout SECONDS] [--] prog [args...]
+//               [--dup P] [--seed S] [--timeout SECONDS]
+//               [--kv-shards S] [--kv-clients C] [--] prog [args...]
 //
 // --threads M puts LOTS_THREADS=M in the worker environment: each of
 // the N processes hosts M application threads on its rank (hybrid
 // N-process × M-thread mode). --stripes K puts LOTS_NET_STRIPES=K there:
 // each worker's transport runs K sockets/pump threads (0 = auto).
 //
+// Service knobs: --kv-shards S / --kv-clients C put LOTS_KV_SHARDS /
+// LOTS_KV_CLIENTS in every worker's environment — the lots_kv store
+// geometry must be cluster-uniform (collective bucket allocation), so
+// the launcher is the right place to set it, and the load harness
+// spawns C closed-loop client threads per worker.
+//
 // Examples:
 //   lots_launch -n 4 ./example_quickstart
 //   lots_launch -n 2 --threads 2 ./example_quickstart
 //   lots_launch -n 4 --drop 0.01 --stripes 4 ./bench_fig8_sor
+//   lots_launch -n 4 --threads 2 --kv-shards 32 --kv-clients 4 ./bench_kv_load
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -46,15 +54,18 @@ uint64_t now_ms() { return lots::now_us() / 1000; }
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-n N] [--threads M] [--stripes K] [--drop P] [--reorder P]\n"
-               "          [--dup P] [--seed S] [--timeout SECONDS] [--] prog [args...]\n",
+               "          [--dup P] [--seed S] [--timeout SECONDS]\n"
+               "          [--kv-shards S] [--kv-clients C] [--] prog [args...]\n",
                argv0);
   std::exit(2);
 }
 
 struct Options {
   int nprocs = 4;
-  int threads = 1;   // app threads per worker process (LOTS_THREADS)
-  int stripes = -1;  // socket stripes per worker; -1 = leave unset (auto)
+  int threads = 1;     // app threads per worker process (LOTS_THREADS)
+  int stripes = -1;    // socket stripes per worker; -1 = leave unset (auto)
+  int kv_shards = -1;  // lots_kv shard count; -1 = leave unset (harness default)
+  int kv_clients = -1; // lots_kv client threads per worker; -1 = leave unset
   double drop = 0.0, reorder = 0.0, dup = 0.0;
   uint64_t seed = 1;
   uint64_t timeout_s = 120;
@@ -76,6 +87,10 @@ Options parse(int argc, char** argv) {
       o.threads = std::atoi(next());
     } else if (a == "--stripes") {
       o.stripes = std::atoi(next());
+    } else if (a == "--kv-shards") {
+      o.kv_shards = std::atoi(next());
+    } else if (a == "--kv-clients") {
+      o.kv_clients = std::atoi(next());
     } else if (a == "--drop") {
       o.drop = std::atof(next());
     } else if (a == "--reorder") {
@@ -97,7 +112,8 @@ Options parse(int argc, char** argv) {
   }
   for (; i < argc; ++i) o.child_argv.push_back(argv[i]);
   if (o.child_argv.empty() || o.nprocs < 1 || o.nprocs > 256 || o.threads < 1 ||
-      o.threads > 256 || o.stripes > 64) {
+      o.threads > 256 || o.stripes > 64 || o.kv_shards == 0 || o.kv_shards > (1 << 16) ||
+      o.kv_clients == 0 || o.kv_clients > 1024) {
     usage(argv[0]);
   }
   // Reject bad fault probabilities HERE: otherwise every forked worker
@@ -123,6 +139,8 @@ void set_worker_env(const Options& o, uint16_t coord_port) {
   setenv(kEnvDup, std::to_string(o.dup).c_str(), 1);
   setenv(kEnvFaultSeed, std::to_string(o.seed).c_str(), 1);
   if (o.stripes >= 0) setenv(kEnvNetStripes, std::to_string(o.stripes).c_str(), 1);
+  if (o.kv_shards > 0) setenv(kEnvKvShards, std::to_string(o.kv_shards).c_str(), 1);
+  if (o.kv_clients > 0) setenv(kEnvKvClients, std::to_string(o.kv_clients).c_str(), 1);
 }
 
 }  // namespace
