@@ -1,0 +1,258 @@
+// Adaptive home-migration ablation (self-gating): lock-release-driven
+// home migration on the skewed-service kv shape, migration on/off.
+//
+// Topology: an in-proc 4-rank cluster runs a KvStore where every
+// shard's dominant writer is a DIFFERENT rank than the shard's warmed
+// home — the "skewed service traffic" pathology. With LOTS_MIGRATE off,
+// every put's release ships the bucket diff around the token loop
+// forever and every re-acquire re-fetches from the remote home. With
+// it on, the lock manager spots the single-writer streak from the
+// kLockRelease dominance piggyback, the home hands itself to the
+// writer, and from then on each release commits in place and the chain
+// carries a ~14 B home-commit notice instead of the bucket diff.
+//
+// Cells (all must land on the bit-identical final-state digest):
+//   skew/off      — baseline payload (no mid-run barriers: the barrier
+//                   planner never gets a chance to migrate either).
+//   skew/on       — the tentpole. Gates: diff payload cut >= 1.5x,
+//                   lock-driven adoptions actually happened.
+//   pingpong/off  — alternating writers, migration off (digest anchor).
+//   pingpong/on   — alternating writers, migration on. Gate: the A-B-A
+//                   damping pins the homes — lock migrations stay
+//                   bounded by 2 per bucket instead of one per turn.
+//
+// Prints MIGRATION_ABL_OK / _FAIL and exits non-zero on failure so CI
+// can gate on it; BENCH_JSON rows feed scripts/update_bench_history.py.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/api.hpp"
+#include "service/kv.hpp"
+
+namespace {
+
+using lots::Config;
+using lots::NodeStats;
+using lots::bench::JsonLine;
+using lots::service::KvConfig;
+using lots::service::KvStore;
+using lots::service::ScanItem;
+using lots::service::Sharder;
+
+constexpr int kProcs = 4;
+constexpr uint32_t kShards = 16;
+constexpr uint64_t kKeysPerShard = 4;
+constexpr uint64_t kKeys = kShards * kKeysPerShard;
+constexpr int kRounds = 12;
+
+/// Same (key, version) -> value derivation everywhere, so the digest
+/// cannot agree across cells unless no write was lost or reordered.
+uint64_t value_for(uint64_t key, uint64_t version) {
+  uint64_t x = key * 0x9E3779B97F4A7C15ull ^ version * 0xC2B2AE3D27D4EB4Full;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over u64s.
+struct Digest {
+  uint64_t h = 1469598103934665603ull;
+  void mix(uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+struct CellResult {
+  uint64_t digest = 0;
+  uint64_t items = 0;
+  uint64_t version_skews = 0;  ///< puts that returned an unexpected version
+  uint64_t diff_payload_bytes = 0;
+  uint64_t lock_migrations = 0;
+  uint64_t home_migrations = 0;
+  uint64_t home_commit_notices = 0;
+  uint64_t fetch_redirect_retries = 0;
+};
+
+Sharder build_sharder() {
+  // Dense keys, kKeysPerShard per shard, shard s homed at rank s % p.
+  Sharder sh;
+  for (uint32_t s = 1; s < kShards; ++s) {
+    sh.insert_split(static_cast<uint64_t>(s) * kKeysPerShard, static_cast<int>(s) % kProcs);
+  }
+  return sh;
+}
+
+/// The skewed shape: shard s is written ONLY by rank (s % p + 1) % p —
+/// never its warmed home. The ping-pong shape: shards alternate between
+/// two non-home writers round by round (a barrier separates rounds so
+/// the alternation is a real A-B-A-B release sequence at the manager).
+int writer_of(uint32_t shard, int round, bool pingpong) {
+  const int home = static_cast<int>(shard) % kProcs;
+  if (!pingpong) return (home + 1) % kProcs;
+  return (home + 1 + round % 2) % kProcs;
+}
+
+CellResult run_cell(bool migrate, bool pingpong) {
+  Config cfg = lots::bench::fig8_config(kProcs);
+  cfg.lock_migration = migrate;
+  cfg.migrate_streak = 3;
+  lots::Runtime rt(cfg);
+  KvConfig kcfg;
+  kcfg.shards = kShards;
+  kcfg.slots_per_shard = 2 * kKeysPerShard + 2;
+  CellResult res;
+  std::atomic<uint64_t> skews{0};
+  rt.run([&](int rank) {
+    KvStore kv;
+    kv.open(kcfg, build_sharder());
+    for (int round = 0; round < kRounds; ++round) {
+      for (uint32_t s = 0; s < kShards; ++s) {
+        if (writer_of(s, round, pingpong) != rank) continue;
+        for (uint64_t j = 0; j < kKeysPerShard; ++j) {
+          const uint64_t key = static_cast<uint64_t>(s) * kKeysPerShard + j;
+          const uint64_t want = static_cast<uint64_t>(round) + 1;
+          if (kv.put(key, value_for(key, want)) != want) {
+            skews.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      // Ping-pong needs the barrier: the round's writer must see the
+      // previous writer's rounds complete before its own puts, or the
+      // per-key version sequence (and the A-B-A release pattern the
+      // damping is being tested against) would be racy. The skew shape
+      // deliberately runs barrier-free so the LOCK path — not the
+      // barrier planner — is the only thing that can move a home.
+      if (pingpong) lots::barrier();
+    }
+    lots::barrier();  // publish every writer's last interval
+    if (rank == 0) {
+      Digest d;
+      uint64_t items = 0;
+      for (const ScanItem& it : kv.scan(0, kKeys - 1)) {
+        d.mix(it.key);
+        d.mix(it.version);
+        d.mix(it.value);
+        ++items;
+      }
+      res.digest = d.h;
+      res.items = items;
+    }
+    lots::barrier();  // rank 0's scan still needs every home live
+  });
+  res.version_skews = skews.load();
+  NodeStats total;
+  rt.aggregate_stats(total);
+  res.diff_payload_bytes = total.diff_payload_bytes.load();
+  res.lock_migrations = total.lock_migrations.load();
+  res.home_migrations = total.home_migrations.load();
+  res.home_commit_notices = total.home_commit_notices.load();
+  res.fetch_redirect_retries = total.fetch_redirect_retries.load();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== adaptive home-migration ablation: skewed kv traffic ===\n");
+
+  CellResult cells[2][2];  // [pingpong][migrate]
+  for (int pp = 0; pp < 2; ++pp) {
+    for (int mig = 0; mig < 2; ++mig) {
+      CellResult& c = cells[pp][mig];
+      c = run_cell(mig != 0, pp != 0);
+      const char* shape = pp ? "pingpong" : "skew";
+      std::printf("%-8s migrate=%d: diff_payload=%llu B lockmig=%llu homemig=%llu "
+                  "notices=%llu redirect_retries=%llu skews=%llu digest=%016llx\n",
+                  shape, mig, static_cast<unsigned long long>(c.diff_payload_bytes),
+                  static_cast<unsigned long long>(c.lock_migrations),
+                  static_cast<unsigned long long>(c.home_migrations),
+                  static_cast<unsigned long long>(c.home_commit_notices),
+                  static_cast<unsigned long long>(c.fetch_redirect_retries),
+                  static_cast<unsigned long long>(c.version_skews),
+                  static_cast<unsigned long long>(c.digest));
+      char digest_hex[32];
+      std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                    static_cast<unsigned long long>(c.digest));
+      JsonLine("abl_migration")
+          .str("shape", shape)
+          .num("migrate", mig)
+          .num("diff_payload_bytes", c.diff_payload_bytes)
+          .num("lock_migrations", c.lock_migrations)
+          .num("home_migrations", c.home_migrations)
+          .num("home_commit_notices", c.home_commit_notices)
+          .num("fetch_redirect_retries", c.fetch_redirect_retries)
+          .num("version_skews", c.version_skews)
+          .str("digest", digest_hex)
+          .emit();
+    }
+  }
+
+  // ---- gates ----
+  bool ok = true;
+  for (int pp = 0; pp < 2; ++pp) {
+    for (int mig = 0; mig < 2; ++mig) {
+      const CellResult& c = cells[pp][mig];
+      if (c.version_skews != 0 || c.items != kKeys) {
+        std::printf("GATE FAIL: shape=%s migrate=%d broke the kv model (skews=%llu items=%llu)\n",
+                    pp ? "pingpong" : "skew", mig,
+                    static_cast<unsigned long long>(c.version_skews),
+                    static_cast<unsigned long long>(c.items));
+        ok = false;
+      }
+      // Every cell ends in the same final state: all keys at version
+      // kRounds. A digest split means migration lost or reordered a
+      // write somewhere.
+      if (c.digest != cells[0][0].digest) {
+        std::printf("GATE FAIL: digest mismatch at shape=%s migrate=%d\n",
+                    pp ? "pingpong" : "skew", mig);
+        ok = false;
+      }
+    }
+  }
+  const uint64_t payload_off = cells[0][0].diff_payload_bytes;
+  const uint64_t payload_on = cells[0][1].diff_payload_bytes;
+  const double reduction =
+      payload_on ? static_cast<double>(payload_off) / static_cast<double>(payload_on) : 0.0;
+  if (payload_on == 0 || payload_off < payload_on * 3 / 2) {
+    std::printf("GATE FAIL: skew diff-payload reduction %.2fx < 1.5x (%llu -> %llu bytes)\n",
+                reduction, static_cast<unsigned long long>(payload_off),
+                static_cast<unsigned long long>(payload_on));
+    ok = false;
+  }
+  if (cells[0][1].lock_migrations < kShards / 2) {
+    std::printf("GATE FAIL: skew/on adopted only %llu homes (want >= %u) — the lock "
+                "path is not migrating\n",
+                static_cast<unsigned long long>(cells[0][1].lock_migrations), kShards / 2);
+    ok = false;
+  }
+  if (cells[0][1].home_commit_notices == 0) {
+    std::printf("GATE FAIL: skew/on shipped zero home-commit notices — adoption never "
+                "paid off\n");
+    ok = false;
+  }
+  if (cells[0][0].lock_migrations != 0 || cells[1][0].lock_migrations != 0) {
+    std::printf("GATE FAIL: migration-off cells recorded lock migrations\n");
+    ok = false;
+  }
+  // Damping: an undamped ping-pong would migrate roughly once per
+  // writer turn (kRounds per bucket). The A-B-A history check must pin
+  // each bucket after at most two moves.
+  const uint64_t pp_cap = 2ull * kShards;
+  if (cells[1][1].lock_migrations > pp_cap) {
+    std::printf("GATE FAIL: ping-pong shape migrated %llu times (cap %llu) — damping "
+                "is not damping\n",
+                static_cast<unsigned long long>(cells[1][1].lock_migrations),
+                static_cast<unsigned long long>(pp_cap));
+    ok = false;
+  }
+
+  std::printf(ok ? "MIGRATION_ABL_OK reduction=%.2fx lockmig=%llu pingpong_lockmig=%llu\n"
+                 : "MIGRATION_ABL_FAIL reduction=%.2fx lockmig=%llu pingpong_lockmig=%llu\n",
+              reduction, static_cast<unsigned long long>(cells[0][1].lock_migrations),
+              static_cast<unsigned long long>(cells[1][1].lock_migrations));
+  return ok ? 0 : 1;
+}

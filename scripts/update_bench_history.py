@@ -61,12 +61,21 @@ def check_regressions(new_rows, history):
     if not history:
         print("check: no history to compare against — gate passes", file=sys.stderr)
         return []
+    last = history[-1]
+    if not isinstance(last, dict):
+        # A rotted artifact (truncated write, hand edit) must seed a new
+        # baseline, not crash the gate.
+        print("check: last history entry is malformed — gate passes", file=sys.stderr)
+        return []
     old_by_id = {}
-    for row in history[-1].get("rows", []):
-        old_by_id.setdefault(row_identity(row), row)
+    for row in last.get("rows", []):
+        if isinstance(row, dict):
+            old_by_id.setdefault(row_identity(row), row)
     offenders = []
     matched = 0
     for row in new_rows:
+        if not isinstance(row, dict):
+            continue
         old = old_by_id.get(row_identity(row))
         if old is None:
             continue
@@ -85,23 +94,36 @@ def check_regressions(new_rows, history):
                     f"{row.get('bench', '?')}[{row_identity(row)}] {key}: "
                     f"{old_v:g} -> {new_v:g} ({ratio:.2f}x, "
                     f"{'lower' if lower_better else 'higher'} is better)")
-    print(f"check: compared {matched} row(s) against {history[-1].get('sha', '?')}",
+    print(f"check: compared {matched} row(s) against {last.get('sha', '?')}",
           file=sys.stderr)
     return offenders
 
 
 def parse_rows(paths):
     rows, bad = [], 0
-    streams = [open(p, encoding="utf-8", errors="replace") for p in paths] or [sys.stdin]
-    for stream in streams:
+    streams = []
+    for p in paths:
+        try:
+            streams.append(open(p, encoding="utf-8", errors="replace"))
+        except OSError as e:
+            # A named-but-unreadable bench output means that bench never
+            # ran: fail loudly, but as a diagnosis, not a traceback.
+            print(f"error: cannot read bench output {p}: {e}", file=sys.stderr)
+            sys.exit(1)
+    for stream in streams or [sys.stdin]:
         with stream:
             for line in stream:
                 line = line.strip()
                 if not line.startswith(PREFIX):
                     continue
                 try:
-                    rows.append(json.loads(line[len(PREFIX):]))
+                    row = json.loads(line[len(PREFIX):])
                 except json.JSONDecodeError:
+                    bad += 1
+                    continue
+                if isinstance(row, dict):
+                    rows.append(row)
+                else:
                     bad += 1
     if bad:
         print(f"warning: skipped {bad} malformed BENCH_JSON line(s)", file=sys.stderr)

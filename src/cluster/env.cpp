@@ -96,10 +96,24 @@ bool configure_fastpath_from_env(Config& cfg) {
   return any;
 }
 
+bool configure_migrate_from_env(Config& cfg) {
+  bool any = false;
+  if (const char* s = std::getenv(kEnvMigrate); s && *s) {
+    cfg.lock_migration = std::string(s) != "0";
+    any = true;
+  }
+  if (const char* s = std::getenv(kEnvMigrateK); s && *s) {
+    cfg.migrate_streak = static_cast<uint32_t>(env_int(kEnvMigrateK, s, 1, 1024));
+    any = true;
+  }
+  return any;
+}
+
 bool configure_from_env(Config& cfg) {
   configure_threads_from_env(cfg);   // fabric-independent hybrid knob
   configure_fetch_from_env(cfg);     // fabric-independent fetch-engine knobs
   configure_fastpath_from_env(cfg);  // fabric-independent fast-path knobs
+  configure_migrate_from_env(cfg);   // fabric-independent migration knobs
   const char* port_s = std::getenv(kEnvCoordPort);
   if (!port_s) return false;
   const char* nprocs_s = std::getenv(kEnvNprocs);

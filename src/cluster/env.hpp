@@ -41,6 +41,13 @@ inline constexpr const char* kEnvBarrierReval = "LOTS_BARRIER_REVALIDATE";
 inline constexpr const char* kEnvAlb = "LOTS_ALB";
 inline constexpr const char* kEnvAlbSize = "LOTS_ALB_SIZE";
 inline constexpr const char* kEnvDiffRle = "LOTS_DIFF_RLE";
+/// Adaptive-migration knobs (fabric-independent): lock-release-driven
+/// home migration (Config::lock_migration — any non-empty value other
+/// than "0" enables) and its dominance threshold in consecutive
+/// single-writer release intervals (Config::migrate_streak), e.g.
+/// `LOTS_MIGRATE=1 LOTS_MIGRATE_K=3 ./bench_kv_load`.
+inline constexpr const char* kEnvMigrate = "LOTS_MIGRATE";
+inline constexpr const char* kEnvMigrateK = "LOTS_MIGRATE_K";
 /// Service-layer knobs (lots_kv). Store geometry — read by
 /// service::KvConfig::from_env on every node, so identical values must
 /// reach the whole cluster (lots_launch --kv-shards puts LOTS_KV_SHARDS
@@ -81,6 +88,10 @@ bool configure_fetch_from_env(Config& cfg);
 /// Applies LOTS_ALB / LOTS_ALB_SIZE / LOTS_DIFF_RLE to the access
 /// fast-path knobs (any fabric). Returns true when any was present.
 bool configure_fastpath_from_env(Config& cfg);
+
+/// Applies LOTS_MIGRATE / LOTS_MIGRATE_K to the adaptive-migration
+/// knobs (any fabric). Returns true when any was present.
+bool configure_migrate_from_env(Config& cfg);
 
 /// Strict env parses shared by the service/bench knobs: a missing or
 /// empty variable yields `dflt`; anything malformed or out of range

@@ -38,6 +38,12 @@ void Config::validate() const {
   if (alb_size < 2 || alb_size > (1u << 20) || (alb_size & (alb_size - 1)) != 0) {
     throw UsageError("Config.alb_size must be a power of two in [2, 1M]");
   }
+  if (migrate_streak < 1 || migrate_streak > 1024) {
+    throw UsageError("Config.migrate_streak must be in [1,1024]");
+  }
+  if (lock_migration && protocol != ProtocolMode::kMixed && protocol != ProtocolMode::kAdaptive) {
+    throw UsageError("Config.lock_migration needs a lock-diff protocol (kMixed or kAdaptive)");
+  }
   if (cluster.fabric == FabricKind::kUdp) {
     if (cluster.coord_port == 0) {
       throw UsageError("Config.cluster: kUdp needs the coordinator's rendezvous port");

@@ -127,6 +127,20 @@ struct Config {
   // -- Protocol knobs -----------------------------------------------------
   ProtocolMode protocol = ProtocolMode::kMixed;
   DiffMode diff_mode = DiffMode::kPerWordTimestamp;
+  /// Lock-release-driven adaptive home migration (ROADMAP "Adaptive home
+  /// migration"): the lock manager tracks per-object writer dominance
+  /// from the modified-object ids piggybacked on kLockRelease, and when
+  /// one remote node produces `migrate_streak` consecutive single-writer
+  /// release intervals for an object, initiates a home handoff to that
+  /// writer along the current-home chain (kHomeMigrate). Barrier-driven
+  /// migration (kAdaptive plans) is independent of this knob. Only
+  /// meaningful under kMixed/kAdaptive (locks ship diffs). Env:
+  /// LOTS_MIGRATE.
+  bool lock_migration = false;
+  /// Consecutive single-writer release intervals (per object, observed by
+  /// the lock manager) before a lock-driven home handoff triggers.
+  /// Env: LOTS_MIGRATE_K.
+  uint32_t migrate_streak = 3;
 
   // -- Access fast path (ARCHITECTURE.md "fast path") ---------------------
   /// Per-app-thread Access Lookaside Buffer: a small direct-mapped cache

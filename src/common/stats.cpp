@@ -30,6 +30,8 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.page_fetches);
   fn(s.invalidations);
   fn(s.home_migrations);
+  fn(s.lock_migrations);
+  fn(s.home_commit_notices);
   fn(s.lock_acquires);
   fn(s.barriers);
   fn(s.access_checks);
@@ -51,6 +53,7 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.prefetch_hits);
   fn(s.prefetch_wasted);
   fn(s.fetch_stall_us);
+  fn(s.fetch_redirect_retries);
   fn(s.service_items);
   fn(s.net_wait_us);
   fn(s.disk_wait_us);
@@ -95,6 +98,8 @@ void NodeStats::print(std::ostream& os, const std::string& label) const {
      << " diff_payload_bytes=" << diff_payload_bytes.load()
      << " rle_saved=" << diff_bytes_saved.load()
      << " inval=" << invalidations.load() << " homemig=" << home_migrations.load()
+     << " lockmig=" << lock_migrations.load() << " notices=" << home_commit_notices.load()
+     << " redirect_retries=" << fetch_redirect_retries.load()
      << " pipelined=" << fetch_pipelined.load() << " prefetch(iss/hit/waste)="
      << prefetch_issued.load() << "/" << prefetch_hits.load() << "/"
      << prefetch_wasted.load() << " fetch_stall_us=" << fetch_stall_us.load()

@@ -61,6 +61,13 @@ struct NodeStats {
   std::atomic<uint64_t> page_fetches{0};
   std::atomic<uint64_t> invalidations{0};
   std::atomic<uint64_t> home_migrations{0};
+  std::atomic<uint64_t> lock_migrations{0};      ///< home handoffs adopted via the
+                                                 ///< lock-release path (subset of
+                                                 ///< home_migrations, counted at
+                                                 ///< the adopting writer)
+  std::atomic<uint64_t> home_commit_notices{0};  ///< chain records converted to
+                                                 ///< home-commit notices because
+                                                 ///< the releaser was the home
   std::atomic<uint64_t> lock_acquires{0};
   std::atomic<uint64_t> barriers{0};
 
@@ -98,6 +105,9 @@ struct NodeStats {
                                              ///< before any access used them
   std::atomic<uint64_t> fetch_stall_us{0};   ///< wall time app threads spent
                                              ///< blocked on fetch replies
+  std::atomic<uint64_t> fetch_redirect_retries{0};  ///< redirect chases that
+                                             ///< revisited a home and backed
+                                             ///< off instead of aborting
 
   // service layer (request-queue execution mode, src/core/workqueue.hpp)
   std::atomic<uint64_t> service_items{0};  ///< client work items executed by

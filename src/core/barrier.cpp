@@ -140,6 +140,12 @@ void Node::barrier_leader() {
 
 std::vector<ObjectId> Node::apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan,
                                                uint32_t new_epoch) {
+  // Fence the lock-driven migration machinery FIRST: kHomeMigrate /
+  // kHomeMigrateAck messages stamped with the old generation are dropped
+  // from here on, so no handoff decided against pre-barrier state can
+  // land after the plan (which re-decides every modified object's home
+  // from the master's global view).
+  barrier_gen_.fetch_add(1, std::memory_order_relaxed);
   const bool write_update_everywhere = rt_.config().protocol == ProtocolMode::kWriteUpdateOnly;
   std::vector<ObjectId> adopt_remote;
   std::vector<ObjectId> invalidated_mapped;
@@ -153,8 +159,16 @@ std::vector<ObjectId> Node::apply_barrier_plan(const std::vector<BarrierPlanEntr
       m->valid_epoch = new_epoch;
       continue;
     }
+    const bool home_changed = m->home != e.new_home;
     m->home = e.new_home;
+    // Any half-done lock-driven handoff dies with the plan (a migrated
+    // object is by definition modified, so the plan always covers it).
+    m->migrating = false;
     if (e.new_home == rank_) {
+      // Home write under a still-valid mapping: a sibling ALB entry
+      // fast-pathing through the stale home would ship its next diffs
+      // to a node that no longer owns the object — defeat it.
+      if (home_changed) dir_.bump_generation(e.object);
       m->share = ShareState::kValid;
       m->valid_epoch = new_epoch;
       // A home must answer fetches from local state. If our only copy
@@ -192,12 +206,22 @@ std::vector<ObjectId> Node::apply_barrier_plan(const std::vector<BarrierPlanEntr
     ObjectMeta* m = dir_.find(id);
     if (m && m->on_remote) rehydrate_remote(*m, lk);
   }
-  // The barrier reconciles everything: scope update chains reset.
+  // The barrier reconciles everything: scope update chains reset, and
+  // the lock manager's dominance streaks restart from scratch (their
+  // old-home observations are void under the new plan). The migration
+  // HISTORY survives, though — ping-ponging writers commonly alternate
+  // across barriers (the paper's RX shape), and wiping the A-B-A record
+  // here would re-arm exactly the bounce the damping exists to stop.
   {
     std::lock_guard sl(sync_mu_);
     for (auto& [lock_id, tok] : tokens_) {
       (void)lock_id;
       tok.chain.clear();
+    }
+    for (auto& [id, st] : migrate_streaks_) {
+      (void)id;
+      st.last_writer = -1;
+      st.streak = 0;
     }
   }
   epoch_.store(new_epoch, std::memory_order_relaxed);

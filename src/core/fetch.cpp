@@ -3,7 +3,12 @@
 // design and the landing rules for piggybacked neighbors.
 #include "core/fetch.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <unordered_set>
 
 #include "common/clock.hpp"
@@ -18,6 +23,28 @@ namespace {
 /// one of this thread's own outstanding fetches (drain_active_window).
 thread_local FetchEngine* tls_window_engine = nullptr;
 thread_local void* tls_window_out = nullptr;
+
+/// Redirect chasing is bounded by DISTINCT homes visited, not a raw hop
+/// count: under lock-driven adaptive migration a long chain of
+/// legitimate moves is normal, while revisiting a home means our chase
+/// lapped the migration in flight — back off and retry instead of
+/// killing the process. The retry cap only exists to turn a genuinely
+/// corrupt home graph (a cycle that never settles) into a diagnosable
+/// failure rather than a silent spin.
+constexpr int kMaxRedirectRetries = 64;
+
+/// Linear backoff, capped: retry N sleeps N*100us (at most 1.6ms), long
+/// enough for an in-flight handoff's pointer flips to land.
+void redirect_backoff(int retries) {
+  std::this_thread::sleep_for(std::chrono::microseconds(100 * std::min(retries, 16)));
+}
+
+/// LOTS_DEBUG_HOME=1: trace redirect hops (same env as the lock-side
+/// migration trace — the two interleave into one event order).
+bool fetch_debug() {
+  static const bool on = std::getenv("LOTS_DEBUG_HOME") != nullptr;
+  return on;
+}
 
 }  // namespace
 
@@ -218,7 +245,11 @@ void FetchEngine::fetch_object(ObjectMeta& m, std::unique_lock<std::mutex>& lk) 
   note_fault(id);
 
   bool wish_counted = false;
-  for (int hop = 0; hop < node_.nprocs() + 1; ++hop) {
+  bool hopped = false;
+  std::unordered_set<int32_t> visited;  // distinct homes asked this round
+  int retries = 0;
+  for (;;) {
+    visited.insert(target);
     lk.unlock();  // never hold a shard lock across a blocking request
     // Wish-list sampling takes other shard locks; it must (and does)
     // run with the faulted object's lock released — the in-flight guard
@@ -239,12 +270,31 @@ void FetchEngine::fetch_object(ObjectMeta& m, std::unique_lock<std::mutex>& lk) 
     net::Reader r(reply.payload);
     const int32_t redirect = apply_primary(m, r);
     if (redirect >= 0) {
+      hopped = true;
+      if (fetch_debug()) {
+        fprintf(stderr, "[home r%d] redirect obj=%u asked=%d got=%d retries=%d\n", node_.rank_, id,
+                target, redirect, retries);
+      }
+      if (visited.count(redirect)) {
+        // Every home in the cycle redirected us: a migration is mid
+        // handoff. Back off and restart the chase with a clean slate.
+        LOTS_CHECK(++retries <= kMaxRedirectRetries,
+                   "fetch: home redirect chase stuck for object " + std::to_string(id));
+        node_.stats_.fetch_redirect_retries.fetch_add(1, std::memory_order_relaxed);
+        visited.clear();
+        lk.unlock();  // the in-flight guard keeps the mapping state ours
+        redirect_backoff(retries);
+        lk.lock();
+      }
       target = redirect;
       continue;
     }
     // Repair a stale home view: whoever answered IS the home, so later
     // fetches of this object go straight there instead of re-chasing.
-    if (hop > 0) m.home = target;
+    if (hopped && m.home != target) {
+      m.home = target;
+      node_.dir_.bump_generation(id);  // home write: defeat stale ALB entries
+    }
     if (reply.type == net::MsgType::kObjDataN) {
       lk.unlock();
       land_neighbors(r, wish);
@@ -252,7 +302,6 @@ void FetchEngine::fetch_object(ObjectMeta& m, std::unique_lock<std::mutex>& lk) 
     }
     return;
   }
-  LOTS_CHECK(false, "fetch: home redirect loop for object " + std::to_string(id));
 }
 
 // ---------------------------------------------------------------------------
@@ -385,7 +434,10 @@ void FetchEngine::complete_one(std::deque<Inflight>& out) {
       net::Reader r(reply.payload);
       const int32_t redirect = apply_primary(m, r);
       if (redirect < 0) {
-        if (f.hops > 0) m.home = f.target;  // repair the stale home view
+        if (f.hops > 0 && m.home != f.target) {
+          m.home = f.target;  // repair the stale home view
+          node_.dir_.bump_generation(f.id);  // home write: defeat stale ALB entries
+        }
         m.prefetched = true;  // warmed ahead of any access
         m.inflight = false;
         node_.dir_.shard_cv(f.id).notify_all();
@@ -396,8 +448,17 @@ void FetchEngine::complete_one(std::deque<Inflight>& out) {
       // Home migrated while the window was outstanding: chase it without
       // giving up the guard (the object's mapping state stays ours).
       lk.unlock();
-      LOTS_CHECK(++f.hops < node_.nprocs() + 1,
-                 "fetch_many: home redirect loop for object " + std::to_string(f.id));
+      ++f.hops;
+      f.visited.insert(f.target);
+      if (f.visited.count(redirect)) {
+        // Every home in the cycle redirected us: a migration is mid
+        // handoff. Back off and restart the chase with a clean slate.
+        LOTS_CHECK(++f.retries <= kMaxRedirectRetries,
+                   "fetch_many: home redirect chase stuck for object " + std::to_string(f.id));
+        node_.stats_.fetch_redirect_retries.fetch_add(1, std::memory_order_relaxed);
+        f.visited.clear();
+        redirect_backoff(f.retries);
+      }
       f.target = redirect;
       f.reply = node_.ep_.request_async(make_request(f.id, f.base, f.has_base, f.wish, f.target));
       node_.stats_.fetch_pipelined.fetch_add(1, std::memory_order_relaxed);

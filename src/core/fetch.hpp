@@ -50,6 +50,7 @@
 #include <deque>
 #include <mutex>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "core/object.hpp"
@@ -68,8 +69,11 @@ class FetchEngine {
   /// Blocking demand fetch of one invalid object (the access-check slow
   /// path). Caller holds the object's shard lock via `lk` AND its
   /// in-flight guard; the lock is dropped around the network wait. On
-  /// return the copy is valid at the home's cut. Follows home redirects;
-  /// throws after nprocs+1 hops.
+  /// return the copy is valid at the home's cut. Follows home redirects,
+  /// bounded by DISTINCT homes visited: when the chase cycles back to a
+  /// node already asked (a migration mid-handoff), it backs off and
+  /// retries rather than aborting, giving up only after a retry budget
+  /// that no live system reaches.
   void fetch_object(ObjectMeta& m, std::unique_lock<std::mutex>& lk);
 
   /// Pipelined revalidation of `ids` (best effort): brings every listed
@@ -106,7 +110,9 @@ class FetchEngine {
   struct Inflight {
     ObjectId id = kNullObject;
     int32_t target = -1;
-    int hops = 0;
+    int hops = 0;  ///< redirects taken (>0 means the home view was stale)
+    std::unordered_set<int32_t> visited;  ///< distinct homes asked this chase round
+    int retries = 0;  ///< backoff restarts after a full redirect cycle
     uint32_t base = 0;
     bool has_base = false;
     std::vector<NeighborReq> wish;

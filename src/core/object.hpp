@@ -78,6 +78,14 @@ struct DiffRecord {
   /// invalidation that clears pending also drops the claim and the
   /// retained diff base stays truthful.
   bool completes_to_epoch = false;
+  /// ≥ 0 marks a home-commit NOTICE (lock-driven adaptive migration):
+  /// the releaser was the object's home, committed its writes locally,
+  /// and ships this empty record down the token chain instead of data.
+  /// `hint` names the committing home so acquirers with a stale home
+  /// view repair it before fetching; a word-ts ≤ `epoch` on the chain is
+  /// provably already in the home copy. Custom-encoded on the lock-grant
+  /// wire (flags byte); never carried by encode_record.
+  int32_t home_hint = -1;
 
   [[nodiscard]] size_t words() const { return word_idx.size(); }
   [[nodiscard]] uint32_t ts_of(size_t i) const {
@@ -116,6 +124,13 @@ struct ObjectMeta {
   /// invalidation that finds it still set counts prefetch_wasted.
   /// Guarded by the shard lock.
   bool prefetched = false;
+  /// Home-side mark of a lock-driven migration in progress: set when the
+  /// home forwards a kHomeMigrate proposal to the dominant writer,
+  /// cleared by the kHomeMigrateAck (or implicitly by the writer's
+  /// home-commit notice arriving on the token chain, or swept at the
+  /// next barrier). While set the home declines further proposals for
+  /// the object. Guarded by the shard lock.
+  bool migrating = false;
   /// Pinning / LRU recency (paper §3.3). Atomic because an ALB hit
   /// refreshes it WITHOUT the shard lock (the pin clock must keep
   /// ticking on cached accesses or the eviction recency window sees a

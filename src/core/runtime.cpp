@@ -255,6 +255,8 @@ void Node::dispatch(net::Message&& m) {
     case MsgType::kSwapPut: on_swap_put(std::move(m)); break;
     case MsgType::kSwapGet: on_swap_get(std::move(m)); break;
     case MsgType::kSwapDrop: on_swap_drop(std::move(m)); break;
+    case MsgType::kHomeMigrate: on_home_migrate(std::move(m)); break;
+    case MsgType::kHomeMigrateAck: on_home_migrate_ack(std::move(m)); break;
     case MsgType::kDiffBatch: on_diff_batch(std::move(m)); break;
     case MsgType::kLockAcquire: on_lock_acquire(std::move(m)); break;
     case MsgType::kLockForward: on_lock_forward(std::move(m)); break;
@@ -684,6 +686,12 @@ bool Node::is_valid(ObjectId id) {
 int32_t Node::home_of(ObjectId id) {
   auto lk = dir_.lock_shard(id);
   return dir_.get(id).home;
+}
+
+void Node::set_home_for_test(ObjectId id, int32_t home) {
+  auto lk = dir_.lock_shard(id);
+  dir_.get(id).home = home;
+  dir_.bump_generation(id);  // home write: defeat stale ALB entries
 }
 
 // ---------------------------------------------------------------------------

@@ -154,6 +154,10 @@ class Node {
   bool is_mapped(ObjectId id);
   bool is_valid(ObjectId id);
   int32_t home_of(ObjectId id);
+  /// Test hook: overwrite this node's home view for `id` (shard lock +
+  /// generation bump). Lets tests manufacture the stale-home window the
+  /// redirect-chasing / repair machinery exists for.
+  void set_home_for_test(ObjectId id, int32_t home);
 
  private:
   friend class Runtime;
@@ -202,6 +206,20 @@ class Node {
   void on_lock_grant(net::Message&& m);     // acquirer side
   void send_grant_locked(uint32_t lock_id, int32_t to, uint32_t acq_epoch);
   void push_release_updates_home_based(LockToken& tok, std::vector<DiffRecord>&& recs);
+
+  // -- lock-driven adaptive home migration (locks.cpp) --
+  /// Per-object single-writer streak, tracked by the lock manager from
+  /// the modified-object ids piggybacked on kLockRelease. `hist` is the
+  /// same two-slot recent-writer memory the barrier master keeps
+  /// (MasterBarrier::writer_hist): an A/B/A alternation is ping-pong and
+  /// is damped, not migrated. Guarded by sync_mu_; cleared at barriers.
+  struct MigrateStreak {
+    int32_t last_writer = -1;
+    uint32_t streak = 0;
+    std::pair<int32_t, int32_t> hist{-1, -1};
+  };
+  void on_home_migrate(net::Message&& m);      // chased along the home chain
+  void on_home_migrate_ack(net::Message&& m);  // old-home side
 
   // -- barrier protocol (barrier.cpp) --
   struct BarrierPlanEntry {
@@ -368,6 +386,12 @@ class Node {
   /// threads quiescent in the collective.
   std::atomic<uint32_t> epoch_{1};
   uint32_t last_barrier_epoch_ = 0;  ///< barrier-leader only
+  /// Barrier generation: bumped once per barrier (apply_barrier_plan).
+  /// kHomeMigrate/kHomeMigrateAck messages are stamped with the sender's
+  /// generation and dropped on mismatch, so a lock-driven handoff can
+  /// never complete across a barrier (whose plan re-decides every
+  /// modified object's home from its own global view).
+  std::atomic<uint32_t> barrier_gen_{0};
 
   std::unordered_map<uint32_t, LockToken> tokens_;
   std::unordered_map<uint32_t, ManagerState> managed_locks_;
@@ -376,6 +400,9 @@ class Node {
   /// Intra-node serialization of same-lock acquires (see
   /// local_lock_mutex). unique_ptr: mutexes must not move on rehash.
   std::unordered_map<uint32_t, std::unique_ptr<std::mutex>> local_lock_mu_;
+  /// Lock-manager dominance tracking for lock-driven migration (guarded
+  /// by sync_mu_, populated only when Config::lock_migration).
+  std::unordered_map<ObjectId, MigrateStreak> migrate_streaks_;
   MasterBarrier master_;  ///< used on rank 0 only
 };
 

@@ -25,6 +25,8 @@ const char* to_string(MsgType t) {
     case MsgType::kSwapPut: return "SwapPut";
     case MsgType::kSwapGet: return "SwapGet";
     case MsgType::kSwapDrop: return "SwapDrop";
+    case MsgType::kHomeMigrate: return "HomeMigrate";
+    case MsgType::kHomeMigrateAck: return "HomeMigrateAck";
     case MsgType::kPageFetch: return "PageFetch";
     case MsgType::kPageData: return "PageData";
     case MsgType::kPageDiff: return "PageDiff";

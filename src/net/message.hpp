@@ -52,6 +52,13 @@ enum class MsgType : uint16_t {
   kSwapPut,   ///< §5 remote swapping: park an object image on a peer disk
   kSwapGet,   ///< retrieve a remotely parked image
   kSwapDrop,  ///< release a remotely parked image
+  kHomeMigrate,     ///< lock-driven adaptive migration: manager -> (chases the
+                    ///< home chain) -> dominant writer, proposing it adopt an
+                    ///< object's home; stamped with the sender's barrier
+                    ///< generation so proposals never cross a barrier
+  kHomeMigrateAck,  ///< adopting writer -> old home: home pointer flipped (or
+                    ///< adoption declined), old home may clear its
+                    ///< migration-in-progress mark
 
   // --- JIAJIA baseline (page-based, home-based) ---
   kPageFetch,     ///< fetch whole page from its fixed home

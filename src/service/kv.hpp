@@ -27,6 +27,14 @@
 // threads drain via lots::serve() (the request-queue execution mode).
 // open() is COLLECTIVE exactly like lots::Pointer::alloc — every app
 // thread of every node must call it with identical arguments.
+//
+// Skewed traffic: open() warms each bucket's home onto its sharder-
+// assigned rank, but a service never barriers, so barrier-phase home
+// migration cannot follow a shifting write mix. With
+// Config::lock_migration (LOTS_MIGRATE) the lock protocol itself moves
+// a bucket's home to its dominant writer mid-traffic — transparent to
+// this layer, verbs and versions are unaffected (see ARCHITECTURE.md
+// "adaptive home migration").
 #pragma once
 
 #include <atomic>

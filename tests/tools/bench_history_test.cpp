@@ -1,0 +1,92 @@
+// scripts/update_bench_history.py regression harness (ISSUE 8 satellite):
+// the --check gate must pass-and-seed on a fresh or rotted history and
+// on newly added bench rows, fail cleanly (no traceback exit) on
+// unreadable inputs, and still catch a real metric regression.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+const std::string kScript = std::string(LOTS_SOURCE_DIR) + "/scripts/update_bench_history.py";
+
+int run(const std::string& cmd) {
+  const int ret = std::system((cmd + " >/dev/null 2>&1").c_str());
+  return WIFEXITED(ret) ? WEXITSTATUS(ret) : -1;
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  f << body;
+  ASSERT_TRUE(f.good()) << path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+class BenchHistoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (run("python3 --version") != 0) GTEST_SKIP() << "python3 not available";
+    dir_ = ::testing::TempDir() + "bench_history_XXXXXX";
+    ASSERT_NE(mkdtemp(dir_.data()), nullptr);
+    history_ = dir_ + "/BENCH_history.json";
+    input_ = dir_ + "/bench.out";
+  }
+
+  int check(const std::string& extra_inputs = "") {
+    return run("python3 " + kScript + " --sha test --history " + history_ + " --check " +
+               input_ + extra_inputs);
+  }
+
+  std::string dir_, history_, input_;
+};
+
+TEST_F(BenchHistoryTest, FreshHistorySeedsAndPasses) {
+  write_file(input_,
+             "noise line\n"
+             "BENCH_JSON {\"bench\":\"kv\",\"label\":\"zipf\",\"qps\":100.0}\n"
+             "BENCH_JSON not-even-json\n"
+             "BENCH_JSON [\"a\",\"non\",\"dict\",\"row\"]\n");
+  EXPECT_EQ(check(), 0);  // no history file at all: pass and seed
+  EXPECT_NE(slurp(history_).find("\"qps\""), std::string::npos);
+
+  write_file(history_, "");  // empty file (a truncated artifact)
+  EXPECT_EQ(check(), 0);
+
+  write_file(history_, "[\"not-a-dict-entry\"]");  // rotted last entry
+  EXPECT_EQ(check(), 0);
+
+  write_file(history_, "[{\"sha\":\"old\",\"rows\":[\"rotted-row\", 42]}]");
+  EXPECT_EQ(check(), 0);  // non-dict rows inside an entry must not crash
+}
+
+TEST_F(BenchHistoryTest, NewRowsPassSilentlyAndRegressionsFail) {
+  write_file(input_, "BENCH_JSON {\"bench\":\"kv\",\"label\":\"zipf\",\"qps\":100.0}\n");
+  ASSERT_EQ(check(), 0);  // seeds the baseline
+
+  // A brand-new row identity alongside the old one: still passes.
+  write_file(input_,
+             "BENCH_JSON {\"bench\":\"kv\",\"label\":\"zipf\",\"qps\":99.0}\n"
+             "BENCH_JSON {\"bench\":\"abl_migration\",\"shape\":\"skew\",\"qps\":1.0}\n");
+  EXPECT_EQ(check(), 0);
+
+  // >25% drop on a higher-is-better metric: the gate must trip.
+  write_file(input_, "BENCH_JSON {\"bench\":\"kv\",\"label\":\"zipf\",\"qps\":50.0}\n");
+  EXPECT_EQ(check(), 2);
+}
+
+TEST_F(BenchHistoryTest, MissingInputFailsCleanly) {
+  // Exit 1 (our diagnosis), not an uncaught-traceback exit.
+  EXPECT_EQ(run("python3 " + kScript + " --history " + history_ + " --check " + dir_ +
+                "/does_not_exist.out"),
+            1);
+}
+
+}  // namespace
