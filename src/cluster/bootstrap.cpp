@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <optional>
@@ -25,6 +26,8 @@ constexpr uint8_t kReady = 3;
 constexpr uint8_t kStart = 4;
 constexpr uint8_t kDone = 5;
 constexpr uint8_t kAllDone = 6;
+constexpr uint8_t kPeerDead = 7;  ///< coord -> survivors: {rank} died mid-run
+constexpr uint8_t kSuspect = 8;   ///< worker -> coord: transport gave up on {rank}
 
 uint64_t now_ms() { return now_us() / 1000; }
 
@@ -128,6 +131,7 @@ std::vector<Coordinator::WorkerReport> Coordinator::serve(uint64_t timeout_ms) {
   struct Conn {
     int fd = -1;
     WorkerReport rep;
+    bool resolved = false;  ///< sent DONE or declared dead (phase 5)
   };
   std::vector<Conn> conns;
   conns.reserve(static_cast<size_t>(nprocs_));
@@ -219,15 +223,67 @@ std::vector<Coordinator::WorkerReport> Coordinator::serve(uint64_t timeout_ms) {
     }
   }
 
-  // Phase 5: completion. A worker is clean iff it sent DONE; EOF or a
-  // deadline here is a crash/hang report, not a coordinator failure.
-  for (auto& c : conns) {
-    auto frame = recv_frame(c.fd, deadline);
-    if (frame) {
+  // Phase 5: completion. A worker is clean iff it sent DONE; EOF before
+  // DONE is a death, noticed immediately by polling every unresolved
+  // connection and broadcast to the survivors as kPeerDead {rank} so
+  // the DSM layer can recover instead of waiting on a corpse. kSuspect
+  // uplinks (a worker's bounded-retransmit unreachable verdict) are
+  // arbitrated the same way: first verdict wins, one broadcast. A
+  // deadline here is a hang report, not a coordinator failure.
+  size_t unresolved = conns.size();
+  auto broadcast_dead = [&](int dead_rank) {
+    std::vector<uint8_t> body;
+    net::Writer w(body);
+    w.u8(kPeerDead);
+    w.i32(dead_rank);
+    for (auto& c : conns) {
+      if (c.rep.rank == dead_rank) continue;
+      send_frame(c.fd, body);  // best-effort: a dying survivor EOFs next
+    }
+  };
+  while (unresolved > 0 && now_ms() < deadline) {
+    std::vector<pollfd> pfds;
+    std::vector<size_t> at;
+    pfds.reserve(unresolved);
+    for (size_t i = 0; i < conns.size(); ++i) {
+      if (conns[i].resolved) continue;
+      pfds.push_back(pollfd{conns[i].fd, POLLIN, 0});
+      at.push_back(i);
+    }
+    const uint64_t now = now_ms();
+    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                          static_cast<int>(std::min<uint64_t>(deadline - now, 200)));
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+    for (size_t j = 0; j < pfds.size(); ++j) {
+      if (!(pfds[j].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Conn& c = conns[at[j]];
+      if (c.resolved) continue;  // a kSuspect in this batch resolved it
+      auto frame = recv_frame(c.fd, deadline);
+      if (!frame) {  // EOF before DONE: the worker is gone
+        c.rep.died = true;
+        c.resolved = true;
+        --unresolved;
+        broadcast_dead(c.rep.rank);
+        continue;
+      }
       net::Reader r(*frame);
-      if (r.u8() == kDone) {
+      const uint8_t tag = r.u8();
+      if (tag == kDone) {
         c.rep.clean = true;
         c.rep.status = r.i32();
+        c.resolved = true;
+        --unresolved;
+      } else if (tag == kSuspect) {
+        const int suspect = r.i32();
+        if (suspect >= 0 && suspect < nprocs_ && suspect != c.rep.rank &&
+            !conns[static_cast<size_t>(suspect)].resolved) {
+          Conn& s = conns[static_cast<size_t>(suspect)];
+          s.rep.died = true;
+          s.resolved = true;
+          --unresolved;
+          broadcast_dead(suspect);
+        }
       }
     }
   }
@@ -292,6 +348,7 @@ WorkerBootstrap::WorkerBootstrap(uint16_t coord_port, std::vector<uint16_t> udp_
 }
 
 WorkerBootstrap::~WorkerBootstrap() {
+  stop_watch();
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -307,18 +364,65 @@ void WorkerBootstrap::barrier_start() {
 }
 
 void WorkerBootstrap::report_done(int status) {
+  stop_watch();  // the exchange below reads the same socket
   if (fd_ < 0) return;
   std::vector<uint8_t> done;
   net::Writer w(done);
   w.u8(kDone);
   w.i32(status);
-  if (send_frame(fd_, done)) {
+  bool sent = false;
+  {
+    std::lock_guard lk(send_mu_);
+    sent = send_frame(fd_, done);
+  }
+  if (sent) {
     // Wait (bounded) for the shutdown barrier so our transport outlives
     // every peer's last read; a dead coordinator just means "go ahead".
-    recv_frame(fd_, now_ms() + timeout_ms_);
+    // kPeerDead notices queued behind our DONE are drained and ignored
+    // (the run is over; there is nothing left to recover).
+    const uint64_t dl = now_ms() + timeout_ms_;
+    while (auto frame = recv_frame(fd_, dl)) {
+      if (!frame->empty() && frame->front() == kAllDone) break;
+    }
   }
   ::close(fd_);
   fd_ = -1;
+}
+
+void WorkerBootstrap::start_watch(std::function<void(int)> on_dead) {
+  LOTS_CHECK(!watching_.load(), "WorkerBootstrap: watcher already running");
+  on_dead_ = std::move(on_dead);
+  watching_.store(true);
+  watch_ = std::thread([this] {
+    while (watching_.load(std::memory_order_acquire)) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, 100);
+      if (!watching_.load(std::memory_order_acquire)) break;
+      if (rc <= 0) continue;
+      auto frame = recv_frame(fd_, now_ms() + 1'000);
+      if (!frame) return;  // coordinator vanished: nothing left to watch
+      net::Reader r(*frame);
+      if (r.u8() == kPeerDead) {
+        const int dead = r.i32();
+        if (on_dead_ && dead >= 0 && dead < nprocs_) on_dead_(dead);
+      }
+    }
+  });
+}
+
+void WorkerBootstrap::stop_watch() {
+  if (!watching_.exchange(false)) return;
+  if (watch_.joinable()) watch_.join();
+}
+
+void WorkerBootstrap::send_suspect(int rank) {
+  std::lock_guard lk(send_mu_);
+  if (fd_ < 0) return;
+  std::vector<uint8_t> body;
+  net::Writer w(body);
+  w.u8(kSuspect);
+  w.i32(rank);
+  send_frame(fd_, body);  // best-effort: a dead coordinator ends the run anyway
 }
 
 }  // namespace lots::cluster

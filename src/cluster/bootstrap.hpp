@@ -32,12 +32,27 @@
 // and reported unclean; the coordinator then releases the survivors so
 // nobody hangs on a corpse.
 //
-// Everything here is plain blocking socket code with per-step deadlines
-// — no threads, so it is safe to run between fork() and exec().
+// Failure detection (ISSUE 9) rides on the same TCP connections: during
+// the compute phase the coordinator polls every worker socket, and an
+// EOF before DONE — the kernel's word that the process is gone — is
+// broadcast to the survivors as a kPeerDead {rank} notice. Workers can
+// also uplink a kSuspect {rank} frame when their transport's bounded
+// retransmit loop declares a peer unreachable; the coordinator
+// arbitrates (first verdict wins) and broadcasts kPeerDead for the
+// suspect. Survivors receive notices through a watcher thread
+// (start_watch) that the runtime wires to its recovery entry point.
+//
+// The rendezvous itself is plain blocking socket code with per-step
+// deadlines — no threads until the optional start_watch, so the
+// constructor stays safe to run between fork() and exec().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace lots::cluster {
@@ -63,6 +78,9 @@ class Coordinator {
     std::vector<uint16_t> udp_ports;
     bool clean = false;  ///< sent DONE before its connection closed
     int status = -1;     ///< DONE status (valid when clean)
+    /// Declared dead mid-run: EOF before DONE, or a peer's kSuspect
+    /// verdict. Distinct from a mere hang (neither clean nor died).
+    bool died = false;
   };
 
   /// Runs rendezvous + completion: accepts nprocs workers, assigns
@@ -110,8 +128,22 @@ class WorkerBootstrap {
   void barrier_start();
   /// DONE {status} -> wait for ALL_DONE. Tolerates a vanished
   /// coordinator (EOF/timeout) — this runs in destructor context, so it
-  /// degrades to "tear down now" instead of throwing.
+  /// degrades to "tear down now" instead of throwing. Any kPeerDead
+  /// notices queued behind the DONE are drained and ignored.
   void report_done(int status);
+
+  /// Starts a watcher thread that reads coordinator frames during the
+  /// compute phase and invokes `on_dead(rank)` for every kPeerDead
+  /// notice. Call after barrier_start(); the callback runs on the
+  /// watcher thread and must not block on the bootstrap socket.
+  void start_watch(std::function<void(int)> on_dead);
+  /// Stops and joins the watcher. MUST precede report_done(): the
+  /// DONE/ALL_DONE exchange reads the same socket. Idempotent.
+  void stop_watch();
+  /// Uplinks a kSuspect {rank} verdict (the transport's bounded
+  /// retransmit loop gave up on the peer) for the coordinator to
+  /// arbitrate and broadcast. Thread-safe, best-effort.
+  void send_suspect(int rank);
 
  private:
   int fd_ = -1;
@@ -119,6 +151,11 @@ class WorkerBootstrap {
   int nprocs_ = 0;
   uint64_t timeout_ms_;
   std::vector<std::vector<uint16_t>> stripe_ports_;  ///< [stripe][rank]
+
+  std::mutex send_mu_;  ///< send_suspect vs report_done on one socket
+  std::atomic<bool> watching_{false};
+  std::thread watch_;
+  std::function<void(int)> on_dead_;
 };
 
 }  // namespace lots::cluster

@@ -109,11 +109,33 @@ bool configure_migrate_from_env(Config& cfg) {
   return any;
 }
 
+bool configure_robustness_from_env(Config& cfg) {
+  bool any = false;
+  if (const char* s = std::getenv(kEnvReplicate); s && *s) {
+    cfg.replication = std::string(s) != "0";
+    any = true;
+  }
+  if (const char* s = std::getenv(kEnvNetRetrans); s && *s) {
+    cfg.cluster.udp_max_retrans = static_cast<size_t>(env_int(kEnvNetRetrans, s, 0, 1 << 20));
+    any = true;
+  }
+  if (const char* s = std::getenv(kEnvKillRank); s && *s) {
+    cfg.chaos_kill_rank = static_cast<int>(env_int(kEnvKillRank, s, -1, 255));
+    any = true;
+  }
+  if (const char* s = std::getenv(kEnvKillAfter); s && *s) {
+    cfg.chaos_kill_after_barrier = static_cast<uint32_t>(env_int(kEnvKillAfter, s, 0, 1 << 30));
+    any = true;
+  }
+  return any;
+}
+
 bool configure_from_env(Config& cfg) {
   configure_threads_from_env(cfg);   // fabric-independent hybrid knob
   configure_fetch_from_env(cfg);     // fabric-independent fetch-engine knobs
   configure_fastpath_from_env(cfg);  // fabric-independent fast-path knobs
   configure_migrate_from_env(cfg);   // fabric-independent migration knobs
+  configure_robustness_from_env(cfg);  // fabric-independent fault-tolerance knobs
   const char* port_s = std::getenv(kEnvCoordPort);
   if (!port_s) return false;
   const char* nprocs_s = std::getenv(kEnvNprocs);

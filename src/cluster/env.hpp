@@ -48,6 +48,17 @@ inline constexpr const char* kEnvDiffRle = "LOTS_DIFF_RLE";
 /// `LOTS_MIGRATE=1 LOTS_MIGRATE_K=3 ./bench_kv_load`.
 inline constexpr const char* kEnvMigrate = "LOTS_MIGRATE";
 inline constexpr const char* kEnvMigrateK = "LOTS_MIGRATE_K";
+/// Fault-tolerance knobs (fabric-independent): barrier-consistent
+/// replication to a backup rank (Config::replication — any non-empty
+/// value other than "0" enables), the retransmit-round cap before a
+/// silent peer is declared unreachable (Config::cluster.udp_max_retrans,
+/// 0 = retry forever), and the chaos self-kill wired by
+/// `lots_launch --kill-rank R --kill-after-barrier K`
+/// (Config::chaos_kill_rank / chaos_kill_after_barrier).
+inline constexpr const char* kEnvReplicate = "LOTS_REPLICATE";
+inline constexpr const char* kEnvNetRetrans = "LOTS_NET_RETRANS";
+inline constexpr const char* kEnvKillRank = "LOTS_KILL_RANK";
+inline constexpr const char* kEnvKillAfter = "LOTS_KILL_AFTER";
 /// Service-layer knobs (lots_kv). Store geometry — read by
 /// service::KvConfig::from_env on every node, so identical values must
 /// reach the whole cluster (lots_launch --kv-shards puts LOTS_KV_SHARDS
@@ -92,6 +103,11 @@ bool configure_fastpath_from_env(Config& cfg);
 /// Applies LOTS_MIGRATE / LOTS_MIGRATE_K to the adaptive-migration
 /// knobs (any fabric). Returns true when any was present.
 bool configure_migrate_from_env(Config& cfg);
+
+/// Applies LOTS_REPLICATE / LOTS_NET_RETRANS / LOTS_KILL_RANK /
+/// LOTS_KILL_AFTER to the fault-tolerance knobs (any fabric). Returns
+/// true when any was present.
+bool configure_robustness_from_env(Config& cfg);
 
 /// Strict env parses shared by the service/bench knobs: a missing or
 /// empty variable yields `dflt`; anything malformed or out of range

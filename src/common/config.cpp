@@ -44,6 +44,9 @@ void Config::validate() const {
   if (lock_migration && protocol != ProtocolMode::kMixed && protocol != ProtocolMode::kAdaptive) {
     throw UsageError("Config.lock_migration needs a lock-diff protocol (kMixed or kAdaptive)");
   }
+  if (chaos_kill_rank >= nprocs) {
+    throw UsageError("Config.chaos_kill_rank must name a rank of the run (or -1)");
+  }
   if (cluster.fabric == FabricKind::kUdp) {
     if (cluster.coord_port == 0) {
       throw UsageError("Config.cluster: kUdp needs the coordinator's rendezvous port");

@@ -75,6 +75,12 @@ struct ClusterConfig {
   // -- UDP reliability layer ---------------------------------------------
   size_t udp_window = 32;
   uint64_t udp_rto_us = 20'000;
+  /// Retransmit rounds (with exponential RTO backoff, capped at 32x the
+  /// base RTO) before a silent peer is declared unreachable and every
+  /// caller blocked on it gets a peer-death error instead of hanging
+  /// forever. 0 = retry forever (the historical behavior). Env override:
+  /// LOTS_NET_RETRANS.
+  size_t udp_max_retrans = 100;
   /// Socket stripes per node: each stripe is its own socket + pump
   /// thread + lock, and messages spread across them by flow key
   /// (Message::flow % net_stripes). 0 = auto: min(dir_shards, hardware
@@ -141,6 +147,24 @@ struct Config {
   /// the lock manager) before a lock-driven home handoff triggers.
   /// Env: LOTS_MIGRATE_K.
   uint32_t migrate_streak = 3;
+
+  // -- Fault tolerance -----------------------------------------------------
+  /// Barrier-consistent replication: at each barrier every home ships
+  /// the barrier-cut images of its dirty homed objects to a
+  /// deterministic backup rank (the next live rank in ring order), so a
+  /// worker death can be survived by re-homing the dead rank's objects
+  /// to their replica holders and resuming from the last barrier.
+  /// While enabled, lock-driven home migration handoffs are declined
+  /// (a home moving between barriers would leave its replica stale).
+  /// Env: LOTS_REPLICATE.
+  bool replication = false;
+  /// Chaos-testing self-kill (wired by `lots_launch --kill-rank R
+  /// --kill-after-barrier K`): the rank equal to `chaos_kill_rank`
+  /// raises SIGKILL on itself immediately after completing its
+  /// `chaos_kill_after_barrier`-th barrier. -1 = disabled. Env:
+  /// LOTS_KILL_RANK / LOTS_KILL_AFTER.
+  int chaos_kill_rank = -1;
+  uint32_t chaos_kill_after_barrier = 0;
 
   // -- Access fast path (ARCHITECTURE.md "fast path") ---------------------
   /// Per-app-thread Access Lookaside Buffer: a small direct-mapped cache

@@ -24,6 +24,20 @@ class UsageError : public std::logic_error {
   explicit UsageError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Exception thrown on the synchronization paths (lock waits, barriers,
+/// pending remote requests) when a peer worker dies mid-run. Applications
+/// running with replication enabled may catch this, call lots::recover(),
+/// and retry the interrupted superstep; without replication it is fatal
+/// like any SystemError.
+class WorkerDied : public SystemError {
+ public:
+  WorkerDied(int rank, const std::string& what) : SystemError(what), rank_(rank) {}
+  [[nodiscard]] int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
 [[noreturn]] inline void fatal(const char* file, int line, const std::string& msg) {
   std::fprintf(stderr, "LOTS FATAL %s:%d: %s\n", file, line, msg.c_str());
   std::abort();

@@ -18,6 +18,7 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.transport.datagrams_recv);
   fn(s.transport.send_errors);
   fn(s.transport.acks_coalesced);
+  fn(s.transport.zombie_drops);
   fn(s.diffs_created);
   fn(s.diff_words_sent);
   fn(s.diff_batch_msgs);
@@ -34,6 +35,9 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.home_commit_notices);
   fn(s.lock_acquires);
   fn(s.barriers);
+  fn(s.replica_msgs);
+  fn(s.replica_bytes);
+  fn(s.recoveries);
   fn(s.access_checks);
   fn(s.slow_path_checks);
   fn(s.alb_hits);
@@ -110,6 +114,9 @@ void NodeStats::print(std::ostream& os, const std::string& label) const {
      << "/" << transport.datagrams_recv.load()
      << " send_errors=" << transport.send_errors.load()
      << " acks_coalesced=" << transport.acks_coalesced.load()
+     << " replica(msgs/bytes)=" << replica_msgs.load() << "/" << replica_bytes.load()
+     << " recoveries=" << recoveries.load()
+     << " zombie_drops=" << transport.zombie_drops.load()
      << " service_items=" << service_items.load()
      << " net_wait_us=" << net_wait_us.load()
      << " disk_wait_us=" << disk_wait_us.load() << "\n";

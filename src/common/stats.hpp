@@ -29,6 +29,10 @@ struct TransportStats {
   std::atomic<uint64_t> acks_coalesced{0};  ///< per-datagram ACKs suppressed in
                                             ///< favor of one cumulative ACK per
                                             ///< peer per receive batch
+  std::atomic<uint64_t> zombie_drops{0};    ///< datagrams fenced off because the
+                                            ///< source rank is marked dead (a
+                                            ///< zombie's late traffic must not
+                                            ///< corrupt the recovered view)
 };
 
 /// Statistics for one DSM node. The app thread and the service thread of
@@ -70,6 +74,11 @@ struct NodeStats {
                                                  ///< the releaser was the home
   std::atomic<uint64_t> lock_acquires{0};
   std::atomic<uint64_t> barriers{0};
+
+  // fault tolerance (barrier-consistent replication + recovery)
+  std::atomic<uint64_t> replica_msgs{0};   ///< kReplicaUpdate batches shipped
+  std::atomic<uint64_t> replica_bytes{0};  ///< payload bytes of those batches
+  std::atomic<uint64_t> recoveries{0};     ///< completed recover() passes
 
   // large object space machinery
   std::atomic<uint64_t> access_checks{0};

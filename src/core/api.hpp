@@ -92,6 +92,25 @@ inline size_t serve(WorkQueue& queue) {
 inline int my_rank() { return core::Runtime::self().rank(); }
 inline int num_procs() { return core::Runtime::self().nprocs(); }
 
+/// Worker-death recovery point (requires Config::replication /
+/// LOTS_REPLICATE=1). When a peer worker dies mid-run, every blocked or
+/// newly issued synchronization call throws lots::WorkerDied; the
+/// application catches it on EVERY app thread, calls recover() (a
+/// node-level collective, like barrier()), re-partitions its work over
+/// the surviving ranks — alive() below — and REDOES the interrupted
+/// superstep from the last barrier. recover() re-homes the dead rank's
+/// objects to their replica holders, re-mints the DSM locks, and
+/// rendezvouses cluster-wide before returning. Throws SystemError when
+/// the death is unrecoverable (rank 0 died, replication off, or the
+/// victim died inside the barrier protocol itself). Throws WorkerDied
+/// when ANOTHER worker dies while the repair is in flight — catch it
+/// and call recover() again until a round completes.
+inline void recover() { core::Runtime::self().recover(); }
+
+/// Liveness of `rank` as this node currently sees it. Survivor-side
+/// partitioning: iterate ranks 0..num_procs() and skip the dead.
+inline bool alive(int rank) { return core::Runtime::self().rank_alive(rank); }
+
 /// App-thread index of the caller within its node, and the node's
 /// app-thread count (Config::threads_per_node).
 inline int my_thread() { return core::Runtime::thread_index(); }

@@ -24,6 +24,7 @@
 // each object's directory-shard lock in turn; the master's rendezvous
 // bookkeeping lives under sync_mu_. Neither is ever held across the
 // blocking enter/diff/done requests.
+#include <csignal>
 #include <map>
 
 #include "core/runtime.hpp"
@@ -41,6 +42,11 @@ void Node::barrier() {
 }
 
 void Node::barrier_leader() {
+  // A death notice that has not been recovered yet: unwind before any
+  // new protocol traffic (a request issued after fail_all_pending swept
+  // would hang out its full timeout).
+  check_death();
+
   // ---- flush local writes of the ending interval ----
   const uint32_t flush_epoch = epoch_.load(std::memory_order_relaxed) + 1;
   coherence_.flush_interval(flush_epoch);
@@ -119,6 +125,16 @@ void Node::barrier_leader() {
   // the serving home always has a complete, current copy.
   std::vector<ObjectId> invalidated_mapped = apply_barrier_plan(plan, new_epoch);
 
+  // ---- barrier-consistent replication (recovery.cpp) ----
+  // Ship AFTER the plan applied (this node knows which objects it now
+  // homes) and BEFORE the done rendezvous: the ship is acked, so barrier
+  // completion implies the backup holds every homed object at the cut.
+  // cut = new_epoch - 1: every word timestamp flushed up to and
+  // including this barrier is <= cut, every future flush is > cut.
+  if (rt_.config().replication && nprocs() > 1) {
+    ship_replicas(plan, new_epoch - 1);
+  }
+
   // ---- phase 2 rendezvous: wait until everyone applied the plan ----
   net::Message done;
   done.type = net::MsgType::kBarrierDone;
@@ -135,6 +151,19 @@ void Node::barrier_leader() {
   // application resumes instead of paying one demand round trip each.
   if (rt_.config().barrier_revalidate && !invalidated_mapped.empty()) {
     fetch_.fetch_many(invalidated_mapped);
+  }
+
+  // ---- chaos injection (lots_launch --kill-rank R --kill-after-barrier K) ----
+  // The victim dies the instant its K-th barrier fully completes —
+  // replicas shipped, done acknowledged — which is exactly the cut the
+  // survivors recover to. SIGKILL, not exit(): no destructors, no
+  // goodbye, the coordinator sees a raw EOF and the transport sees
+  // silence, exercising both detection paths.
+  if (rt_.config().chaos_kill_rank == rank_ &&
+      rt_.config().cluster.fabric == FabricKind::kUdp &&
+      stats_.barriers.load(std::memory_order_relaxed) ==
+          rt_.config().chaos_kill_after_barrier) {
+    std::raise(SIGKILL);
   }
 }
 
@@ -168,7 +197,14 @@ std::vector<ObjectId> Node::apply_barrier_plan(const std::vector<BarrierPlanEntr
       // Home write under a still-valid mapping: a sibling ALB entry
       // fast-pathing through the stale home would ship its next diffs
       // to a node that no longer owns the object — defeat it.
-      if (home_changed) dir_.bump_generation(e.object);
+      if (home_changed) {
+        dir_.bump_generation(e.object);
+        // Adopted home: the predecessor's replica (wherever it lives) is
+        // void — this barrier's ship_replicas sends OUR backup a full
+        // image.
+        m->replicated_to = -1;
+        m->replica_epoch = 0;
+      }
       m->share = ShareState::kValid;
       m->valid_epoch = new_epoch;
       // A home must answer fetches from local state. If our only copy
@@ -234,6 +270,7 @@ void Node::run_barrier() {
   // Still thread-collective: one kRunBarrierEnter per NODE, and every
   // app thread of the node waits for the cluster-wide rendezvous.
   group_.collective([&] {
+    check_death();
     net::Message enter;
     enter.type = net::MsgType::kRunBarrierEnter;
     enter.dst = 0;
@@ -269,13 +306,20 @@ void Node::on_barrier_enter(net::Message&& m) {
 
   std::unique_lock lk(sync_mu_);
   master_.max_epoch = std::max(master_.max_epoch, epoch);
+  // Death accounting: the rank is now inside the two-phase protocol
+  // (cleared when the done rendezvous completes) — a member that dies
+  // before that point makes the barrier unrecoverable, because the plan
+  // below may partially apply cluster-wide.
+  master_.in_barrier.insert(m.src);
   for (ObjectId id : ids) {
     master_.writers[id].push_back(m.src);
     auto it = homes.find(id);
     if (it != homes.end()) master_.old_homes.try_emplace(id, it->second);
   }
   master_.enter_reqs.push_back(std::move(m));
-  if (++master_.arrived < static_cast<uint32_t>(nprocs())) return;
+  // Rendezvous over the LIVE set: after a recovery the dead rank never
+  // enters again, and the survivors' barriers must complete without it.
+  if (++master_.arrived < static_cast<uint32_t>(live_count())) return;
 
   // Everyone is here: compute and distribute the plan.
   const uint32_t new_epoch = master_.max_epoch + 1;
@@ -329,10 +373,11 @@ void Node::on_barrier_enter(net::Message&& m) {
 void Node::on_barrier_done(net::Message&& m) {
   std::unique_lock lk(sync_mu_);
   master_.done_reqs.push_back(std::move(m));
-  if (++master_.done < static_cast<uint32_t>(nprocs())) return;
+  if (++master_.done < static_cast<uint32_t>(live_count())) return;
   std::vector<net::Message> reqs = std::move(master_.done_reqs);
   master_.done_reqs.clear();
   master_.done = 0;
+  master_.in_barrier.clear();  // everyone left the protocol unharmed
   lk.unlock();
   for (auto& req : reqs) {
     net::Message resp;
@@ -344,7 +389,7 @@ void Node::on_barrier_done(net::Message&& m) {
 void Node::on_run_barrier_enter(net::Message&& m) {
   std::unique_lock lk(sync_mu_);
   master_.run_reqs.push_back(std::move(m));
-  if (++master_.run_arrived < static_cast<uint32_t>(nprocs())) return;
+  if (++master_.run_arrived < static_cast<uint32_t>(live_count())) return;
   std::vector<net::Message> reqs = std::move(master_.run_reqs);
   master_.run_reqs.clear();
   master_.run_arrived = 0;

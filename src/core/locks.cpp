@@ -106,6 +106,10 @@ std::mutex& Node::local_lock_mutex(uint32_t lock_id) {
 }
 
 void Node::acquire(uint32_t lock_id) {
+  // Unrecovered death notice: unwind before issuing new protocol traffic
+  // (a request sent after fail_all_pending swept would hang out its full
+  // timeout waiting for a reply nobody will fail again).
+  check_death();
   // Intra-node mutual exclusion first: a sibling app thread holding the
   // same DSM lock blocks us here, not inside the manager protocol. The
   // guard unlocks if the protocol throws (request timeout, usage
@@ -134,8 +138,22 @@ void Node::acquire(uint32_t lock_id) {
   net::Message grant;
   {
     std::unique_lock sl(sync_mu_);
-    lock_cv_.wait(sl, [&] { return lock_waits_[lock_id].granted; });
-    grant = std::move(lock_waits_[lock_id].grant);
+    lock_cv_.wait(sl, [&] {
+      const LockWait& wslot = lock_waits_[lock_id];
+      return wslot.granted || wslot.failed >= 0;
+    });
+    LockWait& wslot = lock_waits_[lock_id];
+    if (!wslot.granted) {
+      // A peer died while we waited (on_peer_dead failed every
+      // non-granted wait): unwind to the application's recovery handler.
+      // `local` unlocks on the throw, so siblings are not wedged.
+      const int dead = wslot.failed;
+      lock_waits_.erase(lock_id);
+      throw WorkerDied(dead, "worker " + std::to_string(dead) +
+                                 " died while this thread waited on lock " +
+                                 std::to_string(lock_id));
+    }
+    grant = std::move(wslot.grant);
     lock_waits_.erase(lock_id);
   }
 
@@ -282,7 +300,13 @@ void Node::release(uint32_t lock_id) {
   tok->epoch = flush_epoch;
 
   const Config& cfg = rt_.config();
-  const bool migrate_on = cfg.lock_migration &&
+  // Replication declines lock-driven migration: the replica map is keyed
+  // by the HOME, and a home that moves between barriers would leave its
+  // objects' last shipped cut parked at the old home's backup while the
+  // new home starts from an empty watermark — a recovery in that window
+  // would lose the interval. Homes still migrate at barriers, where
+  // ship_replicas re-ships under the new map before the cut commits.
+  const bool migrate_on = cfg.lock_migration && !cfg.replication &&
                           (cfg.protocol == ProtocolMode::kMixed ||
                            cfg.protocol == ProtocolMode::kAdaptive);
   std::vector<ObjectId> mods;
@@ -400,6 +424,7 @@ void Node::on_lock_acquire(net::Message&& m) {
     return;
   }
   s.busy = true;
+  s.granted_to = m.src;
   if (s.token_at == rank_) {
     send_grant_locked(lock_id, m.src, acq_epoch);
   } else {
@@ -420,7 +445,9 @@ void Node::on_lock_release(net::Message&& m) {
   net::Reader r(m.payload);
   const uint32_t lock_id = r.u32();
   const Config& cfg = rt_.config();
-  const bool migrate_on = cfg.lock_migration &&
+  // Mirrors release(): under replication the releaser never writes the
+  // dominance piggyback, so the manager must not try to read it.
+  const bool migrate_on = cfg.lock_migration && !cfg.replication &&
                           (cfg.protocol == ProtocolMode::kMixed ||
                            cfg.protocol == ProtocolMode::kAdaptive);
   // Dominance piggyback: (id, this node's home view) pairs. Home views
@@ -480,6 +507,7 @@ void Node::on_lock_release(net::Message&& m) {
   ManagerState& s = managed_locks_[lock_id];
   s.token_at = m.src;
   s.busy = false;
+  s.granted_to = -1;
   // One-way proposal sends; sending under sync_mu_ is the
   // send_grant_locked precedent (delivery is queued, never inline).
   for (auto& p : proposals) ep_.send(std::move(p));
@@ -487,6 +515,7 @@ void Node::on_lock_release(net::Message&& m) {
   net::Message next = std::move(s.waiters.front());
   s.waiters.erase(s.waiters.begin());
   s.busy = true;
+  s.granted_to = next.src;
   net::Reader nr(next.payload);
   const uint32_t nlock = nr.u32();
   const uint32_t nepoch = nr.u32();
@@ -564,7 +593,15 @@ void Node::on_lock_grant(net::Message&& m) {
   const uint32_t lock_id = r.u32();
   std::unique_lock lk(sync_mu_);
   auto it = lock_waits_.find(lock_id);
-  LOTS_CHECK(it != lock_waits_.end(), "unsolicited lock grant");
+  if (it == lock_waits_.end()) {
+    // After a death notice this is expected: the waiting thread already
+    // unwound with WorkerDied (on_peer_dead failed its wait) and a grant
+    // minted before the notice landed late. The token it carries is void
+    // — recovery re-mints every lock. With no death in sight it is a
+    // protocol bug, as before.
+    LOTS_CHECK(last_dead_.load(std::memory_order_relaxed) >= 0, "unsolicited lock grant");
+    return;
+  }
   it->second.grant = std::move(m);
   it->second.granted = true;
   lock_cv_.notify_all();
@@ -595,6 +632,10 @@ void Node::on_lock_grant(net::Message&& m) {
 //    the lock (the home-conflict branch in acquire()) or at the barrier.
 
 void Node::on_home_migrate(net::Message&& m) {
+  // Belt to migrate_on's suspenders: replication pins homes between
+  // barriers (see release()), so a proposal from a mixed-config peer is
+  // dropped rather than moving a home out from under its replica map.
+  if (rt_.config().replication) return;
   net::Reader r(m.payload);
   const ObjectId id = r.u32();
   const int32_t new_home = r.i32();

@@ -131,6 +131,17 @@ struct ObjectMeta {
   /// next barrier). While set the home declines further proposals for
   /// the object. Guarded by the shard lock.
   bool migrating = false;
+  /// Home-side replication bookkeeping (barrier-consistent replication,
+  /// Config::replication): the rank holding this object's replica as of
+  /// the last barrier this home shipped, or -1 when no replica exists
+  /// yet (fresh object, or a just-adopted home whose predecessor's
+  /// replica is stale) — in which case the next barrier ships a FULL
+  /// image instead of a diff. Guarded by the shard lock.
+  int32_t replicated_to = -1;
+  /// Epoch of the last replica shipped (word-ts watermark: only words
+  /// newer than this ride the next kReplicaUpdate). Guarded by the
+  /// shard lock.
+  uint32_t replica_epoch = 0;
   /// Pinning / LRU recency (paper §3.3). Atomic because an ALB hit
   /// refreshes it WITHOUT the shard lock (the pin clock must keep
   /// ticking on cached accesses or the eviction recency window sees a

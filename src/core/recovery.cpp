@@ -1,0 +1,432 @@
+// Barrier-consistent replication and worker-death recovery.
+//
+// Replication: at every barrier, after apply_barrier_plan and before the
+// done rendezvous, each (possibly freshly migrated) home ships the words
+// of its modified homed objects to its *backup* — the next live rank in
+// ring order — in one acked kReplicaUpdate. Because the message is acked
+// before kBarrierDone, barrier completion implies the backup holds every
+// object at the just-committed cut: the cluster can always fall back to
+// the state of the last barrier.
+//
+// Failure detection feeds on_peer_dead from two directions: the
+// lots_launch coordinator broadcasts kPeerDead when a worker's TCP
+// connection EOFs before DONE (the bootstrap watcher thread delivers
+// it), and the transport's bounded retransmit loop declares a silent
+// peer unreachable (Config::cluster.udp_max_retrans) and both uplinks a
+// kSuspect verdict and calls in here directly.
+//
+// Recovery model: the application runs barrier-structured, idempotent
+// supersteps over the live worker set (lots::alive). When a worker dies
+// between barriers, every in-flight request and lock wait unwinds with
+// WorkerDied; the application catches it, calls lots::recover() on every
+// surviving thread, re-partitions over the survivors and REDOES the
+// current superstep. recover() re-homes the dead rank's objects to the
+// replica holder (which materializes its replicas as authoritative home
+// copies at the last barrier cut), re-mints every DSM lock (post-cut
+// scope chains are redone anyway), and rendezvouses cluster-wide so no
+// survivor resumes before every holder is serving.
+//
+// Known limitations (documented in ARCHITECTURE.md): rank 0 hosts the
+// barrier master and the recovery rendezvous, so its death is fatal; a
+// death while the victim is INSIDE the two-phase barrier protocol is
+// fatal too (the master's plan may have partially applied cluster-wide,
+// which no single-cut replica can roll back).
+#include <algorithm>
+#include <cstring>
+
+#include "core/runtime.hpp"
+
+namespace lots::core {
+
+int Node::backup_of(int home) const {
+  for (int i = 1; i < nprocs(); ++i) {
+    const int r = (home + i) % nprocs();
+    if (r != home && rank_alive(r)) return r;
+  }
+  return -1;
+}
+
+void Node::check_death() const {
+  if (death_pending_.load(std::memory_order_acquire)) {
+    const int dead = last_dead_.load(std::memory_order_relaxed);
+    throw WorkerDied(dead, "worker " + std::to_string(dead) +
+                               " died; the application must run lots::recover() "
+                               "before synchronizing again");
+  }
+}
+
+void Node::on_peer_dead(int dead) {
+  if (dead < 0 || dead >= nprocs() || dead == rank_) return;
+  if (dead_[static_cast<size_t>(dead)].exchange(1, std::memory_order_acq_rel)) {
+    return;  // second verdict (coordinator + transport both noticed)
+  }
+  {
+    std::lock_guard sl(sync_mu_);
+    dead_pending_.push_back(dead);
+  }
+  last_dead_.store(dead, std::memory_order_relaxed);
+  death_pending_.store(true, std::memory_order_release);
+  // Fence the corpse at the wire: stop sending to it, release senders
+  // parked on its flow-control window, and drop its late datagrams (the
+  // zombie fence — a SIGKILLed worker's retransmits must not land in the
+  // new view). Then fail EVERY pending request in one sweep: a request
+  // parked at a live peer (a barrier enter at the master, a fetch the
+  // dead rank was supposed to unblock) can never complete once a
+  // participant died, so all waiters unwind to the recovery path instead
+  // of timing out one by one. The sweep must be the ONLY step that wakes
+  // waiters — a thread released early (say, by failing just the dead
+  // rank's requests first) would sprint into recover(), park its
+  // kRecoverEnter in the pending table, and have this very sweep kill
+  // it; fail_all_pending marks the rank dead and drains atomically.
+  ep_.transport().mark_peer_dead(dead);
+  ep_.fail_all_pending(dead);
+  {
+    std::lock_guard sl(sync_mu_);
+    for (auto& [id, wslot] : lock_waits_) {
+      (void)id;
+      if (!wslot.granted) wslot.failed = dead;
+    }
+    lock_cv_.notify_all();
+  }
+}
+
+// --- replication: home side (barrier leader) -------------------------------
+
+void Node::ship_replicas(const std::vector<BarrierPlanEntry>& plan, uint32_t cut) {
+  const int b = backup_of(rank_);
+  if (b < 0) return;  // no live backup left: nothing to survive for
+  std::vector<ObjectId> ship;
+  std::unordered_set<ObjectId> seen;
+  for (const auto& e : plan) {
+    if (e.new_home == rank_ && seen.insert(e.object).second) ship.push_back(e.object);
+  }
+  // Objects with no current replica (fresh allocations, a watermark
+  // voided because the previous backup died) full-ship even when this
+  // barrier did not modify them — the backup must cover the whole homed
+  // set, not just the write frontier.
+  dir_.for_each([&](ObjectMeta& m) {
+    if (m.home == rank_ && m.replicated_to != b && seen.insert(m.id).second) {
+      ship.push_back(m.id);
+    }
+  });
+  if (ship.empty()) return;
+
+  net::Message up;
+  up.type = net::MsgType::kReplicaUpdate;
+  up.dst = b;
+  net::Writer w(up.payload);
+  w.u32(cut);
+  w.u32(static_cast<uint32_t>(ship.size()));
+  for (ObjectId id : ship) {
+    auto lk = dir_.lock_shard(id);
+    ObjectMeta* pm = dir_.find(id);
+    if (!pm || pm->home != rank_) {  // freed / re-homed under us: empty record
+      w.u32(id);
+      w.u32(0);
+      w.u8(0);
+      w.u32(0);
+      continue;
+    }
+    ObjectMeta& m = *pm;
+    // The sibling app threads are parked in the barrier collective, but
+    // the service thread may still be finishing a home-side flow on this
+    // object: wait its guard out, then own the mapping state ourselves.
+    dir_.shard_cv(id).wait(lk, [&] { return !m.inflight; });
+    m.inflight = true;
+    InflightGuard guard{dir_, m, lk};
+    // The home's authoritative image: mapped data with pending diffs
+    // (phase-2 deliveries that landed while unmapped) applied.
+    if (m.map != MapState::kMapped) map_in(m, lk);
+    if (!m.pending.empty()) coherence_.apply_pending(m);
+    const uint32_t* vals = reinterpret_cast<const uint32_t*>(space_.dmm(m.dmm_offset));
+    const uint32_t* ts = space_.ctrl_words(m.dmm_offset);
+    const uint32_t words = m.words();
+    const bool full = m.replicated_to != b;  // fresh object or new backup
+    w.u32(id);
+    w.u32(m.size_bytes);
+    w.u8(full ? 1 : 0);
+    if (full) {
+      w.bytes({reinterpret_cast<const uint8_t*>(vals), static_cast<size_t>(words) * 4});
+      w.bytes({reinterpret_cast<const uint8_t*>(ts), static_cast<size_t>(words) * 4});
+    } else {
+      // Diff since the last shipped cut: exactly the words stamped after
+      // the watermark (every word changed since then carries a newer
+      // flush epoch; nothing older can have changed).
+      uint32_t n = 0;
+      for (uint32_t i = 0; i < words; ++i) n += ts[i] > m.replica_epoch ? 1 : 0;
+      w.u32(n);
+      for (uint32_t i = 0; i < words; ++i) {
+        if (ts[i] <= m.replica_epoch) continue;
+        w.u32(i);
+        w.u32(vals[i]);
+        w.u32(ts[i]);
+      }
+    }
+    m.replicated_to = b;
+    m.replica_epoch = cut;
+  }
+  stats_.replica_msgs.fetch_add(1, std::memory_order_relaxed);
+  stats_.replica_bytes.fetch_add(up.payload.size(), std::memory_order_relaxed);
+  // Acked BEFORE kBarrierDone: barrier completion implies the cut is
+  // safely replicated.
+  ep_.request(std::move(up));
+}
+
+// --- replication: backup side (service thread) -----------------------------
+
+void Node::on_replica_update(net::Message&& m) {
+  net::Reader r(m.payload);
+  const uint32_t cut = r.u32();
+  const uint32_t count = r.u32();
+  {
+    std::lock_guard rl(replica_mu_);
+    for (uint32_t i = 0; i < count; ++i) {
+      const ObjectId id = r.u32();
+      const uint32_t size_bytes = r.u32();
+      const bool full = r.u8() != 0;
+      if (size_bytes == 0) {  // placeholder for a vanished object
+        if (!full) r.u32();
+        continue;
+      }
+      const size_t words = (static_cast<size_t>(size_bytes) + 3) / 4;
+      Replica& rep = replicas_[id];
+      if (rep.data.size() != words * 4) {
+        rep.data.assign(words * 4, 0);
+        rep.ts.assign(words, 0);
+      }
+      if (full) {
+        auto dv = r.bytes_view();
+        auto tv = r.bytes_view();
+        std::memcpy(rep.data.data(), dv.data(), std::min(dv.size(), rep.data.size()));
+        std::memcpy(rep.ts.data(), tv.data(), std::min(tv.size(), words * 4));
+      } else {
+        const uint32_t n = r.u32();
+        for (uint32_t k = 0; k < n; ++k) {
+          const uint32_t idx = r.u32();
+          const uint32_t val = r.u32();
+          const uint32_t wts = r.u32();
+          if (idx >= words) continue;
+          if (wts >= rep.ts[idx]) {  // newest word wins, as everywhere
+            rep.ts[idx] = wts;
+            std::memcpy(rep.data.data() + static_cast<size_t>(idx) * 4, &val, 4);
+          }
+        }
+      }
+      rep.epoch = std::max(rep.epoch, cut);
+    }
+  }
+  net::Message ack;
+  ack.type = net::MsgType::kReply;
+  ep_.reply(m, std::move(ack));
+}
+
+// --- recovery (app threads, collective) ------------------------------------
+
+void Node::recover() {
+  group_.collective([&] { recover_leader(); });
+}
+
+void Node::recover_leader() {
+  std::vector<int> deads;
+  {
+    std::lock_guard sl(sync_mu_);
+    deads.swap(dead_pending_);
+  }
+  if (deads.empty()) return;  // spurious call (or a sibling round already ran)
+  if (!rt_.config().replication) {
+    throw SystemError(
+        "worker " + std::to_string(deads.front()) +
+        " died but replication is off — run with LOTS_REPLICATE=1 to survive "
+        "worker failures");
+  }
+  for (const int dead : deads) {
+    if (dead == 0) {
+      throw SystemError("rank 0 (barrier master) died: unrecoverable");
+    }
+  }
+  // Fence the old view: handoffs stamped with the old barrier generation
+  // die on arrival, and the epoch bump defeats every thread's ALB so no
+  // cached pointer survives the re-homing below.
+  barrier_gen_.fetch_add(1, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  for (const int dead : deads) {
+    const int holder = backup_of(dead);
+    LOTS_CHECK(holder >= 0, "recovery: no live replica holder remains");
+    repair_objects_after_death(dead, holder);
+  }
+  {
+    std::lock_guard sl(sync_mu_);
+    reclaim_dead_locks();
+  }
+  // Cluster-wide rendezvous at the master: nobody resumes before every
+  // survivor finished its local repair (a post-recovery fetch must find
+  // the holder already serving its materialized copy) and the master
+  // discarded the parked rendezvous state of the old view.
+  net::Message enter;
+  enter.type = net::MsgType::kRecoverEnter;
+  enter.dst = 0;
+  {
+    net::Writer w(enter.payload);
+    w.u32(static_cast<uint32_t>(deads.size()));
+    for (const int dead : deads) w.i32(dead);
+  }
+  net::Message exit = ep_.request(std::move(enter));
+  net::Reader r(exit.payload);
+  if (r.u8() == 0) {
+    throw SystemError(
+        "unrecoverable: a worker died inside the barrier protocol (the plan may "
+        "have partially applied)");
+  }
+  stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard sl(sync_mu_);
+    // A death noticed DURING recovery stays pending: the gate re-arms and
+    // the application's next sync throws again, driving another round.
+    if (dead_pending_.empty()) death_pending_.store(false, std::memory_order_release);
+  }
+}
+
+void Node::repair_objects_after_death(int dead, int holder) {
+  dir_.for_each([&](ObjectMeta& m) {
+    if (m.home == dead) {
+      if (rank_ == holder) {
+        // Materialize the replica as the authoritative home copy at the
+        // last barrier cut. Our own live copy — whatever its state — is
+        // discarded first: it may hold post-cut words that died with the
+        // home's unshipped interval, and the cut is the one consistent
+        // line every survivor can rejoin on.
+        Replica rep;
+        bool have = false;
+        {
+          std::lock_guard rl(replica_mu_);
+          auto it = replicas_.find(m.id);
+          if (it != replicas_.end()) {
+            rep = std::move(it->second);
+            replicas_.erase(it);
+            have = true;
+          }
+        }
+        drop_mapping(m, /*keep_disk_image=*/false);
+        m.home = rank_;
+        m.share = ShareState::kValid;
+        m.twinned = false;
+        m.twin_writers = 0;
+        m.pending.clear();
+        m.local_writes.clear();
+        m.replicated_to = -1;  // full-ship to OUR backup next barrier
+        m.replica_epoch = 0;
+        if (have) {
+          const size_t bytes = word_bytes(m);
+          std::vector<uint8_t> image(2 * bytes, 0);
+          std::memcpy(image.data(), rep.data.data(), std::min(bytes, rep.data.size()));
+          std::memcpy(image.data() + bytes, rep.ts.data(),
+                      std::min(bytes, rep.ts.size() * 4));
+          disk_->write_object(m.id, image);
+          m.on_disk = true;
+          m.valid_epoch = rep.epoch;
+        } else {
+          // Never shipped: the object was never dirty at any barrier, so
+          // its content at the cut is all-zero — exactly what a fresh
+          // map-in provides.
+          m.valid_epoch = 0;
+        }
+      } else {
+        // Point at the holder and drop every trace of our copy. Our
+        // valid_epoch may run AHEAD of the replica cut (post-cut updates
+        // died with the home), so a diff-since-base fetch would miss
+        // words: force the next access to take a FULL copy.
+        drop_mapping(m, /*keep_disk_image=*/false);
+        m.home = holder;
+        m.share = ShareState::kInvalid;
+        m.twinned = false;
+        m.twin_writers = 0;
+        m.pending.clear();
+        m.local_writes.clear();
+        m.replicated_to = -1;
+        m.replica_epoch = 0;
+      }
+      dir_.bump_generation(m.id);
+    } else if (m.home == rank_ && m.replicated_to == dead) {
+      // Our backup died: void the watermark so the next barrier ships a
+      // full image to the new ring successor.
+      m.replicated_to = -1;
+      m.replica_epoch = 0;
+    }
+  });
+}
+
+/// Caller holds sync_mu_. Re-mints EVERY lock this node manages, not
+/// just those the dead rank held: at the recovery point all in-flight
+/// grants, queued waiters and parked tokens belong to intervals the
+/// survivors are about to redo — their scope chains carry only post-cut
+/// records (barriers clear them), which the redo regenerates. Locally
+/// parked tokens for remotely managed locks are dropped for the same
+/// reason (their managers re-mint them on their own recovery pass).
+void Node::reclaim_dead_locks() {
+  tokens_.clear();
+  lock_waits_.clear();
+  for (auto& [lock_id, s] : managed_locks_) {
+    s.busy = false;
+    s.token_at = rank_;
+    s.granted_to = -1;
+    s.waiters.clear();
+    tokens_[lock_id] = LockToken{};
+  }
+  for (auto& [id, st] : migrate_streaks_) {
+    (void)id;
+    st.last_writer = -1;
+    st.streak = 0;
+    st.hist = {-1, -1};
+  }
+}
+
+// --- recovery rendezvous (master side, service thread) ---------------------
+
+void Node::on_recover_enter(net::Message&& m) {
+  std::unique_lock lk(sync_mu_);
+  master_.recover_ranks.insert(m.src);
+  master_.recover_reqs.push_back(std::move(m));
+  uint32_t live_entered = 0;
+  for (const int32_t rnk : master_.recover_ranks) {
+    if (rank_alive(rnk)) ++live_entered;
+  }
+  if (live_entered < static_cast<uint32_t>(live_count())) return;
+
+  // Every survivor finished local repair. A DEAD rank still registered
+  // inside the two-phase barrier means the master's plan may have
+  // partially applied cluster-wide — no single-cut replica can roll that
+  // back, so report it and let every survivor abort instead of silently
+  // diverging. (Live ranks parked in in_barrier are just the survivors
+  // whose interrupted barrier never completed — harmless.)
+  bool ok = true;
+  for (const int32_t member : master_.in_barrier) {
+    if (!rank_alive(member)) ok = false;
+  }
+  // Discard the old view's parked rendezvous state. The parked
+  // requesters were already failed by their own nodes' fail_all_pending,
+  // so no reply is owed; their redone supersteps re-enter against the
+  // fresh counters below.
+  master_.arrived = 0;
+  master_.done = 0;
+  master_.max_epoch = 0;
+  master_.enter_reqs.clear();
+  master_.done_reqs.clear();
+  master_.writers.clear();
+  master_.old_homes.clear();
+  master_.run_arrived = 0;
+  master_.run_reqs.clear();
+  master_.in_barrier.clear();
+  master_.recover_ranks.clear();
+  std::vector<net::Message> reqs = std::move(master_.recover_reqs);
+  master_.recover_reqs.clear();
+  lk.unlock();
+  for (auto& req : reqs) {
+    net::Message resp;
+    resp.type = net::MsgType::kRecoverExit;
+    net::Writer w(resp.payload);
+    w.u8(ok ? 1 : 0);
+    ep_.reply(req, std::move(resp));
+  }
+}
+
+}  // namespace lots::core

@@ -78,8 +78,24 @@ Runtime::Runtime(Config cfg) : cfg_(std::move(cfg)) {
         // positions in its send sequence.
         .seed = cfg_.cluster.fault_seed + static_cast<uint64_t>(boot_->rank()),
     });
+    // Bounded retransmit: rounds beyond the cap declare the peer
+    // unreachable instead of retrying forever (0 keeps the historical
+    // retry-forever behavior).
+    transport->set_max_retrans(cfg_.cluster.udp_max_retrans);
+    net::UdpTransport* udp = transport.get();
     nodes_.push_back(std::make_unique<Node>(*this, boot_->rank(), std::move(transport)));
+    Node* n = nodes_.back().get();
+    // Failure detection, both directions: the transport's own verdict
+    // (retransmit cap exceeded) uplinks a suspect for the coordinator to
+    // arbitrate AND enters recovery locally; the coordinator's broadcast
+    // (its own EOF observation, or another worker's verdict it endorsed)
+    // arrives through the watcher thread below.
+    udp->set_peer_unreachable_cb([this, n](int r) {
+      boot_->send_suspect(r);
+      n->on_peer_dead(r);
+    });
     boot_->barrier_start();
+    boot_->start_watch([n](int r) { n->on_peer_dead(r); });
     return;
   }
   fabric_ = std::make_unique<net::InProcFabric>(cfg_.nprocs, cfg_.net);
@@ -265,6 +281,8 @@ void Node::dispatch(net::Message&& m) {
     case MsgType::kBarrierEnter: on_barrier_enter(std::move(m)); break;
     case MsgType::kBarrierDone: on_barrier_done(std::move(m)); break;
     case MsgType::kRunBarrierEnter: on_run_barrier_enter(std::move(m)); break;
+    case MsgType::kReplicaUpdate: on_replica_update(std::move(m)); break;
+    case MsgType::kRecoverEnter: on_recover_enter(std::move(m)); break;
     default:
       LOTS_CHECK(false, std::string("unexpected message type ") + net::to_string(m.type));
   }

@@ -54,6 +54,7 @@
 #include <condition_variable>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/config.hpp"
@@ -120,6 +121,36 @@ class Node {
   void release(uint32_t lock_id);
   void barrier();
   void run_barrier();  ///< event-only, no memory effect
+
+  // ---- worker-death recovery (recovery.cpp) ----
+  /// Death notice entry point: wired to the bootstrap watcher thread and
+  /// the transport's peer-unreachable verdict. Fences the dead rank
+  /// (transport + endpoint), fails every outstanding request and lock
+  /// wait with WorkerDied, and arms the sync-entry gate so no thread
+  /// issues new protocol traffic before recover() runs. Idempotent per
+  /// rank; callable from any thread.
+  void on_peer_dead(int dead);
+  /// Collective recovery point (lots::recover()): every app thread of
+  /// every SURVIVING node must call it after catching WorkerDied. The
+  /// node re-homes the dead rank's objects to their replica holder,
+  /// materializes replicas it holds as authoritative home copies, breaks
+  /// the dead rank's locks, and rendezvouses cluster-wide (kRecoverEnter
+  /// / kRecoverExit at rank 0) before resuming. Requires
+  /// Config::replication; throws SystemError when the death is
+  /// unrecoverable (rank 0 died, or the rank died inside the barrier
+  /// protocol).
+  void recover();
+  /// Liveness of `r` as this node currently sees it.
+  [[nodiscard]] bool rank_alive(int r) const {
+    return r >= 0 && r < 256 &&
+           dead_[static_cast<size_t>(r)].load(std::memory_order_acquire) == 0;
+  }
+  /// Number of ranks not declared dead.
+  [[nodiscard]] int live_count() const {
+    int n = 0;
+    for (int r = 0; r < nprocs(); ++r) n += rank_alive(r) ? 1 : 0;
+    return n;
+  }
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int nprocs() const { return ep_.nprocs(); }
@@ -194,10 +225,15 @@ class Node {
   struct LockWait {
     bool granted = false;
     net::Message grant;
+    int failed = -1;  ///< >= 0: a death notice failed this wait — acquire
+                      ///< unwinds with WorkerDied instead of parking forever
   };
   struct ManagerState {
     bool busy = false;
     int32_t token_at = -1;  ///< node where the token (and chain) parks
+    int32_t granted_to = -1;  ///< rank a grant is in flight to while busy
+                              ///< (recovery: a grantee that dies takes the
+                              ///< token with it — reclaim from here)
     std::vector<net::Message> waiters;  ///< queued kLockAcquire messages
   };
   void on_lock_acquire(net::Message&& m);   // manager side
@@ -237,6 +273,14 @@ class Node {
     std::unordered_map<ObjectId, int32_t> old_homes;
     uint32_t run_arrived = 0;
     std::vector<net::Message> run_reqs;
+    /// Ranks currently inside the two-phase barrier protocol (entered,
+    /// not yet released by the exit). A rank that dies while a member is
+    /// unrecoverable: the plan may have partially applied cluster-wide.
+    std::unordered_set<int32_t> in_barrier;
+    /// Recovery rendezvous: survivors that sent kRecoverEnter (set-based,
+    /// so a retried enter after a second death cannot double-count).
+    std::unordered_set<int32_t> recover_ranks;
+    std::vector<net::Message> recover_reqs;
     /// Adaptive protocol (paper §5): last two single-writer ranks per
     /// object, persisted across barriers. When an object's lone writer
     /// alternates between two nodes (ping-pong), migrating the home
@@ -256,6 +300,46 @@ class Node {
   /// barrier-exit bulk revalidation refetches (Config::barrier_revalidate).
   std::vector<ObjectId> apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan,
                                            uint32_t new_epoch);
+
+  // -- barrier-consistent replication + worker-death recovery
+  //    (recovery.cpp) --
+  /// A backup's copy of one object, complete as of `epoch` (the last
+  /// barrier cut its home shipped). Guarded by replica_mu_.
+  struct Replica {
+    uint32_t epoch = 0;
+    std::vector<uint8_t> data;  ///< word-aligned data image
+    std::vector<uint32_t> ts;   ///< per-word timestamps
+  };
+  /// The rank holding `home`'s replicas: the next LIVE rank after it in
+  /// ring order, or -1 when no other rank survives.
+  [[nodiscard]] int backup_of(int home) const;
+  /// Home side, run by barrier_leader between apply_barrier_plan and the
+  /// done rendezvous: ships one acked kReplicaUpdate to this rank's
+  /// backup carrying, for every object this node is (now) home of that
+  /// was modified this barrier, the words stamped after the last shipped
+  /// cut (full image on a fresh object or a new backup). `cut` is
+  /// new_epoch - 1: every current word ts is <= cut, every future one is
+  /// > cut.
+  void ship_replicas(const std::vector<BarrierPlanEntry>& plan, uint32_t cut);
+  void on_replica_update(net::Message&& m);  // backup side (service thread)
+  void on_recover_enter(net::Message&& m);   // master side (service thread)
+  /// The node's recovery body (collective last arriver, siblings parked).
+  void recover_leader();
+  /// Re-homes every object homed at `dead` (replica holder materializes,
+  /// everyone else invalidates toward the holder) and drops stale
+  /// replication watermarks whose backup was `dead`.
+  void repair_objects_after_death(int dead, int holder);
+  /// Breaks the dead rank's locks by re-minting EVERY lock this node
+  /// manages (fresh token parked at the manager, queues dropped): at the
+  /// recovery point all parked tokens, queued waiters and in-flight
+  /// grants belong to intervals the survivors are about to redo, and
+  /// their scope chains carry only post-cut records (barriers clear
+  /// them) which the redo regenerates. Caller holds sync_mu_.
+  void reclaim_dead_locks();
+  /// Sync-entry gate: throws WorkerDied when a death notice has not been
+  /// recovered yet, so no thread starts new protocol traffic (a request
+  /// issued after fail_all_pending would hang out its full timeout).
+  void check_death() const;
 
   // -- swap protocol (runtime.cpp; fetch protocol lives in fetch.cpp) --
   void on_swap_put(net::Message&& m);
@@ -404,6 +488,23 @@ class Node {
   /// by sync_mu_, populated only when Config::lock_migration).
   std::unordered_map<ObjectId, MigrateStreak> migrate_streaks_;
   MasterBarrier master_;  ///< used on rank 0 only
+
+  /// Ranks this node has seen a death notice for (watcher broadcast or
+  /// transport verdict). Atomic bytes: read lock-free on hot paths.
+  std::array<std::atomic<uint8_t>, 256> dead_{};
+  /// Armed by on_peer_dead, cleared when recover_leader completes: the
+  /// sync-entry gate (check_death) and the app's WorkerDied handler key
+  /// off it.
+  std::atomic<bool> death_pending_{false};
+  std::atomic<int> last_dead_{-1};
+  /// Deaths noticed but not yet recovered (drained by recover_leader).
+  /// Guarded by sync_mu_.
+  std::vector<int> dead_pending_;
+  /// Replica store (backup side): objects this node backs up for the
+  /// home(s) whose ring successor it is. replica_mu_ is a leaf mutex —
+  /// taken inside shard locks, never the other way around.
+  std::mutex replica_mu_;
+  std::unordered_map<ObjectId, Replica> replicas_;
 };
 
 /// The cluster. Construct with a Config, then run() SPMD functions.

@@ -32,7 +32,12 @@ uint64_t Endpoint::send(Message m) {
 }
 
 Endpoint::PendingReply Endpoint::request_async(Message m) {
+  if (rank_dead(m.dst)) {
+    throw WorkerDied(m.dst, "request to dead rank " + std::to_string(m.dst) + " from node " +
+                                std::to_string(rank()));
+  }
   auto slot = std::make_shared<Slot>();
+  slot->dst = m.dst;
   m.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lk(pending_mu_);
@@ -41,6 +46,54 @@ Endpoint::PendingReply Endpoint::request_async(Message m) {
   const uint64_t seq = m.seq;
   transport_->send(std::move(m));
   return PendingReply(this, std::move(slot), seq);
+}
+
+void Endpoint::mark_rank_dead(int r) {
+  if (r < 0 || r >= 256) return;
+  dead_[static_cast<size_t>(r)].store(1, std::memory_order_release);
+  // Fail the requests already parked on the dead rank; requests to live
+  // peers stay pending (fail_all_pending is the recovery-point hammer).
+  std::vector<std::shared_ptr<Slot>> doomed;
+  {
+    std::lock_guard lk(pending_mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second->dst == r) {
+        doomed.push_back(it->second);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& slot : doomed) {
+    std::lock_guard lk(slot->mu);
+    slot->died = r;
+    slot->cv.notify_one();
+  }
+}
+
+void Endpoint::fail_all_pending(int dead_rank) {
+  // The dead flag is raised BEFORE any waiter can observe its request
+  // failing: a thread woken by this sweep may immediately issue new
+  // requests (the recovery rendezvous), and those must never race a
+  // second, partially-applied death verdict. Setting the flag first and
+  // draining the whole table in one critical section makes the verdict
+  // atomic from every waiter's point of view.
+  if (dead_rank >= 0 && dead_rank < 256) {
+    dead_[static_cast<size_t>(dead_rank)].store(1, std::memory_order_release);
+  }
+  std::vector<std::shared_ptr<Slot>> doomed;
+  {
+    std::lock_guard lk(pending_mu_);
+    for (auto& [seq, slot] : pending_) doomed.push_back(slot);
+    pending_.clear();
+  }
+  for (auto& slot : doomed) {
+    std::lock_guard lk(slot->mu);
+    if (slot->reply.has_value()) continue;  // completed in the window: let it win
+    slot->died = dead_rank;
+    slot->cv.notify_one();
+  }
 }
 
 Message Endpoint::request(Message m, uint64_t timeout_us) {
@@ -64,13 +117,21 @@ Message Endpoint::PendingReply::wait(uint64_t timeout_us) {
   LOTS_CHECK(slot_ != nullptr, "PendingReply::wait on an empty handle");
   std::unique_lock lk(slot_->mu);
   if (!slot_->cv.wait_for(lk, std::chrono::microseconds(timeout_us),
-                          [&] { return slot_->reply.has_value(); })) {
+                          [&] { return slot_->reply.has_value() || slot_->died >= 0; })) {
     lk.unlock();
     const uint64_t seq = seq_;
     const int at = ep_->rank();
     cancel();
     throw SystemError("request timeout: node " + std::to_string(at) + " seq " +
                       std::to_string(seq));
+  }
+  if (!slot_->reply.has_value()) {  // failed by a peer-death notice
+    const int dead = slot_->died;
+    const int dst = slot_->dst;
+    lk.unlock();
+    cancel();
+    throw WorkerDied(dead, "request to rank " + std::to_string(dst) +
+                               " failed: worker " + std::to_string(dead) + " died");
   }
   Message reply = std::move(*slot_->reply);
   lk.unlock();

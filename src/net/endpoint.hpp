@@ -15,6 +15,7 @@
 // what makes the system deadlock-free by construction.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <functional>
@@ -54,6 +55,10 @@ class Endpoint {
     std::mutex mu;
     std::condition_variable cv;
     std::optional<Message> reply;
+    int dst = -1;       ///< requested rank (for targeted death failure)
+    int died = -1;      ///< >= 0: the request was failed because this
+                        ///< rank died; wait() throws WorkerDied instead
+                        ///< of blocking out the full timeout
   };
 
  public:
@@ -109,6 +114,24 @@ class Endpoint {
   /// `req` with the reply sequence filled in.
   void reply(const Message& req, Message resp);
 
+  // ---- peer-death handling (ISSUE 9) -------------------------------------
+  /// Marks `r` dead for this endpoint: every pending request addressed
+  /// to it fails with WorkerDied immediately, and future request_async
+  /// calls to it throw without touching the wire. Idempotent.
+  void mark_rank_dead(int r);
+  /// Marks `dead_rank` dead AND fails EVERY outstanding request with
+  /// WorkerDied(`dead_rank`) in one atomic sweep — used at the recovery
+  /// point: a request parked at a live peer (e.g. a barrier-enter at the
+  /// master) can never complete once a participant died, so all waiters
+  /// must unwind to the recovery path. The flag is raised before any
+  /// waiter wakes, so requests issued by unwound threads (the recovery
+  /// rendezvous) can never be caught by the same verdict's sweep. Late
+  /// replies find no table entry and are dropped.
+  void fail_all_pending(int dead_rank);
+  [[nodiscard]] bool rank_dead(int r) const {
+    return r >= 0 && r < 256 && dead_[static_cast<size_t>(r)].load(std::memory_order_acquire) != 0;
+  }
+
   [[nodiscard]] Transport& transport() { return *transport_; }
   [[nodiscard]] int rank() const { return transport_->rank(); }
   [[nodiscard]] int nprocs() const { return transport_->nprocs(); }
@@ -127,6 +150,9 @@ class Endpoint {
   /// erase their own entry on timeout or abandonment.
   std::mutex pending_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Slot>> pending_;
+
+  /// Ranks declared dead (coordinator notice or transport verdict).
+  std::array<std::atomic<uint8_t>, 256> dead_{};
 };
 
 }  // namespace lots::net

@@ -45,6 +45,11 @@ class SendWindow {
   [[nodiscard]] size_t inflight() const { return inflight_.size(); }
   [[nodiscard]] uint64_t retransmissions() const { return retransmissions_; }
 
+  /// Drops every in-flight datagram without acknowledgement — used when
+  /// the peer is declared dead, so senders blocked on can_send() can be
+  /// woken instead of waiting for ACKs that will never come.
+  void clear() { inflight_.clear(); }
+
  private:
   struct Pkt {
     uint64_t seq;

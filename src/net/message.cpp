@@ -27,6 +27,9 @@ const char* to_string(MsgType t) {
     case MsgType::kSwapDrop: return "SwapDrop";
     case MsgType::kHomeMigrate: return "HomeMigrate";
     case MsgType::kHomeMigrateAck: return "HomeMigrateAck";
+    case MsgType::kReplicaUpdate: return "ReplicaUpdate";
+    case MsgType::kRecoverEnter: return "RecoverEnter";
+    case MsgType::kRecoverExit: return "RecoverExit";
     case MsgType::kPageFetch: return "PageFetch";
     case MsgType::kPageData: return "PageData";
     case MsgType::kPageDiff: return "PageDiff";

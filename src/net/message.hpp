@@ -59,6 +59,15 @@ enum class MsgType : uint16_t {
   kHomeMigrateAck,  ///< adopting writer -> old home: home pointer flipped (or
                     ///< adoption declined), old home may clear its
                     ///< migration-in-progress mark
+  kReplicaUpdate,   ///< fault tolerance: home -> backup rank at each barrier,
+                    ///< carrying the barrier-cut images/diffs of the home's
+                    ///< dirty objects so the backup always holds every homed
+                    ///< object at the last completed barrier (acked request —
+                    ///< barrier completion implies a consistent replica cut)
+  kRecoverEnter,    ///< survivor -> rank 0: recovery rendezvous after a peer
+                    ///< death — all survivors finish re-homing/lock
+                    ///< reclamation before anyone resumes computing
+  kRecoverExit,     ///< rank 0 -> survivors: recovery rendezvous release
 
   // --- JIAJIA baseline (page-based, home-based) ---
   kPageFetch,     ///< fetch whole page from its fixed home

@@ -33,6 +33,13 @@ class Transport {
   [[nodiscard]] virtual int rank() const = 0;
   [[nodiscard]] virtual int nprocs() const = 0;
 
+  /// Peer-death fencing (worker-death recovery): stop sending to `rank`,
+  /// drop its late datagrams (zombie fencing) and unblock any sender
+  /// parked on its flow-control window. Default no-op for transports
+  /// without a failure model (the in-proc fabric never loses a peer).
+  virtual void mark_peer_dead(int /*rank*/) {}
+  [[nodiscard]] virtual bool peer_dead(int /*rank*/) const { return false; }
+
   /// Stats sink shared with the owning node (may be null in micro tests).
   void set_stats(NodeStats* stats) { stats_ = stats; }
 

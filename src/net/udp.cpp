@@ -264,6 +264,10 @@ void UdpTransport::send(Message m) {
     ready_cv_.notify_one();
     return;
   }
+  // Traffic to a dead peer is dropped silently: the Endpoint layer has
+  // already failed (or will immediately fail) every caller waiting on
+  // that rank, so the message can have no effect either way.
+  if (peer_dead(dst)) return;
 
   Stripe& st = *stripes_[m.flow % stripes_.size()];
 
@@ -284,7 +288,8 @@ void UdpTransport::send(Message m) {
     if (!p.send_win.can_send()) {
       // The peer cannot ACK datagrams still sitting in the batch.
       flush_batch_locked(st);
-      st.window_cv.wait(lk, [&] { return p.send_win.can_send(); });
+      st.window_cv.wait(lk, [&] { return p.send_win.can_send() || peer_dead(dst); });
+      if (peer_dead(dst)) return;  // released by the death mark; drop the rest
     }
     const size_t off = i * kChunk;
     const size_t len = std::min(kChunk, total - off);
@@ -308,23 +313,73 @@ void UdpTransport::send(Message m) {
 // Per-stripe pump: receive batches, ACK coalescing, retransmission
 // ---------------------------------------------------------------------------
 
-void UdpTransport::retransmit_expired_locked(Stripe& st) {
+int UdpTransport::retransmit_expired_locked(Stripe& st) {
   const uint64_t now = now_us();
+  const size_t cap = max_retrans_.load(std::memory_order_relaxed);
+  int newly_unreachable = -1;
   for (int r = 0; r < nprocs_; ++r) {
-    if (r == rank_) continue;
-    for (auto& [seq, wire] : st.peers[static_cast<size_t>(r)]->send_win.timed_out(now, rto_us_)) {
+    if (r == rank_ || peer_dead(r)) continue;
+    Peer& p = *st.peers[static_cast<size_t>(r)];
+    // Exponential backoff: each silent round doubles the effective RTO,
+    // capped at 32x the base, so a struggling-but-alive peer under heavy
+    // loss is probed at a decreasing rate instead of being flooded.
+    const uint64_t rto = rto_us_ << std::min<size_t>(p.rto_rounds, 5);
+    auto expired = p.send_win.timed_out(now, rto);
+    if (expired.empty()) continue;
+    ++p.rto_rounds;
+    if (cap > 0 && p.rto_rounds > cap) {
+      newly_unreachable = r;  // verdict: the caller marks it dead, lock-free
+      continue;               // do not bother retransmitting to it
+    }
+    for (auto& [seq, wire] : expired) {
       st.batch.push_back(OutDgram{r, wire->data(), wire->size(), /*allow_fault=*/true});
     }
   }
+  return newly_unreachable;
 }
 
 void UdpTransport::pump_loop(size_t s) {
   Stripe& st = *stripes_[s];
   while (running_.load(std::memory_order_acquire)) {
     pump_socket_once(st, 2'000);
+    int unreachable = -1;
+    {
+      std::lock_guard lk(st.mu);
+      unreachable = retransmit_expired_locked(st);
+      flush_batch_locked(st);  // also bounds the delay of a reorder-held datagram
+    }
+    if (unreachable >= 0 && !peer_dead(unreachable)) {
+      mark_peer_dead(unreachable);
+      std::function<void(int)> cb;
+      {
+        std::lock_guard clk(cb_mu_);
+        cb = unreachable_cb_;
+      }
+      if (cb) cb(unreachable);
+    }
+  }
+}
+
+void UdpTransport::set_peer_unreachable_cb(std::function<void(int)> cb) {
+  std::lock_guard lk(cb_mu_);
+  unreachable_cb_ = std::move(cb);
+}
+
+void UdpTransport::mark_peer_dead(int r) {
+  if (r < 0 || r >= nprocs_ || r == rank_) return;
+  if (dead_[static_cast<size_t>(r)].exchange(1, std::memory_order_acq_rel)) return;
+  for (auto& stp : stripes_) {
+    Stripe& st = *stp;
     std::lock_guard lk(st.mu);
-    retransmit_expired_locked(st);
-    flush_batch_locked(st);  // also bounds the delay of a reorder-held datagram
+    // Batch entries to the dead rank point into its send window's
+    // retained wire images — drop them BEFORE clearing the window.
+    std::erase_if(st.batch, [r](const OutDgram& d) { return d.dst == r; });
+    if (st.held_dst == r) {
+      st.held_dst = -1;
+      st.held.clear();
+    }
+    st.peers[static_cast<size_t>(r)]->send_win.clear();
+    st.window_cv.notify_all();  // senders blocked on the dead peer's window
   }
 }
 
@@ -367,6 +422,10 @@ void UdpTransport::pump_socket_once(Stripe& st, uint64_t timeout_us) {
       if (src_it == st.port_to_rank.end()) continue;  // stray datagram: drop
       const int src = src_it->second;
       if (src == rank_) continue;
+      if (peer_dead(src)) {  // zombie fence: a dead rank's late traffic
+        ts.zombie_drops.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
 
       Reader r(std::span<const uint8_t>(st.rbufs[i].data(), len));
       const uint8_t kind = r.u8();
@@ -374,6 +433,7 @@ void UdpTransport::pump_socket_once(Stripe& st, uint64_t timeout_us) {
       const uint64_t cum = r.u64();
 
       Peer& p = *st.peers[static_cast<size_t>(src)];
+      p.rto_rounds = 0;  // any datagram from the peer proves it alive
       p.send_win.on_ack(cum);
       st.window_cv.notify_all();
       if (kind == kAck) continue;

@@ -39,8 +39,10 @@
 // from the coordinator — no port-collision flakiness.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -96,6 +98,24 @@ class UdpTransport final : public Transport {
   /// transport's shape, used as the net_micro baseline cell.
   void set_send_batch(size_t n);
 
+  // ---- failure detection / fencing (ISSUE 9) -----------------------------
+  /// Retransmit rounds (with exponential RTO backoff) before a silent
+  /// peer is declared unreachable. 0 = retry forever (historical).
+  void set_max_retrans(size_t rounds) { max_retrans_.store(rounds, std::memory_order_relaxed); }
+  /// Invoked (from a pump thread, no stripe lock held) the first time a
+  /// peer exceeds the retransmit cap. The transport has already marked
+  /// the peer dead when the callback fires.
+  void set_peer_unreachable_cb(std::function<void(int)> cb);
+  /// Marks `r` dead: pending traffic to it is dropped, senders blocked
+  /// on its window are released, and — the zombie fence — every future
+  /// datagram *from* it is discarded at the receive path. Idempotent;
+  /// callable from any thread (coordinator death notices land here too).
+  void mark_peer_dead(int r) override;
+  [[nodiscard]] bool peer_dead(int r) const override {
+    return r >= 0 && r < 256 &&
+           dead_[static_cast<size_t>(r)].load(std::memory_order_acquire) != 0;
+  }
+
   [[nodiscard]] uint64_t retransmissions() const;
   /// Wire-level counters: the node's TransportStats when a NodeStats is
   /// attached, else this transport's private instance (benches, tests).
@@ -107,6 +127,10 @@ class UdpTransport final : public Transport {
   struct Peer {
     SendWindow send_win;
     RecvWindow recv_win;
+    /// Consecutive expired-retransmit rounds with no sign of life from
+    /// the peer (any received datagram resets it). Drives the
+    /// exponential RTO backoff and the unreachable verdict.
+    size_t rto_rounds = 0;
     explicit Peer(size_t window) : send_win(window) {}
   };
 
@@ -151,7 +175,11 @@ class UdpTransport final : public Transport {
   void emit_batch_locked(Stripe& st, const std::vector<OutDgram>& out);
   void pump_loop(size_t s);
   void pump_socket_once(Stripe& st, uint64_t timeout_us);
-  void retransmit_expired_locked(Stripe& st);
+  /// Queues expired datagrams for retransmission (go-back-N) with
+  /// per-peer exponential RTO backoff. Returns the rank of a peer that
+  /// just exceeded the retransmit cap (-1 when none): the caller marks
+  /// it dead and fires the unreachable callback OUTSIDE the stripe lock.
+  int retransmit_expired_locked(Stripe& st);
   [[nodiscard]] TransportStats& tstats() { return stats_ ? stats_->transport : own_tstats_; }
 
   int rank_;
@@ -161,6 +189,14 @@ class UdpTransport final : public Transport {
   size_t window_;
   uint64_t rto_us_;
   std::atomic<size_t> send_batch_{32};
+  std::atomic<size_t> max_retrans_{0};  ///< 0 = retry forever
+
+  /// Dead-peer fence, one flag per rank (paper cluster cap is 256).
+  /// Acquire/release so a pump thread's fencing decision sees a mark
+  /// made by any other thread.
+  std::array<std::atomic<uint8_t>, 256> dead_{};
+  std::mutex cb_mu_;  ///< guards unreachable_cb_ installation vs invocation
+  std::function<void(int)> unreachable_cb_;
 
   std::vector<std::unique_ptr<Stripe>> stripes_;
 

@@ -3,10 +3,14 @@
 // threads of this process — the protocol is plain TCP, so it does not
 // care whether its ends are threads or processes (the fork-based
 // end-to-end path is covered by multiproc_test.cpp).
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "cluster/bootstrap.hpp"
@@ -190,6 +194,46 @@ TEST(Bootstrap, RejectsRaggedStripeCounts) {
   }
   EXPECT_THROW(coord.serve(5'000), SystemError);
   for (auto& w : workers) w.join();
+}
+
+// A worker that crashes between connect() and its HELLO frame must fail
+// cluster formation immediately (EOF on the accepted socket), not stall
+// the coordinator until the full boot deadline: the launcher's operator
+// gets "worker hung up before HELLO" in well under timeout_ms.
+TEST(Bootstrap, WorkerDyingBeforeHelloFailsFormation) {
+  constexpr int kN = 2;
+  Coordinator coord(kN);
+  std::thread real([&] {
+    try {
+      WorkerBootstrap wb(coord.port(), 1, 2'000);
+      wb.barrier_start();
+    } catch (const SystemError&) {
+      // Expected: formation fails and the coordinator hangs up on us.
+    }
+  });
+  // Let the healthy worker win the accept race: connections are
+  // accepted in arrival order, so the corpse EOFs AFTER the real worker
+  // is in the formation — serve() then fails fast on the EOF and the
+  // teardown closes the real worker's socket too. (If the race is lost
+  // anyway the test still passes, just via the worker's own timeout.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // The "corpse": a bare TCP connect followed by close — exactly what
+  // the coordinator sees when a freshly forked worker dies pre-HELLO.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(coord.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(fd);
+
+  // Whichever order the two connections are accepted in, serve() must
+  // throw: either the corpse EOFs during its HELLO read, or formation
+  // comes up a worker short once the real one is processed.
+  EXPECT_THROW(coord.serve(5'000), SystemError);
+  real.join();
 }
 
 }  // namespace

@@ -1,0 +1,264 @@
+// Worker-death recovery, end to end: a 4-rank lossy-UDP cluster runs a
+// barrier-structured Jacobi-style workload with barrier-consistent
+// replication on; one rank SIGKILLs itself the instant its 2nd barrier
+// completes (the chaos knob lots_launch --kill-rank drives in CI); the
+// survivors catch WorkerDied, run lots::recover(), re-partition over the
+// live set and REDO the interrupted superstep — and the final digest
+// must be BIT-IDENTICAL to a no-failure reference run. That is the whole
+// recovery contract in one assertion: the replicas captured the last
+// barrier cut exactly, the re-homing served it exactly, and the redo
+// changed nothing it shouldn't.
+//
+// The workload is written the way recoverable LOTS applications must be
+// (see ARCHITECTURE.md "Failure model and recovery"): two arrays,
+// supersteps write ONLY the target array from values of the source
+// array, so a half-done superstep that unwinds with WorkerDied redoes to
+// identical values; the row partition is computed fresh from
+// lots::alive() at the top of every attempt.
+//
+// Fork discipline follows multiproc_test.cpp: the parent holds no
+// threads at fork time, children never touch gtest and leave via
+// _exit(), results travel through per-rank files.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cluster/bootstrap.hpp"
+#include "common/error.hpp"
+#include "common/tempdir.hpp"
+#include "core/api.hpp"
+
+namespace lots {
+namespace {
+
+constexpr int kProcs = 4;
+constexpr int kKillRank = 2;
+constexpr int kRows = 8;
+constexpr size_t kRowLen = 64;
+constexpr int kIters = 6;
+
+/// Runs the recoverable two-array workload. Returns (rank, rank-0 FNV-1a
+/// digest of the final array). Deterministic in the CONTENT sense: every
+/// cell's final value depends only on (row, index, iteration), never on
+/// which rank computed it — so a run that loses a worker mid-flight must
+/// still digest identically.
+std::pair<int, uint64_t> run_recovery_workload(const Config& cfg) {
+  uint64_t digest = 0;
+  core::Runtime rt(cfg);
+  rt.run([&](int rank) {
+    const int p = lots::num_procs();
+    std::vector<core::Pointer<uint32_t>> a(kRows), b(kRows);
+    for (int r = 0; r < kRows; ++r) a[static_cast<size_t>(r)].alloc(kRowLen);
+    for (int r = 0; r < kRows; ++r) b[static_cast<size_t>(r)].alloc(kRowLen);
+
+    // Deterministic seed superstep: every rank writes its (full-set)
+    // rows of `a`, published at the first barrier.
+    for (int r = rank; r < kRows; r += p) {
+      for (size_t i = 0; i < kRowLen; ++i) {
+        a[static_cast<size_t>(r)][i] = static_cast<uint32_t>(r * 1000 + static_cast<int>(i));
+      }
+    }
+    lots::barrier();
+
+    for (int it = 0; it < kIters;) {
+      try {
+        // Partition rows over the CURRENT live set, rotated per
+        // iteration so homes migrate at barriers and a redo after a
+        // death re-covers the dead rank's rows automatically.
+        std::vector<int> live;
+        for (int r = 0; r < p; ++r) {
+          if (lots::alive(r)) live.push_back(r);
+        }
+        int me = -1;
+        for (size_t i = 0; i < live.size(); ++i) {
+          if (live[i] == rank) me = static_cast<int>(i);
+        }
+        auto& cur = (it % 2 == 0) ? a : b;
+        auto& nxt = (it % 2 == 0) ? b : a;
+        for (int r = 0; r < kRows; ++r) {
+          if ((r + it) % static_cast<int>(live.size()) != me) continue;
+          // Write-only target, read-only source: redoing this loop after
+          // a WorkerDied unwind recomputes bit-identical values.
+          for (size_t i = 0; i < kRowLen; ++i) {
+            const uint32_t self = cur[static_cast<size_t>(r)][i];
+            const uint32_t next = cur[static_cast<size_t>(r)][(i + 1) % kRowLen];
+            nxt[static_cast<size_t>(r)][i] =
+                self * 2654435761u + next + static_cast<uint32_t>(it);
+          }
+        }
+        lots::barrier();
+        ++it;
+      } catch (const WorkerDied&) {
+        // A peer died: repair the cluster (collective) and redo the
+        // superstep that unwound. `it` is NOT incremented. recover()
+        // itself throws WorkerDied when another worker dies mid-repair,
+        // so keep repairing until a round completes.
+        for (;;) {
+          try {
+            lots::recover();
+            break;
+          } catch (const WorkerDied&) {
+          }
+        }
+      }
+    }
+    if (rank == 0) {
+      uint64_t h = 1469598103934665603ull;
+      auto mix = [&h](uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+          h ^= (v >> (8 * byte)) & 0xFF;
+          h *= 1099511628211ull;
+        }
+      };
+      auto& fin = (kIters % 2 == 0) ? a : b;
+      for (int r = 0; r < kRows; ++r) {
+        for (size_t i = 0; i < kRowLen; ++i) {
+          mix(fin[static_cast<size_t>(r)][i]);
+        }
+      }
+      digest = h;
+    }
+    lots::barrier();
+  });
+  const int rank = rt.single_process() ? 0 : rt.local_nodes().front()->rank();
+  return {rank, digest};
+}
+
+TEST(Recovery, KillAWorkerMatchesNoFailureDigest) {
+  // No-failure reference on the in-proc fabric (no replication needed:
+  // the digest is content-deterministic).
+  Config ref_cfg;
+  ref_cfg.nprocs = kProcs;
+  const uint64_t want = run_recovery_workload(ref_cfg).second;
+  ASSERT_NE(want, 0u);
+
+  TempDir scratch;
+  const std::string digest_path = scratch.path() + "/digest";
+
+  cluster::Coordinator coord(kProcs);
+  std::vector<pid_t> pids;
+  for (int i = 0; i < kProcs; ++i) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      int code = 3;
+      try {
+        Config cfg;
+        cfg.nprocs = kProcs;
+        cfg.cluster.fabric = FabricKind::kUdp;
+        cfg.cluster.coord_port = coord.port();
+        cfg.cluster.drop_prob = 0.03;
+        cfg.cluster.reorder_prob = 0.03;
+        cfg.cluster.fault_seed = 7;
+        cfg.replication = true;
+        // Whichever process draws rank 2 SIGKILLs itself the moment its
+        // 2nd barrier completes — exactly the replicated cut.
+        cfg.chaos_kill_rank = kKillRank;
+        cfg.chaos_kill_after_barrier = 2;
+        const auto [rank, digest] = run_recovery_workload(cfg);
+        if (rank == 0) {
+          std::ofstream(digest_path) << digest;
+        }
+        code = 0;
+      } catch (...) {
+        code = 3;
+      }
+      _exit(code);
+    }
+    pids.push_back(pid);
+  }
+
+  auto reports = coord.serve(90'000);
+
+  int sigkilled = 0;
+  for (const pid_t pid : pids) {
+    int st = 0;
+    ASSERT_EQ(waitpid(pid, &st, 0), pid);
+    if (WIFSIGNALED(st) && WTERMSIG(st) == SIGKILL) {
+      ++sigkilled;  // the chaos victim
+    } else {
+      ASSERT_TRUE(WIFEXITED(st)) << "survivor killed by signal " << WTERMSIG(st);
+      EXPECT_EQ(WEXITSTATUS(st), 0);
+    }
+  }
+  EXPECT_EQ(sigkilled, 1) << "exactly one worker must die";
+
+  ASSERT_EQ(reports.size(), static_cast<size_t>(kProcs));
+  for (const auto& r : reports) {
+    if (r.rank == kKillRank) {
+      EXPECT_TRUE(r.died) << "the victim must be declared dead, not merely unclean";
+      EXPECT_FALSE(r.clean);
+    } else {
+      EXPECT_TRUE(r.clean) << "survivor rank " << r.rank << " did not finish clean";
+    }
+  }
+
+  uint64_t got = 0;
+  std::ifstream in(digest_path);
+  ASSERT_TRUE(in.good()) << "rank 0 never wrote its digest";
+  in >> got;
+  EXPECT_EQ(got, want) << "post-recovery result diverged from the no-failure reference";
+}
+
+// Without replication a worker death must be FATAL but CLEAN: every
+// survivor's recover() throws SystemError (no replicas to fall back on)
+// instead of hanging the cluster or dying on an internal check.
+TEST(Recovery, DeathWithoutReplicationFailsFast) {
+  TempDir scratch;
+  cluster::Coordinator coord(kProcs);
+  std::vector<pid_t> pids;
+  for (int i = 0; i < kProcs; ++i) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      int code = 3;
+      try {
+        Config cfg;
+        cfg.nprocs = kProcs;
+        cfg.cluster.fabric = FabricKind::kUdp;
+        cfg.cluster.coord_port = coord.port();
+        cfg.replication = false;  // the point of the test
+        cfg.chaos_kill_rank = kKillRank;
+        cfg.chaos_kill_after_barrier = 2;
+        run_recovery_workload(cfg);
+        code = 0;  // only the pre-death ranks... nobody should get here
+      } catch (const SystemError&) {
+        code = 7;  // expected: recover() refused without replication
+      } catch (...) {
+        code = 3;
+      }
+      _exit(code);
+    }
+    pids.push_back(pid);
+  }
+
+  // The victim EOFs; the coordinator still completes its protocol by
+  // declaring it dead and collecting the survivors' reports.
+  auto reports = coord.serve(90'000);
+  ASSERT_EQ(reports.size(), static_cast<size_t>(kProcs));
+
+  int sigkilled = 0, refused = 0;
+  for (const pid_t pid : pids) {
+    int st = 0;
+    ASSERT_EQ(waitpid(pid, &st, 0), pid);
+    if (WIFSIGNALED(st) && WTERMSIG(st) == SIGKILL) {
+      ++sigkilled;
+    } else if (WIFEXITED(st) && WEXITSTATUS(st) == 7) {
+      ++refused;
+    } else {
+      ADD_FAILURE() << "worker neither died as the victim nor refused cleanly (status " << st
+                    << ")";
+    }
+  }
+  EXPECT_EQ(sigkilled, 1);
+  EXPECT_EQ(refused, kProcs - 1);
+}
+
+}  // namespace
+}  // namespace lots

@@ -11,7 +11,22 @@
 // Usage:
 //   lots_launch [-n N] [--threads M] [--stripes K] [--drop P] [--reorder P]
 //               [--dup P] [--seed S] [--timeout SECONDS]
-//               [--kv-shards S] [--kv-clients C] [--] prog [args...]
+//               [--kv-shards S] [--kv-clients C]
+//               [--replicate] [--kill-rank R] [--kill-after-barrier K]
+//               [--] prog [args...]
+//
+// Chaos / recovery knobs: --replicate turns on barrier-consistent
+// replication (LOTS_REPLICATE=1) in every worker; --kill-rank R makes
+// the worker holding rank R SIGKILL ITSELF the instant its K-th barrier
+// completes (--kill-after-barrier K, default 1) — the coordinator sees a
+// raw EOF, broadcasts the death, and the survivors recover from the
+// replicas. The expected victim is excluded from exit-status accounting.
+//
+// Signal hygiene: the workers run in their own process group; SIGINT and
+// SIGTERM received by the launcher are forwarded to the whole group, and
+// every abnormal coordinator exit (rendezvous failure, timeout, signal)
+// SIGKILLs and reaps whatever is left — no orphaned workers. The first
+// non-zero UNEXPECTED worker exit status is the launcher's own.
 //
 // --threads M puts LOTS_THREADS=M in the worker environment: each of
 // the N processes hosts M application threads on its rank (hybrid
@@ -55,9 +70,22 @@ uint64_t now_ms() { return lots::now_us() / 1000; }
   std::fprintf(stderr,
                "usage: %s [-n N] [--threads M] [--stripes K] [--drop P] [--reorder P]\n"
                "          [--dup P] [--seed S] [--timeout SECONDS]\n"
-               "          [--kv-shards S] [--kv-clients C] [--] prog [args...]\n",
+               "          [--kv-shards S] [--kv-clients C]\n"
+               "          [--replicate] [--kill-rank R] [--kill-after-barrier K]\n"
+               "          [--] prog [args...]\n",
                argv0);
   std::exit(2);
+}
+
+/// SIGINT/SIGTERM forwarding to the workers' process group. Only
+/// async-signal-safe calls; the interrupted coordinator syscall then
+/// fails (no SA_RESTART) and the normal abnormal-exit path reaps.
+volatile sig_atomic_t g_pgid = 0;
+volatile sig_atomic_t g_signal = 0;
+void forward_signal(int sig) {
+  g_signal = sig;
+  const pid_t pg = g_pgid;
+  if (pg > 0) kill(-pg, sig);
 }
 
 struct Options {
@@ -69,6 +97,9 @@ struct Options {
   double drop = 0.0, reorder = 0.0, dup = 0.0;
   uint64_t seed = 1;
   uint64_t timeout_s = 120;
+  bool replicate = false;  // LOTS_REPLICATE=1 in every worker
+  int kill_rank = -1;      // chaos: this rank SIGKILLs itself mid-run
+  int kill_after = 1;      // ... after completing this many barriers
   std::vector<char*> child_argv;  // prog + args, null-terminated later
 };
 
@@ -101,6 +132,12 @@ Options parse(int argc, char** argv) {
       o.seed = std::strtoull(next(), nullptr, 10);
     } else if (a == "--timeout") {
       o.timeout_s = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--replicate") {
+      o.replicate = true;
+    } else if (a == "--kill-rank") {
+      o.kill_rank = std::atoi(next());
+    } else if (a == "--kill-after-barrier") {
+      o.kill_after = std::atoi(next());
     } else if (a == "--") {
       ++i;
       break;
@@ -113,7 +150,8 @@ Options parse(int argc, char** argv) {
   for (; i < argc; ++i) o.child_argv.push_back(argv[i]);
   if (o.child_argv.empty() || o.nprocs < 1 || o.nprocs > 256 || o.threads < 1 ||
       o.threads > 256 || o.stripes > 64 || o.kv_shards == 0 || o.kv_shards > (1 << 16) ||
-      o.kv_clients == 0 || o.kv_clients > 1024) {
+      o.kv_clients == 0 || o.kv_clients > 1024 || o.kill_rank >= o.nprocs ||
+      o.kill_after < 1) {
     usage(argv[0]);
   }
   // Reject bad fault probabilities HERE: otherwise every forked worker
@@ -141,6 +179,14 @@ void set_worker_env(const Options& o, uint16_t coord_port) {
   if (o.stripes >= 0) setenv(kEnvNetStripes, std::to_string(o.stripes).c_str(), 1);
   if (o.kv_shards > 0) setenv(kEnvKvShards, std::to_string(o.kv_shards).c_str(), 1);
   if (o.kv_clients > 0) setenv(kEnvKvClients, std::to_string(o.kv_clients).c_str(), 1);
+  if (o.replicate) setenv(kEnvReplicate, "1", 1);
+  if (o.kill_rank >= 0) {
+    // Uniform across workers: each compares the knob against its own
+    // bootstrap-assigned rank, so the victim is the RANK, not a fork slot
+    // (arrival order decides which process gets which rank).
+    setenv(kEnvKillRank, std::to_string(o.kill_rank).c_str(), 1);
+    setenv(kEnvKillAfter, std::to_string(o.kill_after).c_str(), 1);
+  }
 }
 
 }  // namespace
@@ -168,14 +214,31 @@ int main(int argc, char** argv) {
       for (const pid_t p : pids) kill(p, SIGKILL);
       return 1;
     }
+    // One process group for all workers, led by the first (both sides
+    // call setpgid — whichever runs first wins, the other is a no-op —
+    // so the group exists before either the exec or the first signal).
+    const pid_t pgid_target = pids.empty() ? 0 : pids.front();
     if (pid == 0) {
+      setpgid(0, pgid_target);
       set_worker_env(opt, coord->port());
       execvp(child_argv[0], child_argv.data());
       std::perror("lots_launch: execvp");
       _exit(127);
     }
+    setpgid(pid, pgid_target == 0 ? pid : pgid_target);
     pids.push_back(pid);
   }
+
+  // Forward SIGINT/SIGTERM to the worker group. No SA_RESTART: the
+  // coordinator's blocked accept/read then fails with EINTR, serve()
+  // throws, and the abnormal-exit path below SIGKILLs and reaps whatever
+  // the forwarded signal did not stop.
+  g_pgid = static_cast<sig_atomic_t>(pids.front());
+  struct sigaction sa = {};
+  sa.sa_handler = forward_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
 
   // Drive the rendezvous + completion protocol on this thread. A
   // formation failure (missing worker, hang) is fatal for the launch.
@@ -189,8 +252,20 @@ int main(int argc, char** argv) {
     formed = false;
   }
 
-  // Reap the children, killing whatever outlives the deadline.
+  // The chaos victim's pid (known from its HELLO report): its SIGKILL
+  // death is the point of the exercise, so it is excluded from the
+  // exit-status accounting below.
+  pid_t expected_dead_pid = -1;
+  if (opt.kill_rank >= 0) {
+    for (const auto& r : reports) {
+      if (r.rank == opt.kill_rank) expected_dead_pid = static_cast<pid_t>(r.pid);
+    }
+  }
+
+  // Reap the children, killing whatever outlives the deadline (or an
+  // abnormal coordinator exit — rendezvous failure or forwarded signal).
   int worst = formed ? 0 : 1;
+  int first_nonzero = 0;  // first UNEXPECTED non-zero worker status, pid order
   std::vector<std::pair<pid_t, int>> statuses;
   for (const pid_t pid : pids) {
     int st = 0;
@@ -214,7 +289,9 @@ int main(int argc, char** argv) {
       code = 128 + (WIFSIGNALED(st) ? WTERMSIG(st) : 0);
     }
     statuses.emplace_back(pid, code);
+    if (pid == expected_dead_pid) continue;
     worst = std::max(worst, code);
+    if (first_nonzero == 0 && code != 0) first_nonzero = code;
   }
 
   for (const auto& r : reports) {
@@ -222,16 +299,25 @@ int main(int argc, char** argv) {
     for (const auto& [pid, code] : statuses) {
       if (pid == static_cast<pid_t>(r.pid)) exit_code = code;
     }
+    const bool expected = static_cast<pid_t>(r.pid) == expected_dead_pid;
     std::printf("lots_launch: rank %d pid %lld udp_port %u stripes %zu %s exit %d\n", r.rank,
                 static_cast<long long>(r.pid), r.udp_ports.empty() ? 0u : r.udp_ports[0],
-                r.udp_ports.size(), r.clean ? "clean" : "UNCLEAN", exit_code);
-    if (!r.clean) worst = std::max(worst, 1);
+                r.udp_ports.size(),
+                r.died ? (expected ? "DIED (expected)" : "DIED") : (r.clean ? "clean" : "UNCLEAN"),
+                exit_code);
+    if (!r.clean && !expected) worst = std::max(worst, 1);
   }
-  if (worst == 0) {
-    std::printf("LOTS_LAUNCH_OK n=%d threads=%d drop=%g reorder=%g dup=%g prog=%s\n", opt.nprocs,
-                opt.threads, opt.drop, opt.reorder, opt.dup, opt.child_argv[0]);
+  // The launcher's own status: the first unexpected non-zero worker
+  // status when one exists, else the formation/cleanliness verdict; a
+  // forwarded signal reports as a signal death, like a shell would.
+  int rc = first_nonzero != 0 ? first_nonzero : worst;
+  if (g_signal != 0) rc = 128 + static_cast<int>(g_signal);
+  if (rc == 0) {
+    std::printf("LOTS_LAUNCH_OK n=%d threads=%d drop=%g reorder=%g dup=%g%s prog=%s\n", opt.nprocs,
+                opt.threads, opt.drop, opt.reorder, opt.dup,
+                opt.kill_rank >= 0 ? " chaos=kill" : "", opt.child_argv[0]);
   } else {
-    std::printf("LOTS_LAUNCH_FAIL n=%d exit=%d prog=%s\n", opt.nprocs, worst, opt.child_argv[0]);
+    std::printf("LOTS_LAUNCH_FAIL n=%d exit=%d prog=%s\n", opt.nprocs, rc, opt.child_argv[0]);
   }
-  return worst;
+  return rc;
 }
