@@ -38,6 +38,13 @@
 //   Real processes over loopback UDP:
 //       ./lots_launch -n 4 --threads 2 --kv-shards 32 --kv-clients 4 ./bench_kv_load
 //   Lossy:  ./lots_launch -n 4 --drop 0.01 --reorder 0.01 ./bench_kv_load
+//   Chaos soak (LOTS_KV_SPARE=3: rank 3 runs ZERO clients, so SIGKILLing
+//   it right after the publish barrier — its 2nd coherence barrier; the
+//   KvStore open barrier is the 1st — loses no client model; survivors
+//   recover, rank 0 re-reads the dead rank's slice from its replica
+//   holder, and KV_SMOKE_OK still gates):
+//       LOTS_KV_SPARE=3 ./lots_launch -n 4 --threads 2 --replicate 2
+//           --kill-rank 3 --kill-after-barrier 2 ./bench_kv_load
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -79,6 +86,10 @@ struct LoadOptions {
   double zipf = 0.99;     ///< popularity skew theta; 0 = uniform
   double qps = 0.0;       ///< per-client target rate; 0 = unthrottled
   uint64_t seed = 1;
+  int spare = -1;  ///< LOTS_KV_SPARE: rank that runs ZERO clients (chaos
+                   ///< soak victim — killable without losing any client
+                   ///< model; its published slice is recovered from its
+                   ///< replica holder by rank 0's merge)
 
   static LoadOptions from_env() {
     using namespace lots::cluster;
@@ -91,6 +102,7 @@ struct LoadOptions {
     o.qps = env_double_or(kEnvKvQps, o.qps, 0.0, 1e7);
     o.seed = static_cast<uint64_t>(env_int_or(kEnvKvSeed, static_cast<long>(o.seed), 0,
                                               std::numeric_limits<long>::max()));
+    o.spare = static_cast<int>(env_int_or(kEnvKvSpare, o.spare, -1, 255));
     return o;
   }
 };
@@ -370,9 +382,28 @@ struct RankOutcome {
   std::atomic<int> my_rank{0};            ///< meaningful under UDP only
 };
 
+/// The inner repair loop of the recoverable pattern: recover() throws
+/// WorkerDied when ANOTHER worker dies mid-repair; keep going until a
+/// round completes (examples/fault_tolerant.cpp).
+void recover_until_quiet() {
+  for (;;) {
+    try {
+      lots::recover();
+      return;
+    } catch (const lots::WorkerDied&) {
+    }
+  }
+}
+
 void run_load(core::Runtime& rt, const Config& cfg, const LoadOptions& opts,
               const KvConfig& kcfg, const char* label, RankOutcome& outcome) {
   const auto nprocs = static_cast<uint64_t>(cfg.nprocs);
+  // The spare rank (chaos soak) serves shards but runs no clients, so
+  // the dense client-id space — which defines key ownership via
+  // key % total_clients — is built over the OTHER ranks only.
+  const bool has_spare = opts.spare >= 0 && opts.spare < cfg.nprocs;
+  const uint64_t client_ranks = nprocs - (has_spare ? 1 : 0);
+  const uint64_t total_clients = client_ranks * opts.clients;
   std::vector<std::unique_ptr<WorkQueue>> queues;
   for (uint64_t r = 0; r < nprocs; ++r) queues.push_back(std::make_unique<WorkQueue>());
   KvStore kv;
@@ -387,16 +418,29 @@ void run_load(core::Runtime& rt, const Config& cfg, const LoadOptions& opts,
     }
     lots::run_barrier();  // open + reset everywhere before traffic starts
 
+    // Dense client-rank index: ranks after the spare shift down one so
+    // global ids stay contiguous in [0, total_clients).
+    const bool is_spare = has_spare && rank == opts.spare;
+    const uint32_t my_clients = is_spare ? 0 : opts.clients;
+    const uint64_t crank =
+        static_cast<uint64_t>(rank) - ((has_spare && rank > opts.spare) ? 1 : 0);
+
     WorkQueue& q = *queues[static_cast<size_t>(rank)];
     std::vector<std::thread> clients;
-    std::vector<ClientResult> results(opts.clients);
+    std::vector<ClientResult> results(my_clients);
     uint64_t t0 = 0;
     if (lots::my_thread() == 0) {
       t0 = now_us();
-      auto remaining = std::make_shared<std::atomic<uint32_t>>(opts.clients);
-      for (uint32_t c = 0; c < opts.clients; ++c) {
-        ClientCtx ctx{&kv, &q, &opts, nprocs * opts.clients,
-                      static_cast<uint64_t>(rank) * opts.clients + c};
+      if (my_clients == 0) {
+        // The spare pushes no work of its own; close the queue so this
+        // rank's serve() loops return once the queue drains. Its DSM
+        // node keeps answering remote shard traffic on the service
+        // thread until the publish barrier below.
+        q.close();
+      }
+      auto remaining = std::make_shared<std::atomic<uint32_t>>(my_clients);
+      for (uint32_t c = 0; c < my_clients; ++c) {
+        ClientCtx ctx{&kv, &q, &opts, total_clients, crank * opts.clients + c};
         clients.emplace_back([ctx, &results, c, remaining, &q] {
           client_main(ctx, results[c]);
           // The last client of the rank turns off the lights: the app
@@ -407,10 +451,12 @@ void run_load(core::Runtime& rt, const Config& cfg, const LoadOptions& opts,
     }
     lots::serve(q);  // every app thread of the rank services work items
 
+    ClientResult rank_total;
+    uint64_t wall_us = 0;
+    bool rank_ok = true;
     if (lots::my_thread() == 0) {
       for (auto& t : clients) t.join();
-      const uint64_t wall_us = now_us() - t0;
-      ClientResult rank_total;
+      wall_us = now_us() - t0;
       for (const ClientResult& r : results) {
         rank_total.ops += r.ops;
         rank_total.reads += r.reads;
@@ -423,88 +469,140 @@ void run_load(core::Runtime& rt, const Config& cfg, const LoadOptions& opts,
                        label, rank, r.first_failure.c_str(), r.failures - 1);
         }
       }
-      const bool rank_ok =
-          rank_total.failures == 0 && rank_total.ops == opts.clients * opts.ops;
+      rank_ok = rank_total.failures == 0 && rank_total.ops == my_clients * opts.ops;
       if (!rank_ok) outcome.local_fail.store(true);
-      const size_t base = static_cast<size_t>(rank) * kSlice;
-      res[base + kOk] = rank_ok ? 1 : 0;
-      res[base + kOps] = rank_total.ops;
-      res[base + kWallUs] = wall_us;
-      res[base + kReads] = rank_total.reads;
-      res[base + kWrites] = rank_total.writes;
-      res[base + kScans] = rank_total.scans;
-      res[base + kFailures] = rank_total.failures;
-      for (size_t i = 0; i < Hist::kBuckets; ++i) res[base + kHist + i] = rank_total.hist.b[i];
-      res[base + kHistCount] = rank_total.hist.count;
-      res[base + kHistSum] = rank_total.hist.sum_us;
     }
-    lots::barrier();  // publish every rank's slice
-
-    if (lots::my_worker() == 0) {
-      Hist merged;
-      uint64_t total_ops = 0, max_wall_us = 0, failures = 0;
-      bool all_ok = true;
-      for (uint64_t r = 0; r < nprocs; ++r) {
-        const size_t base = r * kSlice;
-        all_ok &= res[base + kOk] == 1;
-        total_ops += res[base + kOps];
-        max_wall_us = std::max(max_wall_us, static_cast<uint64_t>(res[base + kWallUs]));
-        failures += res[base + kFailures];
-        Hist h;
-        for (size_t i = 0; i < Hist::kBuckets; ++i) h.b[i] = res[base + kHist + i];
-        h.count = res[base + kHistCount];
-        h.sum_us = res[base + kHistSum];
-        merged.merge(h);
-        JsonLine("kv_load")
-            .str("row", "rank")
-            .str("label", label)
-            .num("rank", r)
-            .num("ops", static_cast<uint64_t>(res[base + kOps]))
-            .num("wall_s", static_cast<double>(res[base + kWallUs]) / 1e6)
-            .num("failures", static_cast<uint64_t>(res[base + kFailures]))
-            .boolean("ok", res[base + kOk] == 1)
-            .emit();
+    // Publish this rank's slice. Under the chaos soak (--kill-rank on
+    // the spare) a peer can die here; slice write + barrier is an
+    // idempotent superstep, so catch on every app thread, recover, and
+    // redo — the recoverable pattern from examples/fault_tolerant.cpp.
+    //
+    // Thread alignment: a WorkerDied raised in a SINGLE-thread section
+    // (the slice writes below, the merge reads further down) is
+    // swallowed in place, because sibling app threads may already be
+    // parked inside the next collective — recovering unilaterally would
+    // put this thread one collective out of step with them (deadlock).
+    // The death stays pending, so the next collective every thread
+    // executes (barrier / run_barrier) throws WorkerDied to ALL of
+    // them via the leader's check_death, and they recover in lockstep.
+    for (;;) {
+      try {
+        if (lots::my_thread() == 0) {
+          try {
+            const size_t base = static_cast<size_t>(rank) * kSlice;
+            res[base + kOk] = rank_ok ? 1 : 0;
+            res[base + kOps] = rank_total.ops;
+            res[base + kWallUs] = wall_us;
+            res[base + kReads] = rank_total.reads;
+            res[base + kWrites] = rank_total.writes;
+            res[base + kScans] = rank_total.scans;
+            res[base + kFailures] = rank_total.failures;
+            for (size_t i = 0; i < Hist::kBuckets; ++i) {
+              res[base + kHist + i] = rank_total.hist.b[i];
+            }
+            res[base + kHistCount] = rank_total.hist.count;
+            res[base + kHistSum] = rank_total.hist.sum_us;
+          } catch (const lots::WorkerDied&) {
+            // Swallowed: the barrier below rethrows on every thread.
+          }
+        }
+        lots::barrier();  // publish every rank's slice
+        break;
+      } catch (const lots::WorkerDied&) {
+        recover_until_quiet();
       }
-      const double wall_s = static_cast<double>(max_wall_us) / 1e6;
-      const double qps = wall_s > 0 ? static_cast<double>(total_ops) / wall_s : 0.0;
-      NodeStats agg;
-      rt.aggregate_stats(agg);
-      JsonLine("kv_load")
-          .str("row", "aggregate")
-          .str("label", label)
-          .num("p", nprocs)
-          .num("threads", static_cast<uint64_t>(cfg.threads_per_node))
-          .num("clients", nprocs * opts.clients)
-          .num("shards", static_cast<uint64_t>(kcfg.shards))
-          .num("keys", opts.keys)
-          .num("read_pct", opts.read_pct)
-          .num("zipf", opts.zipf)
-          .num("ops", total_ops)
-          .num("wall_s", wall_s)
-          .num("qps", qps)
-          .num("p50_us", merged.quantile(0.50))
-          .num("p99_us", merged.quantile(0.99))
-          .num("mean_us",
-               merged.count ? static_cast<double>(merged.sum_us) / static_cast<double>(merged.count)
-                            : 0.0)
-          .num("lock_acquires", agg.lock_acquires.load())
-          .num("msgs", agg.msgs_sent.load())
-          .num("fetches", agg.object_fetches.load())
-          .num("service_items", agg.service_items.load())
-          .boolean("ok", all_ok)
-          .emit();
-      std::printf("KV_SMOKE_%s label=%s p=%" PRIu64 " threads=%d clients=%" PRIu64
-                  " shards=%u keys=%" PRIu64 " ops=%" PRIu64 " failures=%" PRIu64
-                  " qps=%.0f p50_us=%.0f p99_us=%.0f\n",
-                  all_ok ? "OK" : "FAIL", label, nprocs, cfg.threads_per_node,
-                  nprocs * opts.clients, kcfg.shards, opts.keys, total_ops, failures, qps,
-                  merged.quantile(0.50), merged.quantile(0.99));
-      if (!all_ok) outcome.cluster_fail.store(true);
     }
-    // Hold every rank until rank 0 has fetched all the slices: under UDP
-    // a rank that returns here starts tearing its node down, and rank
-    // 0's reads above may still need that node's home copies.
-    lots::run_barrier();
+
+    // Merge + hold-open rendezvous, also recoverable: the chaos soak
+    // kills the spare right after the publish barrier commits, so the
+    // merge below may be the first to notice. All slice reads happen
+    // into a local snapshot BEFORE any reporting, so a retry after
+    // recover() (which re-homes the dead rank's slice to its replica
+    // holder) never emits duplicate rows.
+    bool reported = false;
+    for (;;) {
+      try {
+        if (lots::my_worker() == 0 && !reported) {
+          try {
+            std::vector<uint64_t> snap(static_cast<size_t>(nprocs) * kSlice);
+            for (size_t w = 0; w < snap.size(); ++w) snap[w] = res[w];
+            Hist merged;
+            uint64_t total_ops = 0, max_wall_us = 0, failures = 0;
+            bool all_ok = true;
+            for (uint64_t r = 0; r < nprocs; ++r) {
+              const size_t base = r * kSlice;
+              all_ok &= snap[base + kOk] == 1;
+              total_ops += snap[base + kOps];
+              max_wall_us = std::max(max_wall_us, snap[base + kWallUs]);
+              failures += snap[base + kFailures];
+              Hist h;
+              for (size_t i = 0; i < Hist::kBuckets; ++i) h.b[i] = snap[base + kHist + i];
+              h.count = snap[base + kHistCount];
+              h.sum_us = snap[base + kHistSum];
+              merged.merge(h);
+              JsonLine("kv_load")
+                  .str("row", "rank")
+                  .str("label", label)
+                  .num("rank", r)
+                  .num("ops", snap[base + kOps])
+                  .num("wall_s", static_cast<double>(snap[base + kWallUs]) / 1e6)
+                  .num("failures", snap[base + kFailures])
+                  .boolean("ok", snap[base + kOk] == 1)
+                  .emit();
+            }
+            const double wall_s = static_cast<double>(max_wall_us) / 1e6;
+            const double qps = wall_s > 0 ? static_cast<double>(total_ops) / wall_s : 0.0;
+            NodeStats agg;
+            rt.aggregate_stats(agg);
+            JsonLine("kv_load")
+                .str("row", "aggregate")
+                .str("label", label)
+                .num("p", nprocs)
+                .num("threads", static_cast<uint64_t>(cfg.threads_per_node))
+                .num("clients", total_clients)
+                .num("shards", static_cast<uint64_t>(kcfg.shards))
+                .num("keys", opts.keys)
+                .num("read_pct", opts.read_pct)
+                .num("zipf", opts.zipf)
+                .num("ops", total_ops)
+                .num("wall_s", wall_s)
+                .num("qps", qps)
+                .num("p50_us", merged.quantile(0.50))
+                .num("p99_us", merged.quantile(0.99))
+                .num("mean_us", merged.count ? static_cast<double>(merged.sum_us) /
+                                                   static_cast<double>(merged.count)
+                                             : 0.0)
+                .num("lock_acquires", agg.lock_acquires.load())
+                .num("msgs", agg.msgs_sent.load())
+                .num("fetches", agg.object_fetches.load())
+                .num("service_items", agg.service_items.load())
+                .num("recoveries", agg.recoveries.load())
+                .boolean("ok", all_ok)
+                .emit();
+            std::printf("KV_SMOKE_%s label=%s p=%" PRIu64 " threads=%d clients=%" PRIu64
+                        " shards=%u keys=%" PRIu64 " ops=%" PRIu64 " failures=%" PRIu64
+                        " qps=%.0f p50_us=%.0f p99_us=%.0f recoveries=%" PRIu64 "\n",
+                        all_ok ? "OK" : "FAIL", label, nprocs, cfg.threads_per_node, total_clients,
+                        kcfg.shards, opts.keys, total_ops, failures, qps, merged.quantile(0.50),
+                        merged.quantile(0.99), agg.recoveries.load());
+            if (!all_ok) outcome.cluster_fail.store(true);
+            reported = true;
+          } catch (const lots::WorkerDied&) {
+            // Single-thread section: swallow, stay un-reported, and let
+            // the run_barrier below rethrow on every app thread so the
+            // node recovers in lockstep (see the publish loop above).
+          }
+        }
+        // Hold every rank until rank 0 has fetched all the slices:
+        // under UDP a rank that returns here starts tearing its node
+        // down, and rank 0's reads above may still need that node's
+        // home copies.
+        lots::run_barrier();
+        break;
+      } catch (const lots::WorkerDied&) {
+        recover_until_quiet();
+      }
+    }
   });
 }
 

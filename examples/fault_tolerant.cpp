@@ -103,7 +103,12 @@ int main() {
       }
     }
 
-    if (rank == 0) {
+    // The lowest SURVIVING rank reports — rank 0 must be as killable as
+    // anyone else, and a chaos run that targets it still needs its
+    // RECOVERY_OK verdict from someone.
+    int reporter = 0;
+    while (reporter < p && !lots::alive(reporter)) ++reporter;
+    if (rank == reporter) {
       // Local replay in private memory: the ground truth no failure,
       // recovery, or re-partitioning is allowed to perturb.
       std::vector<std::vector<uint32_t>> ra(kRows, std::vector<uint32_t>(kRowLen));

@@ -104,13 +104,13 @@ bool send_frame(int fd, const std::vector<uint8_t>& body) {
 // Coordinator
 // ---------------------------------------------------------------------------
 
-Coordinator::Coordinator(int nprocs) : nprocs_(nprocs) {
+Coordinator::Coordinator(int nprocs, uint16_t port) : nprocs_(nprocs) {
   LOTS_CHECK(nprocs_ >= 1 && nprocs_ <= 256, "Coordinator: nprocs out of range");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw SystemError("Coordinator: socket() failed");
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in me = loopback_addr(0);
+  sockaddr_in me = loopback_addr(port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&me), sizeof(me)) != 0 ||
       ::listen(listen_fd_, nprocs_) != 0) {
     ::close(listen_fd_);
@@ -311,16 +311,32 @@ WorkerBootstrap::WorkerBootstrap(uint16_t coord_port, std::vector<uint16_t> udp_
     : timeout_ms_(timeout_ms) {
   LOTS_CHECK(!udp_ports.empty() && udp_ports.size() <= 64,
              "WorkerBootstrap: stripe count out of range");
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw SystemError("WorkerBootstrap: socket() failed");
-  int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  sockaddr_in coord = loopback_addr(coord_port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&coord), sizeof(coord)) != 0) {
+  // Workers legitimately race the coordinator to the rendezvous: a
+  // launcher may fork them before (or while) the coordinator binds its
+  // listen socket, and a refused loopback connect is instantaneous. So
+  // connect is retried with exponential backoff (10ms doubling, capped
+  // at 500ms) within the same deadline budget the rest of the handshake
+  // uses, instead of treating the first ECONNREFUSED as fatal. Each
+  // attempt gets a FRESH socket: a failed connect() leaves the old one
+  // in an unspecified state.
+  const uint64_t deadline = now_ms() + timeout_ms_;
+  uint64_t backoff_ms = 10;
+  for (;;) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw SystemError("WorkerBootstrap: socket() failed");
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in coord = loopback_addr(coord_port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&coord), sizeof(coord)) == 0) break;
     ::close(fd_);
     fd_ = -1;
-    throw SystemError("WorkerBootstrap: cannot reach the coordinator on port " +
-                      std::to_string(coord_port));
+    if (now_ms() + backoff_ms >= deadline) {
+      throw SystemError("WorkerBootstrap: cannot reach the coordinator on port " +
+                        std::to_string(coord_port) + " within " + std::to_string(timeout_ms_) +
+                        "ms");
+    }
+    ::usleep(static_cast<useconds_t>(backoff_ms * 1000));
+    backoff_ms = std::min<uint64_t>(backoff_ms * 2, 500);
   }
   std::vector<uint8_t> hello;
   net::Writer w(hello);

@@ -61,7 +61,10 @@ namespace lots::cluster {
 /// threads, no blocking); serve() drives the whole protocol.
 class Coordinator {
  public:
-  explicit Coordinator(int nprocs);
+  /// `port` 0 (default) binds an ephemeral loopback port (read it back
+  /// via port()). A fixed port lets workers be launched BEFORE the
+  /// coordinator: their connect retries bridge the listen race.
+  explicit Coordinator(int nprocs, uint16_t port = 0);
   ~Coordinator();
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;

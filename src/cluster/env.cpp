@@ -29,6 +29,22 @@ long env_int(const char* name, const char* s, long lo, long hi) {
   return v;
 }
 
+// "a" or "a,b": parses one value into `a`, and — only when a comma is
+// present — a second into `b` (otherwise `b` keeps its caller-supplied
+// default). Used by the chaos knobs' victim/barrier pairs.
+void env_int_pair(const char* name, const char* s, long lo, long hi, long& a, long& b) {
+  const std::string whole(s);
+  const size_t comma = whole.find(',');
+  if (comma == std::string::npos) {
+    a = env_int(name, s, lo, hi);
+    return;
+  }
+  const std::string first = whole.substr(0, comma);
+  const std::string second = whole.substr(comma + 1);
+  a = env_int(name, first.c_str(), lo, hi);
+  b = env_int(name, second.c_str(), lo, hi);
+}
+
 }  // namespace
 
 long env_int_or(const char* name, long dflt, long lo, long hi) {
@@ -112,7 +128,7 @@ bool configure_migrate_from_env(Config& cfg) {
 bool configure_robustness_from_env(Config& cfg) {
   bool any = false;
   if (const char* s = std::getenv(kEnvReplicate); s && *s) {
-    cfg.replication = std::string(s) != "0";
+    cfg.replication = static_cast<int>(env_int(kEnvReplicate, s, 0, 256));
     any = true;
   }
   if (const char* s = std::getenv(kEnvNetRetrans); s && *s) {
@@ -120,11 +136,27 @@ bool configure_robustness_from_env(Config& cfg) {
     any = true;
   }
   if (const char* s = std::getenv(kEnvKillRank); s && *s) {
-    cfg.chaos_kill_rank = static_cast<int>(env_int(kEnvKillRank, s, -1, 255));
+    long a = -1;
+    long b = -1;
+    env_int_pair(kEnvKillRank, s, -1, 255, a, b);
+    cfg.chaos_kill_rank = static_cast<int>(a);
+    cfg.chaos_kill_rank2 = static_cast<int>(b);
     any = true;
   }
   if (const char* s = std::getenv(kEnvKillAfter); s && *s) {
-    cfg.chaos_kill_after_barrier = static_cast<uint32_t>(env_int(kEnvKillAfter, s, 0, 1 << 30));
+    long a = 0;
+    long b = -1;
+    env_int_pair(kEnvKillAfter, s, 0, 1 << 30, a, b);
+    cfg.chaos_kill_after_barrier = static_cast<uint32_t>(a);
+    cfg.chaos_kill_after_barrier2 = static_cast<uint32_t>(b < 0 ? a : b);
+    any = true;
+  }
+  if (const char* s = std::getenv(kEnvKillMid); s && *s) {
+    cfg.chaos_kill_mid_barrier = std::string(s) != "0";
+    any = true;
+  }
+  if (const char* s = std::getenv(kEnvKillInRecovery); s && *s) {
+    cfg.chaos_kill_in_recovery = static_cast<int>(env_int(kEnvKillInRecovery, s, -1, 255));
     any = true;
   }
   return any;

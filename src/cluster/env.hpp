@@ -48,17 +48,24 @@ inline constexpr const char* kEnvDiffRle = "LOTS_DIFF_RLE";
 /// `LOTS_MIGRATE=1 LOTS_MIGRATE_K=3 ./bench_kv_load`.
 inline constexpr const char* kEnvMigrate = "LOTS_MIGRATE";
 inline constexpr const char* kEnvMigrateK = "LOTS_MIGRATE_K";
-/// Fault-tolerance knobs (fabric-independent): barrier-consistent
-/// replication to a backup rank (Config::replication — any non-empty
-/// value other than "0" enables), the retransmit-round cap before a
-/// silent peer is declared unreachable (Config::cluster.udp_max_retrans,
-/// 0 = retry forever), and the chaos self-kill wired by
-/// `lots_launch --kill-rank R --kill-after-barrier K`
-/// (Config::chaos_kill_rank / chaos_kill_after_barrier).
+/// Fault-tolerance knobs (fabric-independent): the replication factor
+/// R (Config::replication — integer total copies per object; 0 = off,
+/// 1 = legacy alias for R=2, R>=2 = home + R-1 ring backups), the
+/// retransmit-round cap before a silent peer is declared unreachable
+/// (Config::cluster.udp_max_retrans, 0 = retry forever), and the chaos
+/// self-kill wired by `lots_launch --kill-rank R[,R2]
+/// --kill-after-barrier K[,K2]` (Config::chaos_kill_rank[2] /
+/// chaos_kill_after_barrier[2] — comma pairs for double-kill cells),
+/// plus the mid-barrier kill point (LOTS_KILL_MID: victim 1 dies inside
+/// the two-phase barrier protocol, before the done rendezvous) and the
+/// kill-during-recovery victim (LOTS_KILL_IN_RECOVERY: that rank dies
+/// at the start of its own recovery pass).
 inline constexpr const char* kEnvReplicate = "LOTS_REPLICATE";
 inline constexpr const char* kEnvNetRetrans = "LOTS_NET_RETRANS";
 inline constexpr const char* kEnvKillRank = "LOTS_KILL_RANK";
 inline constexpr const char* kEnvKillAfter = "LOTS_KILL_AFTER";
+inline constexpr const char* kEnvKillMid = "LOTS_KILL_MID";
+inline constexpr const char* kEnvKillInRecovery = "LOTS_KILL_IN_RECOVERY";
 /// Service-layer knobs (lots_kv). Store geometry — read by
 /// service::KvConfig::from_env on every node, so identical values must
 /// reach the whole cluster (lots_launch --kv-shards puts LOTS_KV_SHARDS
@@ -76,6 +83,10 @@ inline constexpr const char* kEnvKvReadPct = "LOTS_KV_READ_PCT";
 inline constexpr const char* kEnvKvZipf = "LOTS_KV_ZIPF";
 inline constexpr const char* kEnvKvQps = "LOTS_KV_QPS";
 inline constexpr const char* kEnvKvSeed = "LOTS_KV_SEED";
+/// Chaos-soak spare: a rank that runs ZERO clients (it only serves DSM
+/// and KV traffic), so `--kill-rank` can target a non-client rank and
+/// the surviving clients' model checks stay complete. -1 = none.
+inline constexpr const char* kEnvKvSpare = "LOTS_KV_SPARE";
 
 /// True when this process was spawned by lots_launch.
 bool under_launcher();

@@ -44,8 +44,14 @@ void Config::validate() const {
   if (lock_migration && protocol != ProtocolMode::kMixed && protocol != ProtocolMode::kAdaptive) {
     throw UsageError("Config.lock_migration needs a lock-diff protocol (kMixed or kAdaptive)");
   }
-  if (chaos_kill_rank >= nprocs) {
+  if (replication < 0 || replication > 256) {
+    throw UsageError("Config.replication must be a copy count in [0,256] (0 = off)");
+  }
+  if (chaos_kill_rank >= nprocs || chaos_kill_rank2 >= nprocs) {
     throw UsageError("Config.chaos_kill_rank must name a rank of the run (or -1)");
+  }
+  if (chaos_kill_in_recovery >= nprocs) {
+    throw UsageError("Config.chaos_kill_in_recovery must name a rank of the run (or -1)");
   }
   if (cluster.fabric == FabricKind::kUdp) {
     if (cluster.coord_port == 0) {

@@ -149,22 +149,44 @@ struct Config {
   uint32_t migrate_streak = 3;
 
   // -- Fault tolerance -----------------------------------------------------
-  /// Barrier-consistent replication: at each barrier every home ships
-  /// the barrier-cut images of its dirty homed objects to a
-  /// deterministic backup rank (the next live rank in ring order), so a
-  /// worker death can be survived by re-homing the dead rank's objects
-  /// to their replica holders and resuming from the last barrier.
+  /// Barrier-consistent replication factor R = total copies of every
+  /// object (the home plus R-1 ring-successor backups). At each barrier
+  /// every home ships the barrier-cut images of its dirty homed objects
+  /// to its R-1 next live ranks in ring order, so any f < R worker
+  /// deaths per barrier interval are survived by re-homing each dead
+  /// rank's objects to the lowest-alive ring holder and resuming from
+  /// the last barrier. 0 disables replication (a death is then fatal);
+  /// 1 is accepted as a legacy alias for "on with one backup" (R=2).
   /// While enabled, lock-driven home migration handoffs are declined
-  /// (a home moving between barriers would leave its replica stale).
-  /// Env: LOTS_REPLICATE.
-  bool replication = false;
-  /// Chaos-testing self-kill (wired by `lots_launch --kill-rank R
-  /// --kill-after-barrier K`): the rank equal to `chaos_kill_rank`
+  /// (a home moving between barriers would leave its replicas stale).
+  /// Env: LOTS_REPLICATE=R.
+  int replication = 0;
+  /// Normalized copy count: 0 when replication is off, else >= 2
+  /// (replication=1 is the pre-R boolean "on" and means one backup).
+  [[nodiscard]] int replicas() const {
+    return replication <= 0 ? 0 : (replication < 2 ? 2 : replication);
+  }
+  /// Chaos-testing self-kill (wired by `lots_launch --kill-rank R[,R2]
+  /// --kill-after-barrier K[,K2]`): the rank equal to `chaos_kill_rank`
   /// raises SIGKILL on itself immediately after completing its
-  /// `chaos_kill_after_barrier`-th barrier. -1 = disabled. Env:
-  /// LOTS_KILL_RANK / LOTS_KILL_AFTER.
+  /// `chaos_kill_after_barrier`-th barrier; a second victim/barrier
+  /// pair supports double-kill chaos cells. -1 = disabled. Env:
+  /// LOTS_KILL_RANK / LOTS_KILL_AFTER (comma-separated pairs).
   int chaos_kill_rank = -1;
   uint32_t chaos_kill_after_barrier = 0;
+  int chaos_kill_rank2 = -1;
+  uint32_t chaos_kill_after_barrier2 = 0;
+  /// When set, victim 1 dies INSIDE the two-phase barrier protocol —
+  /// after entering (so the master has it in the in-barrier set) and
+  /// after applying the plan, but before the done rendezvous — instead
+  /// of after the barrier commits. Exercises mid-barrier death
+  /// recovery. Env: LOTS_KILL_MID.
+  bool chaos_kill_mid_barrier = false;
+  /// Rank that SIGKILLs itself at the start of its own recovery pass
+  /// (while survivors are mid-recovery for an earlier death) —
+  /// exercises the kill-during-recovery retry loop. -1 = disabled.
+  /// Env: LOTS_KILL_IN_RECOVERY.
+  int chaos_kill_in_recovery = -1;
 
   // -- Access fast path (ARCHITECTURE.md "fast path") ---------------------
   /// Per-app-thread Access Lookaside Buffer: a small direct-mapped cache

@@ -38,6 +38,10 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.replica_msgs);
   fn(s.replica_bytes);
   fn(s.recoveries);
+  fn(s.recoveries_mid_barrier);
+  fn(s.recover_wall_us);
+  fn(s.objects_rehomed);
+  fn(s.rings_reseeded);
   fn(s.access_checks);
   fn(s.slow_path_checks);
   fn(s.alb_hits);
@@ -115,7 +119,13 @@ void NodeStats::print(std::ostream& os, const std::string& label) const {
      << " send_errors=" << transport.send_errors.load()
      << " acks_coalesced=" << transport.acks_coalesced.load()
      << " replica(msgs/bytes)=" << replica_msgs.load() << "/" << replica_bytes.load()
-     << " recoveries=" << recoveries.load()
+     << " replica_bytes_per_barrier="
+     << (barriers.load() ? replica_bytes.load() / barriers.load() : 0)
+     << " recoveries(total/mid_barrier)=" << recoveries.load() << "/"
+     << recoveries_mid_barrier.load()
+     << " recover_wall_us=" << recover_wall_us.load()
+     << " rehomed=" << objects_rehomed.load()
+     << " reseeded=" << rings_reseeded.load()
      << " zombie_drops=" << transport.zombie_drops.load()
      << " service_items=" << service_items.load()
      << " net_wait_us=" << net_wait_us.load()

@@ -77,8 +77,18 @@ struct NodeStats {
 
   // fault tolerance (barrier-consistent replication + recovery)
   std::atomic<uint64_t> replica_msgs{0};   ///< kReplicaUpdate batches shipped
+                                           ///< (one per backup per barrier)
   std::atomic<uint64_t> replica_bytes{0};  ///< payload bytes of those batches
   std::atomic<uint64_t> recoveries{0};     ///< completed recover() passes
+  std::atomic<uint64_t> recoveries_mid_barrier{0};  ///< of those, recoveries from
+                                                    ///< a death inside the
+                                                    ///< two-phase barrier
+  std::atomic<uint64_t> recover_wall_us{0};  ///< wall time spent in recover()
+  std::atomic<uint64_t> objects_rehomed{0};  ///< replicas materialized as
+                                             ///< authoritative home copies
+  std::atomic<uint64_t> rings_reseeded{0};   ///< homed objects whose watermarks
+                                             ///< were voided for a full re-ship
+                                             ///< after a ring rotation
 
   // large object space machinery
   std::atomic<uint64_t> access_checks{0};

@@ -93,18 +93,24 @@ inline int my_rank() { return core::Runtime::self().rank(); }
 inline int num_procs() { return core::Runtime::self().nprocs(); }
 
 /// Worker-death recovery point (requires Config::replication /
-/// LOTS_REPLICATE=1). When a peer worker dies mid-run, every blocked or
+/// LOTS_REPLICATE=R: every barrier ships each home's dirty objects to
+/// its R-1 ring successors, so any f < R deaths per barrier interval
+/// are survivable). When a peer worker dies mid-run, every blocked or
 /// newly issued synchronization call throws lots::WorkerDied; the
 /// application catches it on EVERY app thread, calls recover() (a
 /// node-level collective, like barrier()), re-partitions its work over
 /// the surviving ranks — alive() below — and REDOES the interrupted
-/// superstep from the last barrier. recover() re-homes the dead rank's
-/// objects to their replica holders, re-mints the DSM locks, and
-/// rendezvouses cluster-wide before returning. Throws SystemError when
-/// the death is unrecoverable (rank 0 died, replication off, or the
-/// victim died inside the barrier protocol itself). Throws WorkerDied
-/// when ANOTHER worker dies while the repair is in flight — catch it
-/// and call recover() again until a round completes.
+/// superstep from the last barrier. recover() re-homes each dead
+/// rank's objects to their lowest-alive replica holders, re-mints the
+/// DSM locks (managership of a dead rank's locks walks forward to the
+/// next live rank), fails over barrier-master duties to the lowest
+/// alive rank when rank 0 is among the dead, and rendezvouses
+/// cluster-wide before returning. A victim that died INSIDE the
+/// two-phase barrier protocol is handled too: survivors unwind to the
+/// last committed cut, and the redo reconverges. Throws SystemError
+/// only when the death is unrecoverable (replication off). Throws
+/// WorkerDied when ANOTHER worker dies while the repair is in flight —
+/// catch it and call recover() again until a round completes.
 inline void recover() { core::Runtime::self().recover(); }
 
 /// Liveness of `rank` as this node currently sees it. Survivor-side

@@ -60,7 +60,7 @@ void Node::barrier_leader() {
   // ---- phase 1: enter with the write summary, receive the plan ----
   net::Message enter;
   enter.type = net::MsgType::kBarrierEnter;
-  enter.dst = 0;
+  enter.dst = master_rank();  // rank 0 until it dies, then the next alive rank
   {
     net::Writer w(enter.payload);
     w.u32(my_epoch);
@@ -135,12 +135,22 @@ void Node::barrier_leader() {
     ship_replicas(plan, new_epoch - 1);
   }
 
+  // ---- chaos injection, mid-barrier variant (--kill-mid-barrier) ----
+  // The victim dies INSIDE the two-phase protocol during its K-th
+  // barrier: entered (the master holds it in in_barrier), plan applied,
+  // replicas shipped — but before the done rendezvous, so survivors are
+  // left with a partially completed barrier to unwind and redo.
+  if (rt_.config().chaos_kill_mid_barrier && chaos_kill_due(/*completed=*/false)) {
+    std::raise(SIGKILL);
+  }
+
   // ---- phase 2 rendezvous: wait until everyone applied the plan ----
   net::Message done;
   done.type = net::MsgType::kBarrierDone;
-  done.dst = 0;
+  done.dst = master_rank();
   ep_.request(std::move(done));
   stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+  ++chaos_bars_;  // the reset-immune count chaos_kill_due keys off
 
   // ---- optional barrier-exit bulk revalidation ----
   // Every node has applied its plan (the done rendezvous above), so the
@@ -153,18 +163,39 @@ void Node::barrier_leader() {
     fetch_.fetch_many(invalidated_mapped);
   }
 
-  // ---- chaos injection (lots_launch --kill-rank R --kill-after-barrier K) ----
+  // ---- chaos injection (lots_launch --kill-rank R[,R2] ...) ----
   // The victim dies the instant its K-th barrier fully completes —
   // replicas shipped, done acknowledged — which is exactly the cut the
   // survivors recover to. SIGKILL, not exit(): no destructors, no
   // goodbye, the coordinator sees a raw EOF and the transport sees
-  // silence, exercising both detection paths.
-  if (rt_.config().chaos_kill_rank == rank_ &&
-      rt_.config().cluster.fabric == FabricKind::kUdp &&
-      stats_.barriers.load(std::memory_order_relaxed) ==
-          rt_.config().chaos_kill_after_barrier) {
+  // silence, exercising both detection paths. (The mid-barrier variant
+  // fired before the done rendezvous instead, above.)
+  if (!rt_.config().chaos_kill_mid_barrier && chaos_kill_due(/*completed=*/true)) {
     std::raise(SIGKILL);
   }
+}
+
+/// True when this rank is a chaos victim whose kill barrier is reached.
+/// `completed` selects the count convention: after the barrier counter
+/// ticked (post-commit kill) or while still inside the K-th barrier
+/// (mid-barrier kill). Victim 2 always dies post-commit — the
+/// mid-barrier knob applies to victim 1 only. Counts chaos_bars_, NOT
+/// stats_.barriers: harnesses reset stats mid-run and the countdown
+/// must not rewind with them.
+bool Node::chaos_kill_due(bool completed) const {
+  if (rt_.config().cluster.fabric != FabricKind::kUdp) return false;
+  const uint32_t bars = chaos_bars_;
+  const auto& cfg = rt_.config();
+  if (cfg.chaos_kill_rank == rank_) {
+    const uint32_t due = completed ? cfg.chaos_kill_after_barrier
+                                   : cfg.chaos_kill_after_barrier - 1;
+    if (bars == due && cfg.chaos_kill_after_barrier > 0) return true;
+  }
+  if (completed && cfg.chaos_kill_rank2 == rank_ &&
+      cfg.chaos_kill_after_barrier2 > 0 && bars == cfg.chaos_kill_after_barrier2) {
+    return true;
+  }
+  return false;
 }
 
 std::vector<ObjectId> Node::apply_barrier_plan(const std::vector<BarrierPlanEntry>& plan,
@@ -199,11 +230,10 @@ std::vector<ObjectId> Node::apply_barrier_plan(const std::vector<BarrierPlanEntr
       // to a node that no longer owns the object — defeat it.
       if (home_changed) {
         dir_.bump_generation(e.object);
-        // Adopted home: the predecessor's replica (wherever it lives) is
-        // void — this barrier's ship_replicas sends OUR backup a full
-        // image.
-        m->replicated_to = -1;
-        m->replica_epoch = 0;
+        // Adopted home: the predecessor's replicas (wherever they live)
+        // are void — this barrier's ship_replicas sends OUR successors
+        // full images.
+        m->replica_marks.clear();
       }
       m->share = ShareState::kValid;
       m->valid_epoch = new_epoch;
@@ -273,12 +303,12 @@ void Node::run_barrier() {
     check_death();
     net::Message enter;
     enter.type = net::MsgType::kRunBarrierEnter;
-    enter.dst = 0;
+    enter.dst = master_rank();
     ep_.request(std::move(enter));
   });
 }
 
-// --- master side (service thread of node 0) --------------------------------
+// --- master side (service thread of master_rank()) -------------------------
 
 void Node::on_barrier_enter(net::Message&& m) {
   net::Reader r(m.payload);

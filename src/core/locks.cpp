@@ -1,7 +1,8 @@
 // Lock synchronization: homeless write-update under Scope Consistency
 // (paper §3.4).
 //
-// Each lock has a static *manager* (lock_id % nprocs) that serializes
+// Each lock has a static *manager* (lock_id % nprocs, walked forward to
+// the next ALIVE rank after a manager death) that serializes
 // acquisitions, and a *token* that parks at the last releaser. The token
 // carries the lock's scope update chain — the DiffRecords produced in
 // critical sections guarded by this lock since the last barrier. A grant
@@ -117,7 +118,10 @@ void Node::acquire(uint32_t lock_id) {
   // lock; on success it is released un-unlocked and stays held until
   // release() (same thread).
   std::unique_lock local(local_lock_mutex(lock_id));
-  const int32_t manager = static_cast<int32_t>(lock_id % static_cast<uint32_t>(nprocs()));
+  // Live-aware managership: the static hash rank, walked forward past
+  // dead ranks — after a manager's death, survivors agree on its ring
+  // successor, which mints fresh state on first touch.
+  const int32_t manager = static_cast<int32_t>(manager_of(lock_id));
   const uint32_t my_epoch = epoch_.load(std::memory_order_relaxed);
   {
     std::lock_guard sl(sync_mu_);
@@ -275,7 +279,7 @@ void Node::acquire(uint32_t lock_id) {
 }
 
 void Node::release(uint32_t lock_id) {
-  const int32_t manager = static_cast<int32_t>(lock_id % static_cast<uint32_t>(nprocs()));
+  const int32_t manager = static_cast<int32_t>(manager_of(lock_id));
   LockToken* tok = nullptr;
   {
     std::lock_guard sl(sync_mu_);

@@ -132,16 +132,28 @@ struct ObjectMeta {
   /// the object. Guarded by the shard lock.
   bool migrating = false;
   /// Home-side replication bookkeeping (barrier-consistent replication,
-  /// Config::replication): the rank holding this object's replica as of
-  /// the last barrier this home shipped, or -1 when no replica exists
-  /// yet (fresh object, or a just-adopted home whose predecessor's
-  /// replica is stale) — in which case the next barrier ships a FULL
-  /// image instead of a diff. Guarded by the shard lock.
-  int32_t replicated_to = -1;
-  /// Epoch of the last replica shipped (word-ts watermark: only words
-  /// newer than this ride the next kReplicaUpdate). Guarded by the
-  /// shard lock.
-  uint32_t replica_epoch = 0;
+  /// Config::replication = R total copies): one watermark per ring
+  /// successor this home has shipped a replica to. `epoch` is the
+  /// word-ts cut of the last kReplicaUpdate that backup acked — only
+  /// words newer than it ride the next diff ship. A successor with no
+  /// mark (fresh object, just-adopted home, or a ring rotated by a
+  /// death) gets a FULL image instead of a diff. Guarded by the shard
+  /// lock. Empty = object never replicated (or marks voided so the
+  /// next barrier re-seeds the ring with full images).
+  struct ReplicaMark {
+    int32_t to = -1;      ///< backup rank holding the replica
+    uint32_t epoch = 0;   ///< word-ts watermark of its last acked ship
+  };
+  std::vector<ReplicaMark> replica_marks;
+
+  /// The watermark for backup `r`, or nullptr when `r` was never
+  /// shipped to. Caller holds the shard lock.
+  [[nodiscard]] ReplicaMark* replica_mark(int32_t r) {
+    for (auto& m : replica_marks) {
+      if (m.to == r) return &m;
+    }
+    return nullptr;
+  }
   /// Pinning / LRU recency (paper §3.3). Atomic because an ALB hit
   /// refreshes it WITHOUT the shard lock (the pin clock must keep
   /// ticking on cached accesses or the eviction recency window sees a

@@ -2,11 +2,13 @@
 //
 // Replication: at every barrier, after apply_barrier_plan and before the
 // done rendezvous, each (possibly freshly migrated) home ships the words
-// of its modified homed objects to its *backup* — the next live rank in
-// ring order — in one acked kReplicaUpdate. Because the message is acked
-// before kBarrierDone, barrier completion implies the backup holds every
+// of its modified homed objects to its R-1 *backups* — the next R-1 live
+// ranks in ring order (Config::replication = R total copies) — in one
+// acked kReplicaUpdate per backup. Because every update is acked before
+// kBarrierDone, barrier completion implies each backup holds every
 // object at the just-committed cut: the cluster can always fall back to
-// the state of the last barrier.
+// the state of the last barrier, and any f < R deaths per barrier
+// interval leave at least one live holder per object.
 //
 // Failure detection feeds on_peer_dead from two directions: the
 // lots_launch coordinator broadcasts kPeerDead when a worker's TCP
@@ -26,12 +28,28 @@
 // scope chains are redone anyway), and rendezvouses cluster-wide so no
 // survivor resumes before every holder is serving.
 //
-// Known limitations (documented in ARCHITECTURE.md): rank 0 hosts the
-// barrier master and the recovery rendezvous, so its death is fatal; a
-// death while the victim is INSIDE the two-phase barrier protocol is
-// fatal too (the master's plan may have partially applied cluster-wide,
-// which no single-cut replica can roll back).
+// Master failover: the barrier master and recovery rendezvous live on
+// the lowest-numbered ALIVE rank (master_rank()), not on rank 0 — the
+// coordinator's kPeerDead broadcast gives every survivor the same dead
+// set, so they deterministically agree on the new master, whose
+// rendezvous state starts fresh (the interrupted barrier is replayed by
+// the survivors' redone supersteps). Static lock managership fails over
+// the same way: manager_of(lock) walks the hash rank forward to the
+// next live rank, which mints the lock's state on first touch.
+//
+// A death INSIDE the two-phase barrier protocol is recoverable too: the
+// interrupted plan may have partially applied cluster-wide, but every
+// value it moved belongs to the superstep the survivors are about to
+// redo — per-word newest-wins timestamps make the redone flush converge
+// every copy, and the dead rank's objects rejoin at their replica cut.
+// After any recovery, every home voids its replica watermarks so the
+// next barrier re-seeds the (possibly rotated) ring with full images.
+//
+// Remaining limitation (documented in ARCHITECTURE.md): f >= R deaths
+// within one barrier interval can erase every holder of an object.
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 
 #include "core/runtime.hpp"
@@ -44,6 +62,31 @@ int Node::backup_of(int home) const {
     if (r != home && rank_alive(r)) return r;
   }
   return -1;
+}
+
+std::vector<int> Node::ring_successors(int home, int count) const {
+  std::vector<int> out;
+  for (int i = 1; i < nprocs() && static_cast<int>(out.size()) < count; ++i) {
+    const int r = (home + i) % nprocs();
+    if (r != home && rank_alive(r)) out.push_back(r);
+  }
+  return out;
+}
+
+int Node::master_rank() const {
+  for (int r = 0; r < nprocs(); ++r) {
+    if (rank_alive(r)) return r;
+  }
+  return 0;  // unreachable: this node is alive
+}
+
+int Node::manager_of(uint32_t lock_id) const {
+  const int base = static_cast<int>(lock_id % static_cast<uint32_t>(nprocs()));
+  for (int i = 0; i < nprocs(); ++i) {
+    const int r = (base + i) % nprocs();
+    if (rank_alive(r)) return r;
+  }
+  return base;
 }
 
 void Node::check_death() const {
@@ -88,88 +131,110 @@ void Node::on_peer_dead(int dead) {
     }
     lock_cv_.notify_all();
   }
+  // If we are (or just became) the recovery master, re-evaluate the
+  // rendezvous under the shrunk live set: the survivors may ALL have
+  // entered already, parked waiting on the rank that just died.
+  {
+    std::unique_lock lk(sync_mu_);
+    maybe_release_recover(lk);
+  }
 }
 
 // --- replication: home side (barrier leader) -------------------------------
 
 void Node::ship_replicas(const std::vector<BarrierPlanEntry>& plan, uint32_t cut) {
-  const int b = backup_of(rank_);
-  if (b < 0) return;  // no live backup left: nothing to survive for
-  std::vector<ObjectId> ship;
-  std::unordered_set<ObjectId> seen;
-  for (const auto& e : plan) {
-    if (e.new_home == rank_ && seen.insert(e.object).second) ship.push_back(e.object);
-  }
-  // Objects with no current replica (fresh allocations, a watermark
-  // voided because the previous backup died) full-ship even when this
-  // barrier did not modify them — the backup must cover the whole homed
-  // set, not just the write frontier.
-  dir_.for_each([&](ObjectMeta& m) {
-    if (m.home == rank_ && m.replicated_to != b && seen.insert(m.id).second) {
-      ship.push_back(m.id);
-    }
-  });
-  if (ship.empty()) return;
+  const auto backups = ring_successors(rank_, rt_.config().replicas() - 1);
+  if (backups.empty()) return;  // no live backup left: nothing to survive for
 
-  net::Message up;
-  up.type = net::MsgType::kReplicaUpdate;
-  up.dst = b;
-  net::Writer w(up.payload);
-  w.u32(cut);
-  w.u32(static_cast<uint32_t>(ship.size()));
-  for (ObjectId id : ship) {
-    auto lk = dir_.lock_shard(id);
-    ObjectMeta* pm = dir_.find(id);
-    if (!pm || pm->home != rank_) {  // freed / re-homed under us: empty record
-      w.u32(id);
-      w.u32(0);
-      w.u8(0);
-      w.u32(0);
-      continue;
+  std::vector<net::Endpoint::PendingReply> acks;
+  acks.reserve(backups.size());
+  for (const int b : backups) {
+    // Per-backup ship list: the barrier's modified homed objects, plus
+    // every homed object THIS backup has no watermark for (fresh
+    // allocations, a voided mark, a ring rotated by a death) — each
+    // backup must cover the whole homed set, not just the write
+    // frontier, and a new ring member needs full images even for
+    // objects untouched this barrier.
+    std::vector<ObjectId> ship;
+    std::unordered_set<ObjectId> seen;
+    for (const auto& e : plan) {
+      if (e.new_home == rank_ && seen.insert(e.object).second) ship.push_back(e.object);
     }
-    ObjectMeta& m = *pm;
-    // The sibling app threads are parked in the barrier collective, but
-    // the service thread may still be finishing a home-side flow on this
-    // object: wait its guard out, then own the mapping state ourselves.
-    dir_.shard_cv(id).wait(lk, [&] { return !m.inflight; });
-    m.inflight = true;
-    InflightGuard guard{dir_, m, lk};
-    // The home's authoritative image: mapped data with pending diffs
-    // (phase-2 deliveries that landed while unmapped) applied.
-    if (m.map != MapState::kMapped) map_in(m, lk);
-    if (!m.pending.empty()) coherence_.apply_pending(m);
-    const uint32_t* vals = reinterpret_cast<const uint32_t*>(space_.dmm(m.dmm_offset));
-    const uint32_t* ts = space_.ctrl_words(m.dmm_offset);
-    const uint32_t words = m.words();
-    const bool full = m.replicated_to != b;  // fresh object or new backup
-    w.u32(id);
-    w.u32(m.size_bytes);
-    w.u8(full ? 1 : 0);
-    if (full) {
-      w.bytes({reinterpret_cast<const uint8_t*>(vals), static_cast<size_t>(words) * 4});
-      w.bytes({reinterpret_cast<const uint8_t*>(ts), static_cast<size_t>(words) * 4});
-    } else {
-      // Diff since the last shipped cut: exactly the words stamped after
-      // the watermark (every word changed since then carries a newer
-      // flush epoch; nothing older can have changed).
-      uint32_t n = 0;
-      for (uint32_t i = 0; i < words; ++i) n += ts[i] > m.replica_epoch ? 1 : 0;
-      w.u32(n);
-      for (uint32_t i = 0; i < words; ++i) {
-        if (ts[i] <= m.replica_epoch) continue;
-        w.u32(i);
-        w.u32(vals[i]);
-        w.u32(ts[i]);
+    dir_.for_each([&](ObjectMeta& m) {
+      if (m.home == rank_ && !m.replica_mark(b) && seen.insert(m.id).second) {
+        ship.push_back(m.id);
+      }
+    });
+    if (ship.empty()) continue;
+
+    net::Message up;
+    up.type = net::MsgType::kReplicaUpdate;
+    up.dst = b;
+    net::Writer w(up.payload);
+    w.u32(cut);
+    w.u32(static_cast<uint32_t>(ship.size()));
+    for (ObjectId id : ship) {
+      auto lk = dir_.lock_shard(id);
+      ObjectMeta* pm = dir_.find(id);
+      if (!pm || pm->home != rank_) {  // freed / re-homed under us: empty record
+        w.u32(id);
+        w.u32(0);
+        w.u8(0);
+        w.u32(0);
+        continue;
+      }
+      ObjectMeta& m = *pm;
+      // The sibling app threads are parked in the barrier collective, but
+      // the service thread may still be finishing a home-side flow on this
+      // object: wait its guard out, then own the mapping state ourselves.
+      dir_.shard_cv(id).wait(lk, [&] { return !m.inflight; });
+      m.inflight = true;
+      InflightGuard guard{dir_, m, lk};
+      // The home's authoritative image: mapped data with pending diffs
+      // (phase-2 deliveries that landed while unmapped) applied.
+      if (m.map != MapState::kMapped) map_in(m, lk);
+      if (!m.pending.empty()) coherence_.apply_pending(m);
+      const uint32_t* vals = reinterpret_cast<const uint32_t*>(space_.dmm(m.dmm_offset));
+      const uint32_t* ts = space_.ctrl_words(m.dmm_offset);
+      const uint32_t words = m.words();
+      ObjectMeta::ReplicaMark* mark = m.replica_mark(b);
+      const bool full = mark == nullptr;  // fresh object or new ring member
+      w.u32(id);
+      w.u32(m.size_bytes);
+      w.u8(full ? 1 : 0);
+      if (full) {
+        w.bytes({reinterpret_cast<const uint8_t*>(vals), static_cast<size_t>(words) * 4});
+        w.bytes({reinterpret_cast<const uint8_t*>(ts), static_cast<size_t>(words) * 4});
+      } else {
+        // Diff since this backup's last shipped cut: exactly the words
+        // stamped after its watermark (every word changed since then
+        // carries a newer flush epoch; nothing older can have changed).
+        uint32_t n = 0;
+        for (uint32_t i = 0; i < words; ++i) n += ts[i] > mark->epoch ? 1 : 0;
+        w.u32(n);
+        for (uint32_t i = 0; i < words; ++i) {
+          if (ts[i] <= mark->epoch) continue;
+          w.u32(i);
+          w.u32(vals[i]);
+          w.u32(ts[i]);
+        }
+      }
+      // Advance the watermark at encode time. If the ack is later swept
+      // by a death notice, recovery voids every mark (full re-seed), so
+      // a ship the backup never saw cannot leave a silent diff hole.
+      if (mark) {
+        mark->epoch = cut;
+      } else {
+        m.replica_marks.push_back({b, cut});
       }
     }
-    m.replicated_to = b;
-    m.replica_epoch = cut;
+    stats_.replica_msgs.fetch_add(1, std::memory_order_relaxed);
+    stats_.replica_bytes.fetch_add(up.payload.size(), std::memory_order_relaxed);
+    acks.push_back(ep_.request_async(std::move(up)));
   }
-  stats_.replica_msgs.fetch_add(1, std::memory_order_relaxed);
-  stats_.replica_bytes.fetch_add(up.payload.size(), std::memory_order_relaxed);
-  // Acked BEFORE kBarrierDone: barrier completion implies the cut is
-  // safely replicated.
-  ep_.request(std::move(up));
+  // All fan-out updates acked BEFORE kBarrierDone: barrier completion
+  // implies every live backup holds the cut.
+  for (auto& ack : acks) ack.wait();
 }
 
 // --- replication: backup side (service thread) -----------------------------
@@ -236,48 +301,118 @@ void Node::recover_leader() {
   if (!rt_.config().replication) {
     throw SystemError(
         "worker " + std::to_string(deads.front()) +
-        " died but replication is off — run with LOTS_REPLICATE=1 to survive "
+        " died but replication is off — run with LOTS_REPLICATE=2 to survive "
         "worker failures");
   }
-  for (const int dead : deads) {
-    if (dead == 0) {
-      throw SystemError("rank 0 (barrier master) died: unrecoverable");
-    }
+  // Chaos: die at the top of our own recovery pass, while the other
+  // survivors are mid-recovery for the earlier death — exercises the
+  // application's recover-retry loop.
+  if (rt_.config().chaos_kill_in_recovery == rank_ &&
+      rt_.config().cluster.fabric == FabricKind::kUdp) {
+    std::raise(SIGKILL);
   }
+  const auto t0 = std::chrono::steady_clock::now();
   // Fence the old view: handoffs stamped with the old barrier generation
   // die on arrival, and the epoch bump defeats every thread's ALB so no
   // cached pointer survives the re-homing below.
   barrier_gen_.fetch_add(1, std::memory_order_relaxed);
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  for (const int dead : deads) {
-    const int holder = backup_of(dead);
-    LOTS_CHECK(holder >= 0, "recovery: no live replica holder remains");
-    repair_objects_after_death(dead, holder);
+  std::vector<int> repaired;
+  for (;;) {
+    for (const int dead : deads) {
+      // The authoritative re-home target: the lowest-alive holder in the
+      // dead rank's ring order — with R total copies, any f < R deaths
+      // leave it within the shipped successor set.
+      const int holder = backup_of(dead);
+      LOTS_CHECK(holder >= 0, "recovery: no live replica holder remains");
+      repair_objects_after_death(dead, holder);
+      repaired.push_back(dead);
+    }
+    // Drain deaths noticed WHILE repairing before the rendezvous. The
+    // enter's round stamp is the cumulative count of deaths this node
+    // has noticed — if a notice landed mid-repair, entering now would
+    // stamp deaths we never repaired, and the survivors would disagree
+    // on how many rendezvous rounds this failure takes (the shorter
+    // side moves on; the longer side's extra enter parks forever).
+    // Repairing every noticed death first makes the stamp honest and
+    // the round count identical on every survivor.
+    {
+      std::lock_guard sl(sync_mu_);
+      deads.clear();
+      deads.swap(dead_pending_);
+    }
+    if (deads.empty()) break;
   }
+  // Re-seed rotated rings: void every remaining watermark on our homed
+  // objects so the next barrier ships FULL images to the (possibly
+  // shifted) successor set. This also closes the swept-ack hole — a
+  // kReplicaUpdate whose ack was failed by the death sweep may never
+  // have reached its backup, so no pre-death watermark can be trusted.
+  uint32_t reseeded = 0;
+  dir_.for_each([&](ObjectMeta& m) {
+    if (m.home == rank_ && !m.replica_marks.empty()) {
+      m.replica_marks.clear();
+      ++reseeded;
+    }
+  });
+  stats_.rings_reseeded.fetch_add(reseeded, std::memory_order_relaxed);
   {
     std::lock_guard sl(sync_mu_);
     reclaim_dead_locks();
   }
-  // Cluster-wide rendezvous at the master: nobody resumes before every
-  // survivor finished its local repair (a post-recovery fetch must find
-  // the holder already serving its materialized copy) and the master
-  // discarded the parked rendezvous state of the old view.
+  // Cluster-wide rendezvous at the master — the lowest-numbered ALIVE
+  // rank, so the rendezvous itself survives rank 0's death: nobody
+  // resumes before every survivor finished its local repair (a
+  // post-recovery fetch must find the holder already serving its
+  // materialized copy) and the master discarded the parked rendezvous
+  // state of the old view.
   net::Message enter;
   enter.type = net::MsgType::kRecoverEnter;
-  enter.dst = 0;
+  enter.dst = master_rank();
   {
     net::Writer w(enter.payload);
-    w.u32(static_cast<uint32_t>(deads.size()));
-    for (const int dead : deads) w.i32(dead);
+    // Round stamp: cumulative deaths this node has noticed (all
+    // repaired, thanks to the drain loop above). The master only
+    // releases on entries carrying ITS current count, so a parked
+    // enter from before a mid-recovery death can never satisfy (or
+    // desynchronize) the next round's rendezvous.
+    w.u32(static_cast<uint32_t>(dead_count()));
+    w.u32(static_cast<uint32_t>(repaired.size()));
+    for (const int dead : repaired) w.i32(dead);
   }
-  net::Message exit = ep_.request(std::move(enter));
+  net::Endpoint::PendingReply pending = ep_.request_async(std::move(enter));
+  {
+    // A death noticed between the drain loop and the request landing in
+    // the pending table is swept by neither: the notice's sweep ran too
+    // early to fail our slot, and our stale stamp would park at the
+    // master forever. Re-check under the same mutex the notice pushes
+    // through — if one slipped in, unwind (the abandoned handle
+    // deregisters itself) and let the application's retry loop run
+    // another round with the full dead set.
+    std::lock_guard sl(sync_mu_);
+    if (!dead_pending_.empty()) {
+      const int dead = dead_pending_.back();
+      throw WorkerDied(dead, "worker " + std::to_string(dead) +
+                                 " died during recovery; retrying the repair");
+    }
+  }
+  net::Message exit = pending.wait();
   net::Reader r(exit.payload);
-  if (r.u8() == 0) {
-    throw SystemError(
-        "unrecoverable: a worker died inside the barrier protocol (the plan may "
-        "have partially applied)");
+  if (r.u8() != 0) {
+    // The victim died INSIDE the two-phase barrier protocol. The
+    // interrupted plan may have partially applied, but everything it
+    // moved belongs to the superstep the survivors now redo: per-word
+    // newest-wins stamps converge every copy at the redone barrier, and
+    // the full re-seed above restores replica coverage. Count it; no
+    // longer fatal.
+    stats_.recoveries_mid_barrier.fetch_add(1, std::memory_order_relaxed);
   }
   stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  stats_.recover_wall_us.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(dt).count()),
+      std::memory_order_relaxed);
   {
     std::lock_guard sl(sync_mu_);
     // A death noticed DURING recovery stays pending: the gate re-arms and
@@ -313,8 +448,8 @@ void Node::repair_objects_after_death(int dead, int holder) {
         m.twin_writers = 0;
         m.pending.clear();
         m.local_writes.clear();
-        m.replicated_to = -1;  // full-ship to OUR backup next barrier
-        m.replica_epoch = 0;
+        m.replica_marks.clear();  // full-ship to OUR successors next barrier
+        stats_.objects_rehomed.fetch_add(1, std::memory_order_relaxed);
         if (have) {
           const size_t bytes = word_bytes(m);
           std::vector<uint8_t> image(2 * bytes, 0);
@@ -342,16 +477,19 @@ void Node::repair_objects_after_death(int dead, int holder) {
         m.twin_writers = 0;
         m.pending.clear();
         m.local_writes.clear();
-        m.replicated_to = -1;
-        m.replica_epoch = 0;
+        m.replica_marks.clear();
+        // We may hold a (non-authoritative) replica of this object from
+        // the dead home's fan-out; the new home will ship fresh full
+        // images, so drop ours rather than let a stale cut linger.
+        {
+          std::lock_guard rl(replica_mu_);
+          replicas_.erase(m.id);
+        }
       }
       dir_.bump_generation(m.id);
-    } else if (m.home == rank_ && m.replicated_to == dead) {
-      // Our backup died: void the watermark so the next barrier ships a
-      // full image to the new ring successor.
-      m.replicated_to = -1;
-      m.replica_epoch = 0;
     }
+    // Our own homed objects' watermarks (including any naming the
+    // corpse) are voided wholesale by recover_leader's re-seed pass.
   });
 }
 
@@ -383,24 +521,41 @@ void Node::reclaim_dead_locks() {
 // --- recovery rendezvous (master side, service thread) ---------------------
 
 void Node::on_recover_enter(net::Message&& m) {
+  net::Reader r(m.payload);
+  const uint32_t cum = r.u32();  // sender's round stamp
   std::unique_lock lk(sync_mu_);
-  master_.recover_ranks.insert(m.src);
-  master_.recover_reqs.push_back(std::move(m));
-  uint32_t live_entered = 0;
-  for (const int32_t rnk : master_.recover_ranks) {
-    if (rank_alive(rnk)) ++live_entered;
+  // Latest entry per rank wins: a survivor that unwound (its parked
+  // enter swept by a mid-recovery death) re-enters with a higher stamp,
+  // superseding the stale round's request. The old parked reply is owed
+  // to a seq its sender already failed, so dropping it loses nothing.
+  master_.recover_entries[m.src] = {cum, std::move(m)};
+  maybe_release_recover(lk);
+}
+
+void Node::maybe_release_recover(std::unique_lock<std::mutex>& lk) {
+  if (master_.recover_entries.empty()) return;
+  // Release only when every LIVE rank has entered at THIS round: its
+  // stamp must cover every death we know of. An entry from the previous
+  // round (stamp too small) belongs to a rendezvous that can never
+  // complete — its sender has been unwound and will re-enter.
+  const auto my_cum = static_cast<uint32_t>(dead_count());
+  for (int rnk = 0; rnk < nprocs(); ++rnk) {
+    if (!rank_alive(rnk)) continue;
+    auto it = master_.recover_entries.find(rnk);
+    if (it == master_.recover_entries.end() || it->second.first < my_cum) return;
   }
-  if (live_entered < static_cast<uint32_t>(live_count())) return;
 
   // Every survivor finished local repair. A DEAD rank still registered
-  // inside the two-phase barrier means the master's plan may have
-  // partially applied cluster-wide — no single-cut replica can roll that
-  // back, so report it and let every survivor abort instead of silently
-  // diverging. (Live ranks parked in in_barrier are just the survivors
+  // inside the two-phase barrier means the victim died mid-protocol and
+  // the master's plan may have partially applied cluster-wide. That is
+  // no longer fatal — the survivors' redone superstep re-flushes every
+  // value the plan moved and the re-seeded rings restore coverage — but
+  // the verdict is reported so survivors can count the mid-barrier
+  // recovery. (Live ranks parked in in_barrier are just the survivors
   // whose interrupted barrier never completed — harmless.)
-  bool ok = true;
+  bool mid_barrier = false;
   for (const int32_t member : master_.in_barrier) {
-    if (!rank_alive(member)) ok = false;
+    if (!rank_alive(member)) mid_barrier = true;
   }
   // Discard the old view's parked rendezvous state. The parked
   // requesters were already failed by their own nodes' fail_all_pending,
@@ -416,15 +571,19 @@ void Node::on_recover_enter(net::Message&& m) {
   master_.run_arrived = 0;
   master_.run_reqs.clear();
   master_.in_barrier.clear();
-  master_.recover_ranks.clear();
-  std::vector<net::Message> reqs = std::move(master_.recover_reqs);
-  master_.recover_reqs.clear();
+  std::vector<net::Message> reqs;
+  reqs.reserve(master_.recover_entries.size());
+  for (auto& [rnk, entry] : master_.recover_entries) {
+    (void)rnk;
+    reqs.push_back(std::move(entry.second));
+  }
+  master_.recover_entries.clear();
   lk.unlock();
   for (auto& req : reqs) {
     net::Message resp;
     resp.type = net::MsgType::kRecoverExit;
     net::Writer w(resp.payload);
-    w.u8(ok ? 1 : 0);
+    w.u8(mid_barrier ? 1 : 0);
     ep_.reply(req, std::move(resp));
   }
 }

@@ -132,19 +132,25 @@ class Node {
   void on_peer_dead(int dead);
   /// Collective recovery point (lots::recover()): every app thread of
   /// every SURVIVING node must call it after catching WorkerDied. The
-  /// node re-homes the dead rank's objects to their replica holder,
-  /// materializes replicas it holds as authoritative home copies, breaks
-  /// the dead rank's locks, and rendezvouses cluster-wide (kRecoverEnter
-  /// / kRecoverExit at rank 0) before resuming. Requires
-  /// Config::replication; throws SystemError when the death is
-  /// unrecoverable (rank 0 died, or the rank died inside the barrier
-  /// protocol).
+  /// node re-homes each dead rank's objects to their lowest-alive ring
+  /// holder, materializes replicas it holds as authoritative home
+  /// copies, breaks the dead ranks' locks, voids its replica watermarks
+  /// (the next barrier re-seeds the rotated ring with full images), and
+  /// rendezvouses cluster-wide (kRecoverEnter / kRecoverExit at the
+  /// lowest-numbered ALIVE rank — master duties fail over with the dead
+  /// set). Requires Config::replication: with R total copies any
+  /// f < R deaths per barrier interval recover, including rank 0 and
+  /// deaths inside the two-phase barrier protocol; replication off
+  /// throws SystemError.
   void recover();
   /// Liveness of `r` as this node currently sees it.
   [[nodiscard]] bool rank_alive(int r) const {
     return r >= 0 && r < 256 &&
            dead_[static_cast<size_t>(r)].load(std::memory_order_acquire) == 0;
   }
+  /// Cumulative deaths this node has ever noticed (monotonic) — the
+  /// recovery-round stamp carried in kRecoverEnter.
+  [[nodiscard]] int dead_count() const { return nprocs() - live_count(); }
   /// Number of ranks not declared dead.
   [[nodiscard]] int live_count() const {
     int n = 0;
@@ -274,13 +280,17 @@ class Node {
     uint32_t run_arrived = 0;
     std::vector<net::Message> run_reqs;
     /// Ranks currently inside the two-phase barrier protocol (entered,
-    /// not yet released by the exit). A rank that dies while a member is
-    /// unrecoverable: the plan may have partially applied cluster-wide.
+    /// not yet released by the exit). A rank that dies while a member
+    /// left a partially applied plan behind; the recovery exit reports
+    /// it (survivors count it and their redone superstep re-converges
+    /// every copy the plan moved).
     std::unordered_set<int32_t> in_barrier;
-    /// Recovery rendezvous: survivors that sent kRecoverEnter (set-based,
-    /// so a retried enter after a second death cannot double-count).
-    std::unordered_set<int32_t> recover_ranks;
-    std::vector<net::Message> recover_reqs;
+    /// Recovery rendezvous: rank -> (sender's cumulative dead count, its
+    /// parked kRecoverEnter). Keyed per rank so a retried enter after a
+    /// second death REPLACES the stale round's entry instead of
+    /// double-counting, and the count lets the master ignore entries from
+    /// a round that predates a death it already knows about.
+    std::unordered_map<int32_t, std::pair<uint32_t, net::Message>> recover_entries;
     /// Adaptive protocol (paper §5): last two single-writer ranks per
     /// object, persisted across barriers. When an object's lone writer
     /// alternates between two nodes (ping-pong), migrating the home
@@ -291,6 +301,10 @@ class Node {
   /// The node's barrier body, run once by the collective's last arriver
   /// with every sibling app thread quiescent.
   void barrier_leader();
+  /// Chaos self-kill predicate (lots_launch --kill-rank): is this rank a
+  /// victim whose kill barrier is reached, at the post-commit
+  /// (completed=true) or mid-barrier (completed=false) kill point?
+  [[nodiscard]] bool chaos_kill_due(bool completed) const;
   void on_barrier_enter(net::Message&& m);  // master side
   void on_barrier_done(net::Message&& m);   // master side
   void on_run_barrier_enter(net::Message&& m);
@@ -310,24 +324,47 @@ class Node {
     std::vector<uint8_t> data;  ///< word-aligned data image
     std::vector<uint32_t> ts;   ///< per-word timestamps
   };
-  /// The rank holding `home`'s replicas: the next LIVE rank after it in
-  /// ring order, or -1 when no other rank survives.
+  /// The lowest-alive holder of `home`'s replicas: the next LIVE rank
+  /// after it in ring order, or -1 when no other rank survives. With R
+  /// total copies this is within the shipped successor set for any
+  /// f < R deaths, so recovery re-homes to it.
   [[nodiscard]] int backup_of(int home) const;
+  /// The first `count` LIVE ranks after `home` in ring order — the
+  /// backup set a home with R = count+1 copies ships to.
+  [[nodiscard]] std::vector<int> ring_successors(int home, int count) const;
+  /// Barrier-master / recovery-rendezvous rank: the lowest-numbered
+  /// ALIVE rank. Rank 0 while it lives; fails over deterministically
+  /// (every survivor shares the dead set via the coordinator broadcast).
+  [[nodiscard]] int master_rank() const;
+  /// Live-aware lock managership: the static hash rank (lock_id %
+  /// nprocs) walked forward to the next ALIVE rank. The failover
+  /// manager mints the lock's state on first touch (recovery re-mints
+  /// all managed locks, so no pre-death chain survives).
+  [[nodiscard]] int manager_of(uint32_t lock_id) const;
   /// Home side, run by barrier_leader between apply_barrier_plan and the
-  /// done rendezvous: ships one acked kReplicaUpdate to this rank's
-  /// backup carrying, for every object this node is (now) home of that
-  /// was modified this barrier, the words stamped after the last shipped
+  /// done rendezvous: ships one acked kReplicaUpdate to each of this
+  /// rank's R-1 live ring successors carrying, for every object this
+  /// node is (now) home of that was modified this barrier (plus every
+  /// homed object that successor has no watermark for, shipped as a
+  /// full image), the words stamped after the last shipped
   /// cut (full image on a fresh object or a new backup). `cut` is
   /// new_epoch - 1: every current word ts is <= cut, every future one is
   /// > cut.
   void ship_replicas(const std::vector<BarrierPlanEntry>& plan, uint32_t cut);
   void on_replica_update(net::Message&& m);  // backup side (service thread)
   void on_recover_enter(net::Message&& m);   // master side (service thread)
+  /// Releases the recovery rendezvous if every live rank has entered
+  /// with the CURRENT round's dead count. Caller holds sync_mu_ via
+  /// `lk`; the lock is released before replies go out. Re-run on every
+  /// death notice too: a death can shrink the live set (and grow the
+  /// required count) after the last enter arrived.
+  void maybe_release_recover(std::unique_lock<std::mutex>& lk);
   /// The node's recovery body (collective last arriver, siblings parked).
   void recover_leader();
-  /// Re-homes every object homed at `dead` (replica holder materializes,
-  /// everyone else invalidates toward the holder) and drops stale
-  /// replication watermarks whose backup was `dead`.
+  /// Re-homes every object homed at `dead`: the chosen holder
+  /// materializes its replica as the authoritative copy, everyone else
+  /// invalidates toward the holder and drops any replica it held of the
+  /// dead home's fan-out.
   void repair_objects_after_death(int dead, int holder);
   /// Breaks the dead rank's locks by re-minting EVERY lock this node
   /// manages (fresh token parked at the manager, queues dropped): at the
@@ -487,7 +524,14 @@ class Node {
   /// Lock-manager dominance tracking for lock-driven migration (guarded
   /// by sync_mu_, populated only when Config::lock_migration).
   std::unordered_map<ObjectId, MigrateStreak> migrate_streaks_;
-  MasterBarrier master_;  ///< used on rank 0 only
+  MasterBarrier master_;  ///< used on master_rank() only (rank 0 until it dies)
+  /// Coherence barriers committed since node birth, for chaos_kill_due
+  /// ONLY. Deliberately separate from stats_.barriers: harnesses call
+  /// reset_stats() mid-run (e.g. after a warm-up/open phase), and a
+  /// --kill-after-barrier countdown that rewound with the stats would
+  /// fire at the wrong barrier. Written only inside the barrier
+  /// collective's leader body, so no atomicity needed.
+  uint32_t chaos_bars_ = 0;
 
   /// Ranks this node has seen a death notice for (watcher broadcast or
   /// transport verdict). Atomic bytes: read lock-free on hot paths.

@@ -196,6 +196,57 @@ TEST(Bootstrap, RejectsRaggedStripeCounts) {
   for (auto& w : workers) w.join();
 }
 
+// Start-order shuffle: ALL workers launch and start dialing BEFORE the
+// coordinator's listen socket exists. Every first connect is refused —
+// the exact race a launcher loses when it forks workers early — and the
+// bounded exponential-backoff retry in the WorkerBootstrap constructor
+// must bridge it. A fixed pre-agreed port (reserved by a bind/close
+// probe) stands in for LOTS_COORD_PORT.
+TEST(Bootstrap, WorkersStartingBeforeCoordinatorRetryUntilItListens) {
+  constexpr int kN = 3;
+  // Reserve a loopback port the late coordinator will bind.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int one = 1;
+  ::setsockopt(probe, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ASSERT_EQ(::bind(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  std::vector<int> ranks(kN, -1);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kN; ++i) {
+    workers.emplace_back([&, i] {
+      WorkerBootstrap wb(port, static_cast<uint16_t>(41'000 + i), 10'000);
+      ranks[static_cast<size_t>(i)] = wb.rank();
+      wb.barrier_start();
+      wb.report_done(0);
+    });
+  }
+  // Let every worker burn at least one refused connect first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  Coordinator coord(kN, port);
+  ASSERT_EQ(coord.port(), port);
+  auto reports = coord.serve(10'000);
+  for (auto& w : workers) w.join();
+
+  ASSERT_EQ(reports.size(), static_cast<size_t>(kN));
+  for (const auto& r : reports) EXPECT_TRUE(r.clean);
+  std::vector<bool> rank_seen(kN, false);
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_GE(ranks[static_cast<size_t>(i)], 0);
+    ASSERT_LT(ranks[static_cast<size_t>(i)], kN);
+    EXPECT_FALSE(rank_seen[static_cast<size_t>(ranks[static_cast<size_t>(i)])]);
+    rank_seen[static_cast<size_t>(ranks[static_cast<size_t>(i)])] = true;
+  }
+}
+
 // A worker that crashes between connect() and its HELLO frame must fail
 // cluster formation immediately (EOF on the accepted socket), not stall
 // the coordinator until the full boot deadline: the launcher's operator

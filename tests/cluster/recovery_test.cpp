@@ -26,6 +26,7 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -108,7 +109,11 @@ std::pair<int, uint64_t> run_recovery_workload(const Config& cfg) {
         }
       }
     }
-    if (rank == 0) {
+    // EVERY rank digests the final arrays (they are globally shared), so
+    // chaos shapes that kill rank 0 itself still leave a digest behind —
+    // the test then reads the lowest SURVIVOR's. In-proc only rank 0
+    // computes it: the ranks are threads sharing one `digest` slot.
+    if (rank == 0 || !rt.single_process()) {
       uint64_t h = 1469598103934665603ull;
       auto mix = [&h](uint64_t v) {
         for (int byte = 0; byte < 8; ++byte) {
@@ -130,14 +135,12 @@ std::pair<int, uint64_t> run_recovery_workload(const Config& cfg) {
   return {rank, digest};
 }
 
-TEST(Recovery, KillAWorkerMatchesNoFailureDigest) {
-  // No-failure reference on the in-proc fabric (no replication needed:
-  // the digest is content-deterministic).
-  Config ref_cfg;
-  ref_cfg.nprocs = kProcs;
-  const uint64_t want = run_recovery_workload(ref_cfg).second;
-  ASSERT_NE(want, 0u);
-
+/// The shared chaos harness: forks a kProcs lossy-UDP cluster with
+/// `mutate` applied to every worker's Config, expects exactly
+/// `expect_dead` SIGKILLed victims (every other worker must exit 0 and
+/// report clean), and returns the digest written by the LOWEST surviving
+/// rank — the callers compare it to the no-failure in-proc reference.
+uint64_t run_chaos_cluster(const std::function<void(Config&)>& mutate, int expect_dead) {
   TempDir scratch;
   const std::string digest_path = scratch.path() + "/digest";
 
@@ -145,7 +148,7 @@ TEST(Recovery, KillAWorkerMatchesNoFailureDigest) {
   std::vector<pid_t> pids;
   for (int i = 0; i < kProcs; ++i) {
     const pid_t pid = fork();
-    ASSERT_GE(pid, 0) << "fork failed";
+    EXPECT_GE(pid, 0) << "fork failed";
     if (pid == 0) {
       int code = 3;
       try {
@@ -156,16 +159,14 @@ TEST(Recovery, KillAWorkerMatchesNoFailureDigest) {
         cfg.cluster.drop_prob = 0.03;
         cfg.cluster.reorder_prob = 0.03;
         cfg.cluster.fault_seed = 7;
-        cfg.replication = true;
-        // Whichever process draws rank 2 SIGKILLs itself the moment its
-        // 2nd barrier completes — exactly the replicated cut.
-        cfg.chaos_kill_rank = kKillRank;
-        cfg.chaos_kill_after_barrier = 2;
+        mutate(cfg);
         const auto [rank, digest] = run_recovery_workload(cfg);
-        if (rank == 0) {
-          std::ofstream(digest_path) << digest;
-        }
+        std::ofstream(digest_path + "." + std::to_string(rank)) << digest;
         code = 0;
+      } catch (const std::exception& e) {
+        // Leave the reason behind for the parent's failure message.
+        std::ofstream(digest_path + ".err." + std::to_string(::getpid())) << e.what();
+        code = 3;
       } catch (...) {
         code = 3;
       }
@@ -179,31 +180,134 @@ TEST(Recovery, KillAWorkerMatchesNoFailureDigest) {
   int sigkilled = 0;
   for (const pid_t pid : pids) {
     int st = 0;
-    ASSERT_EQ(waitpid(pid, &st, 0), pid);
+    EXPECT_EQ(waitpid(pid, &st, 0), pid);
     if (WIFSIGNALED(st) && WTERMSIG(st) == SIGKILL) {
-      ++sigkilled;  // the chaos victim
+      ++sigkilled;  // a chaos victim
     } else {
-      ASSERT_TRUE(WIFEXITED(st)) << "survivor killed by signal " << WTERMSIG(st);
-      EXPECT_EQ(WEXITSTATUS(st), 0);
+      EXPECT_TRUE(WIFEXITED(st)) << "survivor killed by signal " << WTERMSIG(st);
+      std::string err;
+      std::ifstream ein(digest_path + ".err." + std::to_string(pid));
+      std::getline(ein, err);
+      EXPECT_EQ(WEXITSTATUS(st), 0) << "survivor pid " << pid << " threw: " << err;
     }
   }
-  EXPECT_EQ(sigkilled, 1) << "exactly one worker must die";
+  EXPECT_EQ(sigkilled, expect_dead) << "wrong number of chaos victims died";
 
-  ASSERT_EQ(reports.size(), static_cast<size_t>(kProcs));
+  EXPECT_EQ(reports.size(), static_cast<size_t>(kProcs));
+  int lowest_survivor = -1;
+  int reported_dead = 0;
   for (const auto& r : reports) {
-    if (r.rank == kKillRank) {
-      EXPECT_TRUE(r.died) << "the victim must be declared dead, not merely unclean";
+    if (r.died) {
+      ++reported_dead;
       EXPECT_FALSE(r.clean);
     } else {
       EXPECT_TRUE(r.clean) << "survivor rank " << r.rank << " did not finish clean";
+      if (lowest_survivor < 0 || r.rank < lowest_survivor) lowest_survivor = r.rank;
     }
   }
+  EXPECT_EQ(reported_dead, expect_dead) << "victims must be declared dead, not merely unclean";
+  EXPECT_GE(lowest_survivor, 0) << "no survivor at all";
 
   uint64_t got = 0;
-  std::ifstream in(digest_path);
-  ASSERT_TRUE(in.good()) << "rank 0 never wrote its digest";
+  std::ifstream in(digest_path + "." + std::to_string(lowest_survivor));
+  EXPECT_TRUE(in.good()) << "lowest survivor (rank " << lowest_survivor
+                         << ") never wrote its digest";
   in >> got;
+  return got;
+}
+
+uint64_t no_failure_reference() {
+  // No-failure reference on the in-proc fabric (no replication needed:
+  // the digest is content-deterministic).
+  Config ref_cfg;
+  ref_cfg.nprocs = kProcs;
+  const uint64_t want = run_recovery_workload(ref_cfg).second;
+  EXPECT_NE(want, 0u);
+  return want;
+}
+
+TEST(Recovery, KillAWorkerMatchesNoFailureDigest) {
+  const uint64_t want = no_failure_reference();
+  const uint64_t got = run_chaos_cluster(
+      [](Config& cfg) {
+        cfg.replication = 2;
+        // Whichever process draws rank 2 SIGKILLs itself the moment its
+        // 2nd barrier completes — exactly the replicated cut.
+        cfg.chaos_kill_rank = kKillRank;
+        cfg.chaos_kill_after_barrier = 2;
+      },
+      /*expect_dead=*/1);
   EXPECT_EQ(got, want) << "post-recovery result diverged from the no-failure reference";
+}
+
+// Two victims in the SAME barrier interval: survivable because R=3 ships
+// every homed object to TWO ring successors — losing ranks 1 and 2
+// together still leaves rank 3 (or 0) holding the cut for both. The
+// repair picks the lowest ALIVE holder per dead rank.
+TEST(Recovery, DoubleKillInOneIntervalWithTripleReplication) {
+  const uint64_t want = no_failure_reference();
+  const uint64_t got = run_chaos_cluster(
+      [](Config& cfg) {
+        cfg.replication = 3;
+        cfg.chaos_kill_rank = 1;
+        cfg.chaos_kill_after_barrier = 2;
+        cfg.chaos_kill_rank2 = 2;
+        cfg.chaos_kill_after_barrier2 = 2;
+      },
+      /*expect_dead=*/2);
+  EXPECT_EQ(got, want) << "double-kill recovery diverged from the no-failure reference";
+}
+
+// Rank 0 is the barrier master and recovery rendezvous point — and it
+// must be as killable as anyone else: survivors fail those duties over
+// to the lowest alive rank (deterministically, via the coordinator's
+// death broadcast), re-mint its managed locks, and continue. The digest
+// then comes from rank 1, the new master.
+TEST(Recovery, KillingRankZeroFailsOverMasterDuties) {
+  const uint64_t want = no_failure_reference();
+  const uint64_t got = run_chaos_cluster(
+      [](Config& cfg) {
+        cfg.replication = 2;
+        cfg.chaos_kill_rank = 0;
+        cfg.chaos_kill_after_barrier = 2;
+      },
+      /*expect_dead=*/1);
+  EXPECT_EQ(got, want) << "rank-0 failover diverged from the no-failure reference";
+}
+
+// A second death DURING the repair of the first: rank 2 dies post-
+// barrier, and rank 1 SIGKILLs itself the moment it enters its own
+// recover() round. Survivors' recover() throws WorkerDied mid-repair and
+// the application-level retry loop (catch, recover again) must converge
+// — with R=3 both victims' objects still have a live holder.
+TEST(Recovery, KillDuringRecoveryIsRetriedUntilQuiet) {
+  const uint64_t want = no_failure_reference();
+  const uint64_t got = run_chaos_cluster(
+      [](Config& cfg) {
+        cfg.replication = 3;
+        cfg.chaos_kill_rank = kKillRank;
+        cfg.chaos_kill_after_barrier = 2;
+        cfg.chaos_kill_in_recovery = 1;
+      },
+      /*expect_dead=*/2);
+  EXPECT_EQ(got, want) << "kill-during-recovery diverged from the no-failure reference";
+}
+
+// Death INSIDE the two-phase barrier protocol: the victim enters its 2nd
+// barrier, applies the plan, ships replicas — and dies before the done
+// rendezvous. Survivors are left holding a half-committed barrier; they
+// must unwind to the last committed cut and redo, not fail fast.
+TEST(Recovery, MidBarrierDeathRecoversInsteadOfFailingFast) {
+  const uint64_t want = no_failure_reference();
+  const uint64_t got = run_chaos_cluster(
+      [](Config& cfg) {
+        cfg.replication = 2;
+        cfg.chaos_kill_rank = kKillRank;
+        cfg.chaos_kill_after_barrier = 2;
+        cfg.chaos_kill_mid_barrier = true;
+      },
+      /*expect_dead=*/1);
+  EXPECT_EQ(got, want) << "mid-barrier death recovery diverged from the no-failure reference";
 }
 
 // Without replication a worker death must be FATAL but CLEAN: every

@@ -12,15 +12,24 @@
 //   lots_launch [-n N] [--threads M] [--stripes K] [--drop P] [--reorder P]
 //               [--dup P] [--seed S] [--timeout SECONDS]
 //               [--kv-shards S] [--kv-clients C]
-//               [--replicate] [--kill-rank R] [--kill-after-barrier K]
+//               [--replicate [R]] [--kill-rank R[,R2]]
+//               [--kill-after-barrier K[,K2]] [--kill-mid-barrier]
+//               [--kill-in-recovery R]
 //               [--] prog [args...]
 //
 // Chaos / recovery knobs: --replicate turns on barrier-consistent
-// replication (LOTS_REPLICATE=1) in every worker; --kill-rank R makes
-// the worker holding rank R SIGKILL ITSELF the instant its K-th barrier
-// completes (--kill-after-barrier K, default 1) — the coordinator sees a
-// raw EOF, broadcasts the death, and the survivors recover from the
-// replicas. The expected victim is excluded from exit-status accounting.
+// replication in every worker; an optional integer sets the replication
+// factor R = total copies per object (bare --replicate keeps the
+// single-backup legacy, R=2). --kill-rank R makes the worker holding
+// rank R SIGKILL ITSELF the instant its K-th barrier completes
+// (--kill-after-barrier K, default 1) — the coordinator sees a raw EOF,
+// broadcasts the death, and the survivors recover from the replicas. A
+// second comma-separated victim/barrier pair drives double-kill cells;
+// --kill-mid-barrier moves victim 1's kill INSIDE the two-phase barrier
+// protocol (before the done rendezvous); --kill-in-recovery R makes
+// rank R die at the start of its own recovery pass (kill during
+// recovery). Every expected victim is excluded from exit-status
+// accounting.
 //
 // Signal hygiene: the workers run in their own process group; SIGINT and
 // SIGTERM received by the launcher are forwarded to the whole group, and
@@ -71,7 +80,9 @@ uint64_t now_ms() { return lots::now_us() / 1000; }
                "usage: %s [-n N] [--threads M] [--stripes K] [--drop P] [--reorder P]\n"
                "          [--dup P] [--seed S] [--timeout SECONDS]\n"
                "          [--kv-shards S] [--kv-clients C]\n"
-               "          [--replicate] [--kill-rank R] [--kill-after-barrier K]\n"
+               "          [--replicate [R]] [--kill-rank R[,R2]]\n"
+               "          [--kill-after-barrier K[,K2]] [--kill-mid-barrier]\n"
+               "          [--kill-in-recovery R]\n"
                "          [--] prog [args...]\n",
                argv0);
   std::exit(2);
@@ -97,11 +108,23 @@ struct Options {
   double drop = 0.0, reorder = 0.0, dup = 0.0;
   uint64_t seed = 1;
   uint64_t timeout_s = 120;
-  bool replicate = false;  // LOTS_REPLICATE=1 in every worker
+  int replicate = 0;       // LOTS_REPLICATE=R (0 = off, 1 = legacy single backup)
   int kill_rank = -1;      // chaos: this rank SIGKILLs itself mid-run
+  int kill_rank2 = -1;     // optional second victim (double-kill cells)
   int kill_after = 1;      // ... after completing this many barriers
+  int kill_after2 = -1;    // victim 2's barrier; -1 = same as victim 1's
+  bool kill_mid = false;   // victim 1 dies INSIDE the barrier protocol
+  int kill_in_recovery = -1;  // this rank dies at the start of its recovery pass
   std::vector<char*> child_argv;  // prog + args, null-terminated later
 };
+
+/// "R" or "R,R2" — both elements bounded integers.
+void parse_int_pair(const char* s, int& a, int& b) {
+  const std::string whole(s);
+  const size_t comma = whole.find(',');
+  a = std::atoi(whole.substr(0, comma).c_str());
+  if (comma != std::string::npos) b = std::atoi(whole.substr(comma + 1).c_str());
+}
 
 Options parse(int argc, char** argv) {
   Options o;
@@ -133,11 +156,21 @@ Options parse(int argc, char** argv) {
     } else if (a == "--timeout") {
       o.timeout_s = std::strtoull(next(), nullptr, 10);
     } else if (a == "--replicate") {
-      o.replicate = true;
+      // Optional integer R: consume the next argument only when it is
+      // all digits (a bare --replicate may be followed by the program).
+      o.replicate = 1;
+      if (i + 1 < argc && argv[i + 1][0] != '\0' &&
+          std::strspn(argv[i + 1], "0123456789") == std::strlen(argv[i + 1])) {
+        o.replicate = std::atoi(argv[++i]);
+      }
     } else if (a == "--kill-rank") {
-      o.kill_rank = std::atoi(next());
+      parse_int_pair(next(), o.kill_rank, o.kill_rank2);
     } else if (a == "--kill-after-barrier") {
-      o.kill_after = std::atoi(next());
+      parse_int_pair(next(), o.kill_after, o.kill_after2);
+    } else if (a == "--kill-mid-barrier") {
+      o.kill_mid = true;
+    } else if (a == "--kill-in-recovery") {
+      o.kill_in_recovery = std::atoi(next());
     } else if (a == "--") {
       ++i;
       break;
@@ -151,7 +184,8 @@ Options parse(int argc, char** argv) {
   if (o.child_argv.empty() || o.nprocs < 1 || o.nprocs > 256 || o.threads < 1 ||
       o.threads > 256 || o.stripes > 64 || o.kv_shards == 0 || o.kv_shards > (1 << 16) ||
       o.kv_clients == 0 || o.kv_clients > 1024 || o.kill_rank >= o.nprocs ||
-      o.kill_after < 1) {
+      o.kill_rank2 >= o.nprocs || o.kill_in_recovery >= o.nprocs || o.kill_after < 1 ||
+      o.replicate < 0 || o.replicate > 256) {
     usage(argv[0]);
   }
   // Reject bad fault probabilities HERE: otherwise every forked worker
@@ -179,13 +213,21 @@ void set_worker_env(const Options& o, uint16_t coord_port) {
   if (o.stripes >= 0) setenv(kEnvNetStripes, std::to_string(o.stripes).c_str(), 1);
   if (o.kv_shards > 0) setenv(kEnvKvShards, std::to_string(o.kv_shards).c_str(), 1);
   if (o.kv_clients > 0) setenv(kEnvKvClients, std::to_string(o.kv_clients).c_str(), 1);
-  if (o.replicate) setenv(kEnvReplicate, "1", 1);
+  if (o.replicate > 0) setenv(kEnvReplicate, std::to_string(o.replicate).c_str(), 1);
   if (o.kill_rank >= 0) {
     // Uniform across workers: each compares the knob against its own
     // bootstrap-assigned rank, so the victim is the RANK, not a fork slot
     // (arrival order decides which process gets which rank).
-    setenv(kEnvKillRank, std::to_string(o.kill_rank).c_str(), 1);
-    setenv(kEnvKillAfter, std::to_string(o.kill_after).c_str(), 1);
+    std::string ranks = std::to_string(o.kill_rank);
+    if (o.kill_rank2 >= 0) ranks += "," + std::to_string(o.kill_rank2);
+    std::string afters = std::to_string(o.kill_after);
+    if (o.kill_after2 >= 0) afters += "," + std::to_string(o.kill_after2);
+    setenv(kEnvKillRank, ranks.c_str(), 1);
+    setenv(kEnvKillAfter, afters.c_str(), 1);
+  }
+  if (o.kill_mid) setenv(kEnvKillMid, "1", 1);
+  if (o.kill_in_recovery >= 0) {
+    setenv(kEnvKillInRecovery, std::to_string(o.kill_in_recovery).c_str(), 1);
   }
 }
 
@@ -252,15 +294,23 @@ int main(int argc, char** argv) {
     formed = false;
   }
 
-  // The chaos victim's pid (known from its HELLO report): its SIGKILL
-  // death is the point of the exercise, so it is excluded from the
-  // exit-status accounting below.
-  pid_t expected_dead_pid = -1;
-  if (opt.kill_rank >= 0) {
-    for (const auto& r : reports) {
-      if (r.rank == opt.kill_rank) expected_dead_pid = static_cast<pid_t>(r.pid);
+  // The chaos victims' pids (known from their HELLO reports): their
+  // SIGKILL deaths are the point of the exercise, so they are excluded
+  // from the exit-status accounting below.
+  std::vector<pid_t> expected_dead_pids;
+  for (const auto& r : reports) {
+    if ((opt.kill_rank >= 0 && r.rank == opt.kill_rank) ||
+        (opt.kill_rank2 >= 0 && r.rank == opt.kill_rank2) ||
+        (opt.kill_in_recovery >= 0 && r.rank == opt.kill_in_recovery)) {
+      expected_dead_pids.push_back(static_cast<pid_t>(r.pid));
     }
   }
+  const auto is_expected_dead = [&](pid_t pid) {
+    for (const pid_t p : expected_dead_pids) {
+      if (p == pid) return true;
+    }
+    return false;
+  };
 
   // Reap the children, killing whatever outlives the deadline (or an
   // abnormal coordinator exit — rendezvous failure or forwarded signal).
@@ -289,7 +339,7 @@ int main(int argc, char** argv) {
       code = 128 + (WIFSIGNALED(st) ? WTERMSIG(st) : 0);
     }
     statuses.emplace_back(pid, code);
-    if (pid == expected_dead_pid) continue;
+    if (is_expected_dead(pid)) continue;
     worst = std::max(worst, code);
     if (first_nonzero == 0 && code != 0) first_nonzero = code;
   }
@@ -299,7 +349,7 @@ int main(int argc, char** argv) {
     for (const auto& [pid, code] : statuses) {
       if (pid == static_cast<pid_t>(r.pid)) exit_code = code;
     }
-    const bool expected = static_cast<pid_t>(r.pid) == expected_dead_pid;
+    const bool expected = is_expected_dead(static_cast<pid_t>(r.pid));
     std::printf("lots_launch: rank %d pid %lld udp_port %u stripes %zu %s exit %d\n", r.rank,
                 static_cast<long long>(r.pid), r.udp_ports.empty() ? 0u : r.udp_ports[0],
                 r.udp_ports.size(),
@@ -315,7 +365,8 @@ int main(int argc, char** argv) {
   if (rc == 0) {
     std::printf("LOTS_LAUNCH_OK n=%d threads=%d drop=%g reorder=%g dup=%g%s prog=%s\n", opt.nprocs,
                 opt.threads, opt.drop, opt.reorder, opt.dup,
-                opt.kill_rank >= 0 ? " chaos=kill" : "", opt.child_argv[0]);
+                (opt.kill_rank >= 0 || opt.kill_in_recovery >= 0) ? " chaos=kill" : "",
+                opt.child_argv[0]);
   } else {
     std::printf("LOTS_LAUNCH_FAIL n=%d exit=%d prog=%s\n", opt.nprocs, rc, opt.child_argv[0]);
   }
