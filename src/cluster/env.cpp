@@ -159,6 +159,11 @@ bool configure_robustness_from_env(Config& cfg) {
     cfg.chaos_kill_in_recovery = static_cast<int>(env_int(kEnvKillInRecovery, s, -1, 255));
     any = true;
   }
+  if (const char* s = std::getenv(kEnvKillAfterRecovery); s && *s) {
+    cfg.chaos_kill_after_recovery =
+        static_cast<int>(env_int(kEnvKillAfterRecovery, s, -1, 255));
+    any = true;
+  }
   return any;
 }
 

@@ -59,13 +59,17 @@ inline constexpr const char* kEnvMigrateK = "LOTS_MIGRATE_K";
 /// plus the mid-barrier kill point (LOTS_KILL_MID: victim 1 dies inside
 /// the two-phase barrier protocol, before the done rendezvous) and the
 /// kill-during-recovery victim (LOTS_KILL_IN_RECOVERY: that rank dies
-/// at the start of its own recovery pass).
+/// at the start of its own recovery pass), and the kill-after-recovery
+/// victim (LOTS_KILL_AFTER_RECOVERY: that rank dies the instant its
+/// recovery round completes — before the next barrier re-seeds the
+/// rotated ring).
 inline constexpr const char* kEnvReplicate = "LOTS_REPLICATE";
 inline constexpr const char* kEnvNetRetrans = "LOTS_NET_RETRANS";
 inline constexpr const char* kEnvKillRank = "LOTS_KILL_RANK";
 inline constexpr const char* kEnvKillAfter = "LOTS_KILL_AFTER";
 inline constexpr const char* kEnvKillMid = "LOTS_KILL_MID";
 inline constexpr const char* kEnvKillInRecovery = "LOTS_KILL_IN_RECOVERY";
+inline constexpr const char* kEnvKillAfterRecovery = "LOTS_KILL_AFTER_RECOVERY";
 /// Service-layer knobs (lots_kv). Store geometry — read by
 /// service::KvConfig::from_env on every node, so identical values must
 /// reach the whole cluster (lots_launch --kv-shards puts LOTS_KV_SHARDS

@@ -53,6 +53,9 @@ void Config::validate() const {
   if (chaos_kill_in_recovery >= nprocs) {
     throw UsageError("Config.chaos_kill_in_recovery must name a rank of the run (or -1)");
   }
+  if (chaos_kill_after_recovery >= nprocs) {
+    throw UsageError("Config.chaos_kill_after_recovery must name a rank of the run (or -1)");
+  }
   if (cluster.fabric == FabricKind::kUdp) {
     if (cluster.coord_port == 0) {
       throw UsageError("Config.cluster: kUdp needs the coordinator's rendezvous port");

@@ -187,6 +187,14 @@ struct Config {
   /// exercises the kill-during-recovery retry loop. -1 = disabled.
   /// Env: LOTS_KILL_IN_RECOVERY.
   int chaos_kill_in_recovery = -1;
+  /// Rank that SIGKILLs itself the instant its recovery round COMPLETES
+  /// (rendezvous released, before any further barrier). Aimed at the
+  /// rank that just adopted a dead home's objects: the second death
+  /// lands after the re-home but before the next barrier re-seeds the
+  /// rotated ring, so the survivors must fall back on the replicas they
+  /// kept from the FIRST dead home's fan-out. -1 = disabled. Env:
+  /// LOTS_KILL_AFTER_RECOVERY.
+  int chaos_kill_after_recovery = -1;
 
   // -- Access fast path (ARCHITECTURE.md "fast path") ---------------------
   /// Per-app-thread Access Lookaside Buffer: a small direct-mapped cache

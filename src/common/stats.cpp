@@ -39,6 +39,7 @@ void for_each_counter(NodeStats& s, Fn&& fn) {
   fn(s.replica_bytes);
   fn(s.recoveries);
   fn(s.recoveries_mid_barrier);
+  fn(s.recoveries_commit_skips);
   fn(s.recover_wall_us);
   fn(s.objects_rehomed);
   fn(s.rings_reseeded);
@@ -123,6 +124,7 @@ void NodeStats::print(std::ostream& os, const std::string& label) const {
      << (barriers.load() ? replica_bytes.load() / barriers.load() : 0)
      << " recoveries(total/mid_barrier)=" << recoveries.load() << "/"
      << recoveries_mid_barrier.load()
+     << " commit_skips=" << recoveries_commit_skips.load()
      << " recover_wall_us=" << recover_wall_us.load()
      << " rehomed=" << objects_rehomed.load()
      << " reseeded=" << rings_reseeded.load()

@@ -47,6 +47,25 @@ void Node::barrier_leader() {
   // would hang out its full timeout).
   check_death();
 
+  // Committed-redo skip: the last recovery round proved that the barrier
+  // this node unwound from HAD committed cluster-wide — every live
+  // rank's done was in, the master released, and only our exit reply
+  // was lost to the death sweep. Our plan was applied and our replicas
+  // shipped before that done, so the redone superstep's rewrite (same
+  // values, by the idempotence contract) needs no new flush: consume
+  // the commit locally and fall back in step with the survivors that
+  // never unwound. Entering the protocol instead would deadlock — they
+  // are already parked in the NEXT collective.
+  if (skip_bar_) {
+    skip_bar_ = false;
+    stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+    ++chaos_bars_;  // the commit counted cluster-wide; keep kill counts aligned
+    if (chaos_kill_due(/*completed=*/true)) {
+      std::raise(SIGKILL);
+    }
+    return;
+  }
+
   // ---- flush local writes of the ending interval ----
   const uint32_t flush_epoch = epoch_.load(std::memory_order_relaxed) + 1;
   coherence_.flush_interval(flush_epoch);
@@ -140,15 +159,25 @@ void Node::barrier_leader() {
   // barrier: entered (the master holds it in in_barrier), plan applied,
   // replicas shipped — but before the done rendezvous, so survivors are
   // left with a partially completed barrier to unwind and redo.
-  if (rt_.config().chaos_kill_mid_barrier && chaos_kill_due(/*completed=*/false)) {
+  // (chaos_kill_due itself gates this on --kill-mid-barrier and on
+  // being victim 1 — victim 2 never dies here.)
+  if (chaos_kill_due(/*completed=*/false)) {
     std::raise(SIGKILL);
   }
 
   // ---- phase 2 rendezvous: wait until everyone applied the plan ----
+  // bar_unacked_ brackets the commit vote: once the done is on the wire
+  // the master may release the barrier whether or not our exit reply
+  // survives the next death sweep. If it doesn't, the recovery
+  // rendezvous compares our commit count against the cluster maximum
+  // and arms skip_bar_ — see recover_leader.
   net::Message done;
   done.type = net::MsgType::kBarrierDone;
   done.dst = master_rank();
+  bar_unacked_ = true;
   ep_.request(std::move(done));
+  bar_unacked_ = false;
+  ++bars_committed_;
   stats_.barriers.fetch_add(1, std::memory_order_relaxed);
   ++chaos_bars_;  // the reset-immune count chaos_kill_due keys off
 
@@ -168,9 +197,12 @@ void Node::barrier_leader() {
   // replicas shipped, done acknowledged — which is exactly the cut the
   // survivors recover to. SIGKILL, not exit(): no destructors, no
   // goodbye, the coordinator sees a raw EOF and the transport sees
-  // silence, exercising both detection paths. (The mid-barrier variant
-  // fired before the done rendezvous instead, above.)
-  if (!rt_.config().chaos_kill_mid_barrier && chaos_kill_due(/*completed=*/true)) {
+  // silence, exercising both detection paths. Called unconditionally:
+  // with --kill-mid-barrier, victim 1 fired before the done rendezvous
+  // instead (chaos_kill_due arbitrates), but victim 2 ALWAYS dies here
+  // post-commit — a double-kill cell must test both deaths even when
+  // the first one is mid-barrier.
+  if (chaos_kill_due(/*completed=*/true)) {
     std::raise(SIGKILL);
   }
 }
@@ -179,17 +211,20 @@ void Node::barrier_leader() {
 /// `completed` selects the count convention: after the barrier counter
 /// ticked (post-commit kill) or while still inside the K-th barrier
 /// (mid-barrier kill). Victim 2 always dies post-commit — the
-/// mid-barrier knob applies to victim 1 only. Counts chaos_bars_, NOT
+/// mid-barrier knob applies to victim 1 only, and the arbitration
+/// lives HERE (not at the call sites) so enabling --kill-mid-barrier
+/// cannot suppress victim 2's kill. Counts chaos_bars_, NOT
 /// stats_.barriers: harnesses reset stats mid-run and the countdown
 /// must not rewind with them.
 bool Node::chaos_kill_due(bool completed) const {
   if (rt_.config().cluster.fabric != FabricKind::kUdp) return false;
   const uint32_t bars = chaos_bars_;
   const auto& cfg = rt_.config();
-  if (cfg.chaos_kill_rank == rank_) {
+  if (cfg.chaos_kill_rank == rank_ && cfg.chaos_kill_after_barrier > 0 &&
+      completed != cfg.chaos_kill_mid_barrier) {
     const uint32_t due = completed ? cfg.chaos_kill_after_barrier
                                    : cfg.chaos_kill_after_barrier - 1;
-    if (bars == due && cfg.chaos_kill_after_barrier > 0) return true;
+    if (bars == due) return true;
   }
   if (completed && cfg.chaos_kill_rank2 == rank_ &&
       cfg.chaos_kill_after_barrier2 > 0 && bars == cfg.chaos_kill_after_barrier2) {
@@ -301,10 +336,22 @@ void Node::run_barrier() {
   // app thread of the node waits for the cluster-wide rendezvous.
   group_.collective([&] {
     check_death();
+    // Committed-redo skip — same disambiguation as barrier_leader: the
+    // run barrier this node unwound from released without our exit
+    // reply surviving the death sweep; the peers have moved on.
+    if (skip_run_) {
+      skip_run_ = false;
+      return;
+    }
     net::Message enter;
     enter.type = net::MsgType::kRunBarrierEnter;
     enter.dst = master_rank();
+    // The enter IS the vote here (single-phase rendezvous): once sent,
+    // the master may release with or without our exit reply landing.
+    run_unacked_ = true;
     ep_.request(std::move(enter));
+    run_unacked_ = false;
+    ++runs_committed_;
   });
 }
 

@@ -377,6 +377,13 @@ void Node::recover_leader() {
     // enter from before a mid-recovery death can never satisfy (or
     // desynchronize) the next round's rendezvous.
     w.u32(static_cast<uint32_t>(dead_count()));
+    // Commit counts, for collective-commit disambiguation: how many
+    // coherence / run barriers this node has seen COMMIT (exit reply in
+    // hand). The master echoes the cluster maxima in the exit; a
+    // survivor whose vote was in but whose count trails the maximum
+    // learns its interrupted collective committed without it.
+    w.u32(bars_committed_);
+    w.u32(runs_committed_);
     w.u32(static_cast<uint32_t>(repaired.size()));
     for (const int dead : repaired) w.i32(dead);
   }
@@ -407,6 +414,35 @@ void Node::recover_leader() {
     // longer fatal.
     stats_.recoveries_mid_barrier.fetch_add(1, std::memory_order_relaxed);
   }
+  // Collective-commit disambiguation. If this node unwound AFTER its
+  // commit vote went out (done sent / run-enter sent) it cannot tell on
+  // its own whether the collective released before the death sweep ate
+  // the exit reply. The cluster maxima settle it: commit requires every
+  // live rank's vote, so a peer counting one more commit than us proves
+  // the release happened — and proves our own vote was in it. Arm the
+  // skip so the application's redo of that collective returns instead
+  // of re-entering a protocol its peers have already left (they are
+  // parked in the NEXT collective; entering the old one would deadlock
+  // both rendezvous forever). Without an outstanding vote the maxima
+  // can never exceed our counts — a collective cannot release without
+  // us. The skew is at most one: a node cannot vote on collective N+2
+  // before consuming N+1's exit.
+  {
+    const uint32_t cluster_bars = r.u32();
+    const uint32_t cluster_runs = r.u32();
+    if (bar_unacked_ && cluster_bars > bars_committed_) {
+      bars_committed_ = cluster_bars;
+      skip_bar_ = true;
+      stats_.recoveries_commit_skips.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (run_unacked_ && cluster_runs > runs_committed_) {
+      runs_committed_ = cluster_runs;
+      skip_run_ = true;
+      stats_.recoveries_commit_skips.fetch_add(1, std::memory_order_relaxed);
+    }
+    bar_unacked_ = false;
+    run_unacked_ = false;
+  }
   stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
   const auto dt = std::chrono::steady_clock::now() - t0;
   stats_.recover_wall_us.fetch_add(
@@ -418,6 +454,15 @@ void Node::recover_leader() {
     // A death noticed DURING recovery stays pending: the gate re-arms and
     // the application's next sync throws again, driving another round.
     if (dead_pending_.empty()) death_pending_.store(false, std::memory_order_release);
+  }
+  // Chaos: die the instant the recovery round completes — rendezvous
+  // released, objects re-homed to us, but the next barrier's full-image
+  // re-seed still pending. Aimed at a rank that just adopted a dead
+  // home's objects, this forces the NEXT repair to fall back on the
+  // replicas the other survivors kept from the first fan-out.
+  if (rt_.config().chaos_kill_after_recovery == rank_ &&
+      rt_.config().cluster.fabric == FabricKind::kUdp) {
+    std::raise(SIGKILL);
   }
 }
 
@@ -478,13 +523,16 @@ void Node::repair_objects_after_death(int dead, int holder) {
         m.pending.clear();
         m.local_writes.clear();
         m.replica_marks.clear();
-        // We may hold a (non-authoritative) replica of this object from
-        // the dead home's fan-out; the new home will ship fresh full
-        // images, so drop ours rather than let a stale cut linger.
-        {
-          std::lock_guard rl(replica_mu_);
-          replicas_.erase(m.id);
-        }
+        // We may hold a replica of this object from the dead home's
+        // fan-out. KEEP it: it sits exactly at the recovery cut — the
+        // same cut the holder just materialized — and it is the only
+        // surviving fallback if the new home dies again before the next
+        // barrier re-seeds the ring (still f < R deaths in one barrier
+        // interval). backup_of always lands on the nearest ring
+        // successor of the failed home, so within f < R the chosen
+        // holder's replica is never staler than the committed cut; the
+        // new home's full-image re-seed overwrites ours at the next
+        // barrier.
       }
       dir_.bump_generation(m.id);
     }
@@ -534,15 +582,21 @@ void Node::on_recover_enter(net::Message&& m) {
 
 void Node::maybe_release_recover(std::unique_lock<std::mutex>& lk) {
   if (master_.recover_entries.empty()) return;
-  // Release only when every LIVE rank has entered at THIS round: its
-  // stamp must cover every death we know of. An entry from the previous
-  // round (stamp too small) belongs to a rendezvous that can never
-  // complete — its sender has been unwound and will re-enter.
+  // Release only when every LIVE rank has entered at EXACTLY this
+  // master's round: its stamp must equal our own cumulative dead count.
+  // A smaller stamp is a stale round — its sender has been unwound and
+  // will re-enter. A LARGER stamp means that survivor noticed a death
+  // (transport verdict) the master has not seen yet: releasing now
+  // would resume the lagging survivors without repairing it, and the
+  // ahead survivor — already counting that death in this round — would
+  // never re-enter the next rendezvous, parking it forever. Hold the
+  // round instead; our own on_peer_dead re-evaluates here once the
+  // coordinator's broadcast (or our transport) catches us up.
   const auto my_cum = static_cast<uint32_t>(dead_count());
   for (int rnk = 0; rnk < nprocs(); ++rnk) {
     if (!rank_alive(rnk)) continue;
     auto it = master_.recover_entries.find(rnk);
-    if (it == master_.recover_entries.end() || it->second.first < my_cum) return;
+    if (it == master_.recover_entries.end() || it->second.first != my_cum) return;
   }
 
   // Every survivor finished local repair. A DEAD rank still registered
@@ -556,6 +610,21 @@ void Node::maybe_release_recover(std::unique_lock<std::mutex>& lk) {
   bool mid_barrier = false;
   for (const int32_t member : master_.in_barrier) {
     if (!rank_alive(member)) mid_barrier = true;
+  }
+  // Cluster commit maxima for collective-commit disambiguation: the
+  // largest coherence / run barrier commit counts any survivor reported
+  // this round. Echoed in every exit so a survivor whose vote was in
+  // but whose exit reply was swept can recognize its collective as
+  // committed (see recover_leader). Re-parsed from the parked payloads
+  // so master failover needs no carried-over state.
+  uint32_t max_bars = 0;
+  uint32_t max_runs = 0;
+  for (const auto& [rnk, entry] : master_.recover_entries) {
+    (void)rnk;
+    net::Reader er(entry.second.payload);
+    er.u32();  // round stamp, already matched above
+    max_bars = std::max(max_bars, er.u32());
+    max_runs = std::max(max_runs, er.u32());
   }
   // Discard the old view's parked rendezvous state. The parked
   // requesters were already failed by their own nodes' fail_all_pending,
@@ -584,6 +653,8 @@ void Node::maybe_release_recover(std::unique_lock<std::mutex>& lk) {
     resp.type = net::MsgType::kRecoverExit;
     net::Writer w(resp.payload);
     w.u8(mid_barrier ? 1 : 0);
+    w.u32(max_bars);
+    w.u32(max_runs);
     ep_.reply(req, std::move(resp));
   }
 }

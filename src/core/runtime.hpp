@@ -363,8 +363,9 @@ class Node {
   void recover_leader();
   /// Re-homes every object homed at `dead`: the chosen holder
   /// materializes its replica as the authoritative copy, everyone else
-  /// invalidates toward the holder and drops any replica it held of the
-  /// dead home's fan-out.
+  /// invalidates toward the holder while KEEPING any replica it held of
+  /// the dead home's fan-out (the fallback if the holder dies before
+  /// the next barrier re-seeds the ring).
   void repair_objects_after_death(int dead, int holder);
   /// Breaks the dead rank's locks by re-minting EVERY lock this node
   /// manages (fresh token parked at the manager, queues dropped): at the
@@ -532,6 +533,29 @@ class Node {
   /// fire at the wrong barrier. Written only inside the barrier
   /// collective's leader body, so no atomicity needed.
   uint32_t chaos_bars_ = 0;
+
+  // -- collective-commit disambiguation (recovery) --------------------------
+  // A death notice sweeps EVERY pending request, including the exit
+  // reply of a collective that had already committed cluster-wide (the
+  // master released it; only this node's reply was lost to the sweep).
+  // Without a verdict the unwound survivor redoes the collective while
+  // the acked survivors have moved past it — two rendezvous each waiting
+  // for all live ranks, a permanent deadlock. So every node counts the
+  // collectives it has seen commit, reports the counts at the recovery
+  // rendezvous, and the master's exit echoes the cluster-wide maxima: a
+  // survivor whose own vote was in (unacked_* below) and whose count
+  // trails the maximum KNOWS its collective committed — it arms skip_*_
+  // and the redo returns without re-entering the protocol. Commit of
+  // barrier N+1 requires every live rank's done (enter, for the run
+  // barrier), so max > mine implies mine landed: skipping is sound, and
+  // the skew can never exceed one. All written only inside collective
+  // leader bodies / the recovery leader — no atomicity needed.
+  uint32_t bars_committed_ = 0;  ///< kBarrierExit replies received
+  uint32_t runs_committed_ = 0;  ///< kRunBarrierExit replies received
+  bool bar_unacked_ = false;  ///< kBarrierDone sent, exit not yet seen
+  bool run_unacked_ = false;  ///< kRunBarrierEnter sent, exit not yet seen
+  bool skip_bar_ = false;     ///< next barrier() is a committed redo: skip
+  bool skip_run_ = false;     ///< next run_barrier() likewise
 
   /// Ranks this node has seen a death notice for (watcher broadcast or
   /// transport verdict). Atomic bytes: read lock-free on hot paths.

@@ -38,6 +38,7 @@ Endpoint::PendingReply Endpoint::request_async(Message m) {
   }
   auto slot = std::make_shared<Slot>();
   slot->dst = m.dst;
+  slot->type = static_cast<int>(m.type);
   m.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lk(pending_mu_);
@@ -118,12 +119,15 @@ Message Endpoint::PendingReply::wait(uint64_t timeout_us) {
   std::unique_lock lk(slot_->mu);
   if (!slot_->cv.wait_for(lk, std::chrono::microseconds(timeout_us),
                           [&] { return slot_->reply.has_value() || slot_->died >= 0; })) {
+    const int dst = slot_->dst;
+    const int type = slot_->type;
     lk.unlock();
     const uint64_t seq = seq_;
     const int at = ep_->rank();
     cancel();
     throw SystemError("request timeout: node " + std::to_string(at) + " seq " +
-                      std::to_string(seq));
+                      std::to_string(seq) + " dst " + std::to_string(dst) +
+                      " msg_type " + std::to_string(type));
   }
   if (!slot_->reply.has_value()) {  // failed by a peer-death notice
     const int dead = slot_->died;

@@ -56,6 +56,7 @@ class Endpoint {
     std::condition_variable cv;
     std::optional<Message> reply;
     int dst = -1;       ///< requested rank (for targeted death failure)
+    int type = -1;      ///< MsgType of the request (timeout diagnostics)
     int died = -1;      ///< >= 0: the request was failed because this
                         ///< rank died; wait() throws WorkerDied instead
                         ///< of blocking out the full timeout

@@ -258,6 +258,27 @@ TEST(Recovery, DoubleKillInOneIntervalWithTripleReplication) {
   EXPECT_EQ(got, want) << "double-kill recovery diverged from the no-failure reference";
 }
 
+// SEQUENTIAL second death in the same barrier interval: rank 1 dies
+// post-commit, rank 2 (its ring successor) adopts rank 1's objects in
+// the recovery round — and SIGKILLs the instant that round completes,
+// BEFORE any barrier re-seeds rank 2's rotated ring. Still f = 2 < R =
+// 3 in one interval, but unlike the simultaneous double-kill above the
+// deaths repair in separate rounds: the second repair must fall back on
+// the replicas rank 3 KEPT from rank 1's original fan-out (erasing
+// them during round one would zero-fill the adopted objects here).
+TEST(Recovery, NewHomeDyingBeforeReseedFallsBackToKeptReplicas) {
+  const uint64_t want = no_failure_reference();
+  const uint64_t got = run_chaos_cluster(
+      [](Config& cfg) {
+        cfg.replication = 3;
+        cfg.chaos_kill_rank = 1;
+        cfg.chaos_kill_after_barrier = 2;
+        cfg.chaos_kill_after_recovery = 2;  // rank 1's lowest-alive holder
+      },
+      /*expect_dead=*/2);
+  EXPECT_EQ(got, want) << "post-re-home death diverged from the no-failure reference";
+}
+
 // Rank 0 is the barrier master and recovery rendezvous point — and it
 // must be as killable as anyone else: survivors fail those duties over
 // to the lowest alive rank (deterministically, via the coordinator's
@@ -308,6 +329,26 @@ TEST(Recovery, MidBarrierDeathRecoversInsteadOfFailingFast) {
       },
       /*expect_dead=*/1);
   EXPECT_EQ(got, want) << "mid-barrier death recovery diverged from the no-failure reference";
+}
+
+// Double-kill cell WITH the mid-barrier knob: the knob moves victim
+// 1's kill inside the two-phase protocol but must not suppress victim
+// 2's post-commit kill — both victims have to die (expect_dead=2), and
+// the survivors must recover through a mid-barrier death followed by a
+// clean post-commit death.
+TEST(Recovery, MidBarrierKnobStillKillsSecondVictimPostCommit) {
+  const uint64_t want = no_failure_reference();
+  const uint64_t got = run_chaos_cluster(
+      [](Config& cfg) {
+        cfg.replication = 3;
+        cfg.chaos_kill_rank = 1;
+        cfg.chaos_kill_after_barrier = 2;
+        cfg.chaos_kill_mid_barrier = true;  // applies to victim 1 only
+        cfg.chaos_kill_rank2 = 2;
+        cfg.chaos_kill_after_barrier2 = 2;
+      },
+      /*expect_dead=*/2);
+  EXPECT_EQ(got, want) << "mid-barrier + post-commit double kill diverged from reference";
 }
 
 // Without replication a worker death must be FATAL but CLEAN: every
